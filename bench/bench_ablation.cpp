@@ -1,0 +1,127 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+//  1. Numeric engine: accuracy/cost of the hybrid direct-sum +
+//     Euler–Maclaurin-integral evaluation versus pure direct summation
+//     (the heavy-tailed algebraic load is the stress case).
+//  2. Admission threshold sensitivity: how much utility a reservation
+//     network loses when its admission limit deviates from k_max(C) —
+//     the headroom measurement-based admission control plays in.
+//  3. Adaptivity sweep: κ (discrete) and a (continuum) interpolate
+//     between the paper's rigid and elastic extremes, tracing how the
+//     architecture gap depends on how adaptive applications really are
+//     (the caveat the paper closes with).
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "bevr/core/continuum.h"
+#include "bevr/core/fixed_load.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+double time_ms(const std::function<double()>& f, double* value) {
+  const auto start = std::chrono::steady_clock::now();
+  *value = f();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bevr;
+  const auto algebraic = std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(3.0, 100.0));
+  const auto exponential = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+
+  {
+    bench::print_header(
+        "Ablation 1: hybrid tail evaluation (algebraic z=3, B(400))");
+    bench::print_columns({"direct_budget", "B(400)", "ms/eval", "err_vs_ref"});
+    core::VariableLoadModel::Options reference_options;
+    reference_options.direct_budget = 50'000'000;
+    const core::VariableLoadModel reference(algebraic, adaptive,
+                                            reference_options);
+    double ref_value = 0.0;
+    const double ref_ms =
+        time_ms([&] { return reference.best_effort(400.0); }, &ref_value);
+    for (const std::int64_t budget : {2048, 8192, 65'536, 1'048'576}) {
+      core::VariableLoadModel::Options options;
+      options.direct_budget = budget;
+      const core::VariableLoadModel model(algebraic, adaptive, options);
+      double value = 0.0;
+      const double ms = time_ms([&] { return model.best_effort(400.0); },
+                                &value);
+      bench::print_row({static_cast<double>(budget), value, ms,
+                        std::abs(value - ref_value)});
+    }
+    bench::print_row({5e7, ref_value, ref_ms, 0.0});
+    bench::print_note("a 2k-term head + integral tail matches the 50M-term "
+                      "direct sum to ~1e-9 at a tiny fraction of the cost");
+  }
+  {
+    bench::print_header(
+        "Ablation 2: admission threshold sensitivity (exponential, C=150)");
+    const double capacity = 150.0;
+    const core::VariableLoadModel model(exponential, adaptive);
+    const auto kmax = *model.k_max(capacity);
+    bench::print_columns({"limit/kmax", "R_at_limit", "loss_vs_opt"});
+    // R with a non-optimal admission limit: reuse the model pieces.
+    auto r_at = [&](std::int64_t limit) {
+      // Σ_{k≤limit} Q(k)π(C/k) + π(C/limit)·limit·tail/kbar.
+      double head = 0.0;
+      for (std::int64_t k = 1; k <= limit; ++k) {
+        head += exponential->pmf(k) * static_cast<double>(k) *
+                adaptive->value(capacity / static_cast<double>(k)) / 100.0;
+      }
+      const double cap_util =
+          adaptive->value(capacity / static_cast<double>(limit));
+      return head + cap_util * static_cast<double>(limit) *
+                        exponential->tail_above(limit) / 100.0;
+    };
+    const double optimal = r_at(kmax);
+    for (const double fraction : {0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}) {
+      const auto limit =
+          static_cast<std::int64_t>(fraction * static_cast<double>(kmax));
+      const double r = r_at(limit);
+      bench::print_row({fraction, r, optimal - r});
+    }
+    bench::print_note(
+        "the optimum is flat above k_max but falls off below it: over-"
+        "admitting is cheap for adaptive apps, under-admitting is not — "
+        "headroom for measurement-based admission error");
+  }
+  {
+    bench::print_header(
+        "Ablation 3a: kappa sweep (discrete adaptivity), exponential, C=200");
+    bench::print_columns({"kappa", "delta(200)", "Delta(200)"});
+    for (const double kappa : {0.1, 0.3, 0.62086, 1.5, 4.0, 10.0}) {
+      const auto pi = std::make_shared<utility::AdaptiveExp>(kappa);
+      const core::VariableLoadModel model(exponential, pi);
+      bench::print_row({kappa, model.performance_gap(200.0),
+                        model.bandwidth_gap(200.0)});
+    }
+    bench::print_note("larger kappa = less value at low shares = closer to "
+                      "rigid behaviour: gaps grow with kappa");
+  }
+  {
+    bench::print_header(
+        "Ablation 3b: floor sweep a (continuum adaptivity), algebraic z=3");
+    bench::print_columns({"a", "Delta(C)/C limit", "gamma(p->0)"});
+    for (const double a : {0.05, 0.2, 0.5, 0.8, 0.95, 0.999}) {
+      const core::AlgebraicAdaptiveContinuum model(3.0, a);
+      bench::print_row({a, std::pow(model.gap_ratio_power(), 1.0) - 1.0,
+                        model.equalizing_price_ratio(1e-6)});
+    }
+    bench::print_note("a -> 1 recovers the rigid values (slope 1, gamma 2); "
+                      "a -> 0 erases the reservation advantage");
+  }
+  return 0;
+}

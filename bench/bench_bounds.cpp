@@ -1,0 +1,58 @@
+// §6 conjectured bounds: in the basic model the asymptotic advantage of
+// reservations is bounded — lim (C+Δ)/C ≤ e and lim γ(p) ≤ e, attained
+// as z → 2⁺ — while the sampling and retry extensions remove the bound.
+// This bench sweeps z ↓ 2 and prints the measured continuum ratios next
+// to the closed forms.
+#include "bench_util.h"
+
+#include "bevr/core/asymptotics.h"
+#include "bevr/core/continuum.h"
+
+int main() {
+  using namespace bevr;
+  using namespace bevr::core;
+
+  {
+    bench::print_header(
+        "Basic model bound: (C+Delta)/C and gamma(p->0) as z -> 2+");
+    bench::print_columns({"z", "measured_ratio", "closed_form", "gamma(1e-6)",
+                          "e_bound"});
+    const double e = asymptotics::basic_model_ratio_bound();
+    for (const double z :
+         {4.0, 3.0, 2.5, 2.25, 2.1, 2.05, 2.01, 2.001}) {
+      const AlgebraicRigidContinuum model(z);
+      const double c = 1e6;
+      bench::print_row({z, (c + model.bandwidth_gap(c)) / c,
+                        asymptotics::capacity_ratio_rigid(z),
+                        model.equalizing_price_ratio(1e-6), e});
+    }
+    bench::print_note("both columns rise toward e = 2.71828 and never pass it");
+  }
+  {
+    bench::print_header("Adaptive basic model: ratio vs adaptivity floor a");
+    bench::print_columns({"a", "z=2.1", "z=3", "z=4"});
+    for (const double a : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+      bench::print_row({a, asymptotics::capacity_ratio_adaptive(2.1, a),
+                        asymptotics::capacity_ratio_adaptive(3.0, a),
+                        asymptotics::capacity_ratio_adaptive(4.0, a)});
+    }
+    bench::print_note("a->1 recovers rigid; a->0 removes the advantage");
+  }
+  {
+    bench::print_header(
+        "Extensions break the bound: ratios at z = 2.05 (e = 2.718)");
+    bench::print_columns({"case", "ratio"});
+    std::printf("%14s%14.6g\n", "basic",
+                asymptotics::capacity_ratio_rigid(2.05));
+    std::printf("%14s%14.6g\n", "sampling_S2",
+                asymptotics::capacity_ratio_rigid_sampling(2.05, 2));
+    std::printf("%14s%14.6g\n", "sampling_S5",
+                asymptotics::capacity_ratio_rigid_sampling(2.05, 5));
+    std::printf("%14s%14.6g\n", "retry_a0.1",
+                asymptotics::capacity_ratio_rigid_retry(2.05, 0.1));
+    bench::print_note(
+        "sampling multiplies the base of the exponent by S, retry divides "
+        "it by alpha: both diverge in the z->2+ limit (Sec 5, Sec 6)");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Packet-level grounding of the architecture debate: what "quality"
+// actually means at the data plane. A token-bucket-conformant reserved
+// flow (σ = 5, ρ = 1) shares a 10-unit link with increasingly hostile
+// cross traffic. Under WFQ its worst-case delay obeys the
+// Parekh–Gallager bound σ/R + L/R + L/C regardless of the cross load;
+// under FIFO it tracks the aggregate backlog — the best-effort failure
+// mode that motivates reservations (paper §1, ref [10]).
+#include <vector>
+
+#include "bench_util.h"
+#include "bevr/net/packet_link.h"
+#include "bevr/net/packet_sched.h"
+
+int main() {
+  using namespace bevr;
+  const double capacity = 10.0;
+  const double sigma = 5.0, rho = 1.0, packet = 1.0;
+  const double horizon = 300.0;
+  const double bound = sigma / rho + packet / rho + packet / capacity;
+
+  bench::print_header(
+      "Reserved flow delay vs cross load (C=10, sigma=5, rho=1)");
+  bench::print_columns({"cross_load", "wfq_mean", "wfq_max", "fifo_mean",
+                        "fifo_max", "pg_bound"});
+  for (const double cross_rate : {4.0, 8.0, 9.0, 10.0, 12.0, 16.0}) {
+    auto reserved =
+        net::token_bucket_burst_packets(1, sigma, rho, packet, 0.0, horizon);
+    const auto cross =
+        net::cbr_packets(2, cross_rate, packet, 0.0, horizon);
+
+    net::WfqScheduler wfq(capacity);
+    wfq.add_flow(1, rho);
+    wfq.add_flow(2, capacity - rho);
+    std::vector<net::Packet> wfq_packets = reserved;
+    wfq_packets.insert(wfq_packets.end(), cross.begin(), cross.end());
+    const auto wfq_report =
+        net::simulate_link(capacity, wfq, std::move(wfq_packets));
+
+    net::FifoScheduler fifo;
+    std::vector<net::Packet> fifo_packets = reserved;
+    fifo_packets.insert(fifo_packets.end(), cross.begin(), cross.end());
+    const auto fifo_report =
+        net::simulate_link(capacity, fifo, std::move(fifo_packets));
+
+    bench::print_row({cross_rate, wfq_report.flows.at(1).mean_delay,
+                      wfq_report.flows.at(1).max_delay,
+                      fifo_report.flows.at(1).mean_delay,
+                      fifo_report.flows.at(1).max_delay, bound});
+  }
+  bench::print_note(
+      "WFQ's max delay stays under the PGPS bound at every cross load; "
+      "FIFO's diverges once the aggregate exceeds C");
+
+  bench::print_header(
+      "Isolation under 2x overload: who absorbs the congestion?");
+  bench::print_columns({"flow", "wfq_mean_d", "wfq_max_d", "fifo_mean_d",
+                        "fifo_max_d"});
+  {
+    // Flow 1 is conformant (rate 1, reservation 1); flow 2 floods at 19
+    // on a 10-unit link. Work conservation makes long-run throughput
+    // identical, so the protection shows up in DELAY: WFQ pins the
+    // congestion on the flooder, FIFO spreads it over everyone.
+    net::WfqScheduler wfq(capacity);
+    wfq.add_flow(1, 1.0);
+    wfq.add_flow(2, 9.0);
+    std::vector<net::Packet> packets =
+        net::cbr_packets(1, 1.0, packet, 0.0, horizon);
+    const auto cross = net::cbr_packets(2, 19.0, packet, 0.0, horizon);
+    packets.insert(packets.end(), cross.begin(), cross.end());
+    auto fifo_packets = packets;
+    const auto wfq_report =
+        net::simulate_link(capacity, wfq, std::move(packets));
+    net::FifoScheduler fifo;
+    const auto fifo_report =
+        net::simulate_link(capacity, fifo, std::move(fifo_packets));
+    for (const std::uint64_t flow : {1ULL, 2ULL}) {
+      bench::print_row({static_cast<double>(flow),
+                        wfq_report.flows.at(flow).mean_delay,
+                        wfq_report.flows.at(flow).max_delay,
+                        fifo_report.flows.at(flow).mean_delay,
+                        fifo_report.flows.at(flow).max_delay});
+    }
+  }
+  bench::print_note(
+      "under WFQ the conformant flow keeps millisecond-scale delay while "
+      "the flooder queues against itself; under FIFO both drown together");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Performance microbenchmarks (google-benchmark) of the numeric
+// engines: per-evaluation cost of B/R/Δ across the three load
+// families, plus the simulator's event throughput. These guard against
+// regressions in the hybrid series/integral evaluation strategy.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bevr/core/continuum.h"
+#include "bevr/core/sampling.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/numerics/special.h"
+#include "bevr/sim/simulator.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using namespace bevr;
+
+std::shared_ptr<const dist::DiscreteLoad> load_by_index(int index) {
+  switch (index) {
+    case 0:
+      return std::make_shared<dist::PoissonLoad>(100.0);
+    case 1:
+      return std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(100.0));
+    default:
+      return std::make_shared<dist::AlgebraicLoad>(
+          dist::AlgebraicLoad::with_mean(3.0, 100.0));
+  }
+}
+
+void BM_BestEffort(benchmark::State& state) {
+  const core::VariableLoadModel model(
+      load_by_index(static_cast<int>(state.range(0))),
+      std::make_shared<utility::AdaptiveExp>());
+  double c = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.best_effort(c));
+    c = (c == 100.0) ? 200.0 : 100.0;  // defeat any memoisation
+  }
+}
+BENCHMARK(BM_BestEffort)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BandwidthGap(benchmark::State& state) {
+  const core::VariableLoadModel model(
+      load_by_index(static_cast<int>(state.range(0))),
+      std::make_shared<utility::AdaptiveExp>());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.bandwidth_gap(150.0));
+  }
+}
+BENCHMARK(BM_BandwidthGap)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SamplingReservation(benchmark::State& state) {
+  const core::SamplingModel model(
+      load_by_index(1), std::make_shared<utility::AdaptiveExp>(),
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.reservation(150.0));
+  }
+}
+BENCHMARK(BM_SamplingReservation)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_HurwitzZeta(benchmark::State& state) {
+  double q = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::hurwitz_zeta(3.0, q));
+    q = (q >= 1000.0) ? 1.0 : q + 1.0;
+  }
+}
+BENCHMARK(BM_HurwitzZeta);
+
+void BM_ContinuumClosedForm(benchmark::State& state) {
+  const core::AlgebraicAdaptiveContinuum model(3.0, 0.5);
+  double c = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.bandwidth_gap(c));
+    c = (c >= 1e6) ? 2.0 : c * 1.5;
+  }
+}
+BENCHMARK(BM_ContinuumClosedForm);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  sim::SimulationConfig config;
+  config.capacity = 100.0;
+  config.horizon = 200.0;
+  config.warmup = 10.0;
+  config.seed = 7;
+  config.architecture = sim::Architecture::kBestEffort;
+  const sim::FlowSimulator simulator(
+      config, std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<sim::PoissonArrivals>(100.0),
+      std::make_shared<sim::ExponentialHolding>(1.0));
+  std::uint64_t flows = 0;
+  for (auto _ : state) {
+    const auto report = simulator.run();
+    flows += report.flows_scored;
+    benchmark::DoNotOptimize(report.mean_utility);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Simulator-vs-model validation tables: the dynamics the paper
+// abstracts away, measured and compared with the analytic statics.
+//  * M/M/∞ occupancy vs Poisson(k̄);
+//  * empirical B(C)/R(C) vs the analytic discrete model;
+//  * loss-system blocking vs Erlang-B and the model's flow fraction;
+//  * bursty arrivals fattening the occupancy tail (the paper's case
+//    for looking beyond Poisson loads).
+#include <memory>
+
+#include "bench_util.h"
+#include "bevr/core/fixed_load.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/sim/simulator.h"
+#include "bevr/utility/utility.h"
+
+int main() {
+  using namespace bevr;
+  const double offered = 100.0;
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const auto poisson = std::make_shared<dist::PoissonLoad>(offered);
+  const core::VariableLoadModel model(poisson, pi);
+
+  sim::SimulationConfig config;
+  config.capacity = 100.0;
+  config.horizon = 8000.0;
+  config.warmup = 400.0;
+  config.seed = 2024;
+
+  {
+    bench::print_header("M/M/inf occupancy vs Poisson(100)");
+    config.architecture = sim::Architecture::kBestEffort;
+    const sim::FlowSimulator simulator(
+        config, pi, std::make_shared<sim::PoissonArrivals>(offered),
+        std::make_shared<sim::ExponentialHolding>(1.0));
+    const auto report = simulator.run();
+    bench::print_columns({"k", "empirical", "poisson_pmf"});
+    for (std::int64_t k = 80; k <= 120; k += 5) {
+      const double empirical =
+          static_cast<std::size_t>(k) < report.occupancy_pmf.size()
+              ? report.occupancy_pmf[static_cast<std::size_t>(k)]
+              : 0.0;
+      bench::print_row({static_cast<double>(k), empirical, poisson->pmf(k)});
+    }
+  }
+  {
+    bench::print_header("Empirical utilities vs analytic B(C), R(C)");
+    bench::print_columns({"C", "sim_B", "model_B", "sim_R", "model_R"});
+    for (const double c : {70.0, 85.0, 100.0, 120.0}) {
+      config.capacity = c;
+      config.architecture = sim::Architecture::kBestEffort;
+      const auto be = sim::FlowSimulator(
+                          config, pi,
+                          std::make_shared<sim::PoissonArrivals>(offered),
+                          std::make_shared<sim::ExponentialHolding>(1.0))
+                          .run();
+      config.architecture = sim::Architecture::kReservation;
+      config.admission_limit = *core::k_max(*pi, c);
+      const auto rs = sim::FlowSimulator(
+                          config, pi,
+                          std::make_shared<sim::PoissonArrivals>(offered),
+                          std::make_shared<sim::ExponentialHolding>(1.0))
+                          .run();
+      bench::print_row({c, be.mean_utility, model.best_effort(c),
+                        rs.mean_utility, model.reservation(c)});
+    }
+  }
+  {
+    bench::print_header("Loss-system blocking vs Erlang-B (C=90, rho=100)");
+    config.capacity = 90.0;
+    config.architecture = sim::Architecture::kReservation;
+    config.admission_limit = 90;
+    const auto rigid = std::make_shared<utility::Rigid>(1.0);
+    const auto report = sim::FlowSimulator(
+                            config, rigid,
+                            std::make_shared<sim::PoissonArrivals>(offered),
+                            std::make_shared<sim::ExponentialHolding>(1.0))
+                            .run();
+    double erlang_b = 1.0;
+    for (int m = 1; m <= 90; ++m) {
+      erlang_b = offered * erlang_b / (m + offered * erlang_b);
+    }
+    const core::VariableLoadModel rigid_model(poisson, rigid);
+    bench::print_columns({"sim_blocking", "erlang_b", "model_fraction"});
+    bench::print_row({report.blocking_probability, erlang_b,
+                      rigid_model.blocking_fraction(90.0)});
+  }
+  {
+    bench::print_header("Occupancy tail mass P[K>130]: Poisson vs bursty");
+    config.capacity = 100.0;
+    config.architecture = sim::Architecture::kBestEffort;
+    config.horizon = 20'000.0;
+    const auto holding = std::make_shared<sim::ExponentialHolding>(1.0);
+    const auto p_report =
+        sim::FlowSimulator(config, pi,
+                           std::make_shared<sim::PoissonArrivals>(offered),
+                           holding)
+            .run();
+    const auto b_report =
+        sim::FlowSimulator(config, pi,
+                           std::make_shared<sim::BurstyArrivals>(
+                               1000.0, 1.0 / 0.019, 0.5),
+                           holding)
+            .run();
+    auto tail = [](const sim::SimulationReport& report) {
+      double mass = 0.0;
+      for (std::size_t k = 131; k < report.occupancy_pmf.size(); ++k) {
+        mass += report.occupancy_pmf[k];
+      }
+      return mass;
+    };
+    bench::print_columns({"poisson_tail", "bursty_tail"});
+    bench::print_row({tail(p_report), tail(b_report)});
+    bench::print_note(
+        "burstiness fattens the load tail: the regime where reservations "
+        "matter (Sec 6)");
+  }
+  return 0;
+}

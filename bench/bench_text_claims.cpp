@@ -1,0 +1,96 @@
+// Paper-quoted numerical claims (§3.3 text): each row prints the value
+// the paper reports next to the value this implementation measures.
+// These are the canonical reproduction anchors recorded in
+// EXPERIMENTS.md.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+void claim(const char* description, double paper, double measured) {
+  std::printf("  %-58s paper=%10.4g   measured=%10.4g\n", description, paper,
+              measured);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bevr;
+  const auto poisson = std::make_shared<dist::PoissonLoad>(100.0);
+  const auto exponential = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const auto algebraic = std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(3.0, 100.0));
+  const auto rigid = std::make_shared<utility::Rigid>(1.0);
+  const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+
+  bench::print_header("Section 3.3 quoted values (kbar = 100)");
+
+  {
+    const core::VariableLoadModel model(poisson, rigid);
+    double peak_delta = 0.0, peak_gap = 0.0;
+    for (double c = 2.0; c <= 150.0; c += 1.0) {
+      peak_delta = std::max(peak_delta, model.performance_gap(c));
+      peak_gap = std::max(peak_gap, model.bandwidth_gap(c));
+    }
+    claim("Poisson/rigid: peak performance gap delta", 0.8, peak_delta);
+    claim("Poisson/rigid: peak bandwidth gap Delta", 80.0, peak_gap);
+    claim("Poisson/rigid: delta at C=2kbar (paper: <1e-15)", 1e-15,
+          model.performance_gap(200.0));
+  }
+  {
+    const core::VariableLoadModel model(exponential, rigid);
+    claim("Exponential/rigid: delta at C=2kbar", 0.27,
+          model.performance_gap(200.0));
+    claim("Exponential/rigid: delta at C=4kbar", 0.07,
+          model.performance_gap(400.0));
+    claim("Exponential/rigid: Delta(400)-Delta(200) (log growth, >0)",
+          std::log(2.0) * 100.0,
+          model.bandwidth_gap(400.0) - model.bandwidth_gap(200.0));
+  }
+  {
+    const core::VariableLoadModel model(exponential, adaptive);
+    claim("Exponential/adaptive: delta at C=2kbar (paper: <.01)", 0.01,
+          model.performance_gap(200.0));
+    claim("Exponential/adaptive: delta at C=4kbar (paper: <.001)", 0.001,
+          model.performance_gap(400.0));
+    double peak = 0.0;
+    for (double c = 10.0; c <= 400.0; c += 5.0) {
+      peak = std::max(peak, model.bandwidth_gap(c));
+    }
+    claim("Exponential/adaptive: peak bandwidth gap Delta", 9.0, peak);
+  }
+  {
+    const core::VariableLoadModel model(algebraic, rigid);
+    claim("Algebraic(z=3)/rigid: delta at C=2kbar", 0.20,
+          model.performance_gap(200.0));
+    claim("Algebraic(z=3)/rigid: delta at C=4kbar", 0.10,
+          model.performance_gap(400.0));
+    const double slope =
+        (model.bandwidth_gap(800.0) - model.bandwidth_gap(400.0)) / 400.0;
+    claim("Algebraic(z=3)/rigid: Delta slope (linear, ~1)", 1.0, slope);
+  }
+  {
+    const core::VariableLoadModel rigid_model(algebraic, rigid);
+    const core::VariableLoadModel adaptive_model(algebraic, adaptive);
+    const double slope_rigid =
+        (rigid_model.bandwidth_gap(800.0) - rigid_model.bandwidth_gap(400.0)) /
+        400.0;
+    const double slope_adaptive = (adaptive_model.bandwidth_gap(800.0) -
+                                   adaptive_model.bandwidth_gap(400.0)) /
+                                  400.0;
+    claim("Algebraic(z=3): rigid/adaptive slope ratio (paper: >20)", 20.0,
+          slope_rigid / slope_adaptive);
+  }
+  bench::print_note(
+      "paper values are read off its plots; shape/ordering is the target");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared output helpers for the figure-regeneration benches.
+//
+// Every bench prints aligned, self-describing tables so the series can
+// be compared row-by-row against the paper's figures (shape targets:
+// who wins, by what factor, where crossovers and peaks fall).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bevr::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_columns(const std::vector<std::string>& names) {
+  for (const auto& name : names) std::printf("%14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < names.size(); ++i) std::printf("%14s", "------");
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<double>& values) {
+  for (const double v : values) std::printf("%14.6g", v);
+  std::printf("\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+/// Log-spaced grid from lo to hi inclusive.
+inline std::vector<double> log_grid(double lo, double hi, int points) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / (points - 1);
+    grid.push_back(lo * std::pow(hi / lo, t));
+  }
+  return grid;
+}
+
+/// Linear grid from lo to hi inclusive.
+inline std::vector<double> linear_grid(double lo, double hi, int points) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(lo + (hi - lo) * static_cast<double>(i) / (points - 1));
+  }
+  return grid;
+}
+
+}  // namespace bevr::bench

@@ -1,0 +1,89 @@
+// §4 quoted welfare claims, paper-vs-measured:
+//  * Poisson + rigid: γ(p) between ~1.1 and 1.2 over most prices;
+//  * Poisson + adaptive: γ(p) ≈ 1 for all but the highest prices;
+//  * exponential closed forms via Lambert-W, γ(p) → 1 as p → 0;
+//  * algebraic rigid: γ(p→0) = (z−1)^{1/(z−2)} = 2 at z = 3;
+//  * algebraic adaptive (discrete): γ(p→0) ≈ 1.02.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "bevr/core/continuum.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using bevr::core::VariableLoadModel;
+using bevr::core::WelfareAnalysis;
+
+WelfareAnalysis make_analysis(std::shared_ptr<VariableLoadModel> model) {
+  return WelfareAnalysis(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); },
+      model->mean_load());
+}
+
+}  // namespace
+
+int main() {
+  using namespace bevr;
+  const auto rigid = std::make_shared<utility::Rigid>(1.0);
+  const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+
+  {
+    bench::print_header("Discrete Poisson gamma(p) (paper: rigid in "
+                        "[1.1,1.2]; adaptive ~1)");
+    const auto rigid_model = std::make_shared<VariableLoadModel>(
+        std::make_shared<dist::PoissonLoad>(100.0), rigid);
+    const auto adaptive_model = std::make_shared<VariableLoadModel>(
+        std::make_shared<dist::PoissonLoad>(100.0), adaptive);
+    const auto rigid_analysis = make_analysis(rigid_model);
+    const auto adaptive_analysis = make_analysis(adaptive_model);
+    bench::print_columns({"p", "gamma_rigid", "gamma_adaptive"});
+    for (const double p : bench::log_grid(1e-3, 0.4, 7)) {
+      bench::print_row({p, rigid_analysis.price_ratio(p),
+                        adaptive_analysis.price_ratio(p)});
+    }
+  }
+  {
+    bench::print_header(
+        "Continuum exponential gamma(p) via Lambert-W closed forms");
+    const core::ExponentialRigidContinuum model(0.01);
+    bench::print_columns({"p", "C_B(p)", "C_R(p)", "gamma(p)"});
+    for (const double p : bench::log_grid(1e-8, 0.3, 8)) {
+      bench::print_row({p, model.capacity_best_effort(p),
+                        model.capacity_reservation(p),
+                        model.equalizing_price_ratio(p)});
+    }
+    bench::print_note("gamma -> 1 as p -> 0 (provisioning wins eventually)");
+  }
+  {
+    bench::print_header(
+        "Discrete algebraic z=3 gamma(p->0) (paper: rigid ~2, adaptive ~1.02)");
+    VariableLoadModel::Options fast;
+    fast.tail_eps = 1e-10;
+    fast.direct_budget = 16'384;
+    const auto rigid_model = std::make_shared<VariableLoadModel>(
+        std::make_shared<dist::AlgebraicLoad>(
+            dist::AlgebraicLoad::with_mean(3.0, 100.0)),
+        rigid, fast);
+    const auto adaptive_model = std::make_shared<VariableLoadModel>(
+        std::make_shared<dist::AlgebraicLoad>(
+            dist::AlgebraicLoad::with_mean(3.0, 100.0)),
+        adaptive, fast);
+    const auto rigid_analysis = make_analysis(rigid_model);
+    const auto adaptive_analysis = make_analysis(adaptive_model);
+    bench::print_columns({"p", "gamma_rigid", "gamma_adaptive"});
+    for (const double p : bench::log_grid(3e-3, 0.3, 5)) {
+      bench::print_row({p, rigid_analysis.price_ratio(p),
+                        adaptive_analysis.price_ratio(p)});
+    }
+    bench::print_note("continuum rigid value: (z-1)^{1/(z-2)} = 2");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared driver for Figures 2, 3 and 4: each figure shows, for one load
+// distribution (k̄ = 100), six panels —
+//   (a) utilities B(C), R(C) under rigid applications
+//   (b) bandwidth gap Δ(C) under rigid applications
+//   (c) equalising price ratio γ(p) under rigid applications
+//   (d,e,f) the same three under adaptive applications.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/discrete.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::bench {
+
+struct FigureConfig {
+  std::string figure_name;
+  std::shared_ptr<const dist::DiscreteLoad> load;
+  std::vector<double> capacities;      ///< C grid for panels a/b/d/e
+  std::vector<double> prices;          ///< p grid for panels c/f
+  /// Use a cheaper evaluation budget for the welfare sweeps (heavy-
+  /// tailed loads drive very large optimal capacities at small p).
+  bool fast_welfare = false;
+};
+
+inline core::VariableLoadModel::Options welfare_options(bool fast) {
+  core::VariableLoadModel::Options options;
+  if (fast) {
+    options.tail_eps = 1e-10;
+    options.direct_budget = 16'384;
+  }
+  return options;
+}
+
+inline void run_architecture_panels(
+    const FigureConfig& config,
+    const std::shared_ptr<const utility::UtilityFunction>& pi,
+    const std::string& label) {
+  const core::VariableLoadModel model(config.load, pi);
+
+  print_header(config.figure_name + " (" + label + "): utilities B(C), R(C)");
+  print_columns({"C", "B(C)", "R(C)", "delta(C)"});
+  for (const double c : config.capacities) {
+    print_row({c, model.best_effort(c), model.reservation(c),
+               model.performance_gap(c)});
+  }
+
+  print_header(config.figure_name + " (" + label + "): bandwidth gap Delta(C)");
+  print_columns({"C", "Delta(C)", "(C+D)/C"});
+  for (const double c : config.capacities) {
+    const double gap = model.bandwidth_gap(c);
+    print_row({c, gap, (c + gap) / c});
+  }
+
+  print_header(config.figure_name + " (" + label +
+               "): equalising price ratio gamma(p)");
+  const auto welfare_model = std::make_shared<core::VariableLoadModel>(
+      config.load, pi, welfare_options(config.fast_welfare));
+  const core::WelfareAnalysis analysis(
+      [welfare_model](double c) { return welfare_model->total_best_effort(c); },
+      [welfare_model](double c) { return welfare_model->total_reservation(c); },
+      welfare_model->mean_load());
+  print_columns({"p", "C_B(p)", "C_R(p)", "W_B(p)", "W_R(p)", "gamma(p)"});
+  for (const double p : config.prices) {
+    const auto be = analysis.best_effort(p);
+    const auto rs = analysis.reservation(p);
+    const double gamma = analysis.price_ratio(p);
+    print_row({p, be.capacity, rs.capacity, be.welfare, rs.welfare, gamma});
+  }
+}
+
+inline void run_figure(const FigureConfig& config) {
+  run_architecture_panels(
+      config, std::make_shared<utility::Rigid>(1.0), "rigid");
+  run_architecture_panels(
+      config, std::make_shared<utility::AdaptiveExp>(), "adaptive");
+}
+
+}  // namespace bevr::bench

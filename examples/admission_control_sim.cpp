@@ -1,0 +1,90 @@
+// Flow-level simulation study: the paper's comparison run as an actual
+// discrete-event experiment rather than an expectation. Flows arrive
+// (smooth or bursty), hold the link, and score utility; the
+// reservation run blocks arrivals beyond k_max(C), optionally letting
+// them retry with a penalty (§5.2). Prints the measured per-flow
+// utility for both architectures across capacities, for Poisson and
+// bursty workloads, with lifetime-minimum scoring as the §5.1
+// "sampling" stand-in.
+#include <cstdio>
+#include <memory>
+
+#include "bevr/core/fixed_load.h"
+#include "bevr/sim/simulator.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using namespace bevr;
+
+sim::SimulationReport run(double capacity, sim::Architecture architecture,
+                          bool bursty, sim::UtilityMode mode,
+                          bool retries) {
+  const auto utility = std::make_shared<utility::AdaptiveExp>();
+  sim::SimulationConfig config;
+  config.capacity = capacity;
+  config.architecture = architecture;
+  config.admission_limit = core::k_max(*utility, capacity).value_or(1);
+  config.utility_mode = mode;
+  config.horizon = 8000.0;
+  config.warmup = 400.0;
+  config.seed = 20260706;
+  config.retry.enabled = retries;
+  config.retry.penalty = 0.1;
+  config.retry.backoff_mean = 1.0;
+  config.retry.max_attempts = 50;
+  std::shared_ptr<sim::ArrivalProcess> arrivals;
+  if (bursty) {
+    // Long-run rate 100 with hyper-exponential gaps (CoV > 1).
+    arrivals = std::make_shared<sim::BurstyArrivals>(1000.0, 1.0 / 0.019, 0.5);
+  } else {
+    arrivals = std::make_shared<sim::PoissonArrivals>(100.0);
+  }
+  const sim::FlowSimulator simulator(
+      config, utility, arrivals,
+      std::make_shared<sim::ExponentialHolding>(1.0));
+  return simulator.run();
+}
+
+void table(bool bursty, sim::UtilityMode mode, const char* title) {
+  std::printf("\n%s\n", title);
+  std::printf("%10s %14s %14s %12s %12s\n", "capacity", "best_effort",
+              "reservation", "blocking", "advantage");
+  for (const double c : {60.0, 80.0, 100.0, 120.0, 160.0}) {
+    const auto be = run(c, sim::Architecture::kBestEffort, bursty, mode,
+                        /*retries=*/false);
+    const auto rs = run(c, sim::Architecture::kReservation, bursty, mode,
+                        /*retries=*/false);
+    std::printf("%10.0f %14.4f %14.4f %12.3f %+12.4f\n", c, be.mean_utility,
+                rs.mean_utility, rs.blocking_probability,
+                rs.mean_utility - be.mean_utility);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Flow-level simulation: adaptive flows, offered load 100\n");
+
+  table(false, sim::UtilityMode::kSnapshotAtAdmission,
+        "Poisson arrivals, snapshot utility (the basic model's measure):");
+  table(false, sim::UtilityMode::kLifetimeMinimum,
+        "Poisson arrivals, lifetime-minimum utility (the Sec 5.1 spirit —\n"
+        "reservations' worst-case cap starts to matter):");
+  table(true, sim::UtilityMode::kLifetimeMinimum,
+        "Bursty arrivals, lifetime-minimum utility (fat load tail and\n"
+        "worst-case scoring compound: the reservation edge widens):");
+
+  std::printf("\nWith retries (alpha = 0.1, Sec 5.2), reservation side:\n");
+  std::printf("%10s %14s %12s %12s\n", "capacity", "utility", "retries",
+              "abandoned");
+  for (const double c : {110.0, 120.0, 160.0}) {
+    const auto rs = run(c, sim::Architecture::kReservation, false,
+                        sim::UtilityMode::kSnapshotAtAdmission,
+                        /*retries=*/true);
+    std::printf("%10.0f %14.4f %12.3f %12llu\n", c, rs.mean_utility,
+                rs.mean_retries,
+                static_cast<unsigned long long>(rs.flows_abandoned));
+  }
+  return 0;
+}

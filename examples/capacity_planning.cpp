@@ -1,0 +1,63 @@
+// Capacity planning: how much must a best-effort network overprovision
+// to match reservations, as traffic forecasts vary? Sweeps the
+// bandwidth gap Δ(C) for the three load families and both application
+// classes — the paper's central planning quantity — and prints the
+// overprovisioning factor (C+Δ)/C a network operator would budget.
+//
+// Headline: under Poisson forecasts overprovisioning is a rounding
+// error past C ≈ 1.2·k̄; under heavy-tailed (algebraic) forecasts the
+// required factor never decays — reservations' advantage survives
+// arbitrarily cheap bandwidth.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+int main() {
+  using namespace bevr;
+  struct Case {
+    std::string name;
+    std::shared_ptr<const dist::DiscreteLoad> load;
+  };
+  const std::vector<Case> cases = {
+      {"poisson", std::make_shared<dist::PoissonLoad>(100.0)},
+      {"exponential", std::make_shared<dist::ExponentialLoad>(
+                          dist::ExponentialLoad::with_mean(100.0))},
+      {"algebraic(z=3)", std::make_shared<dist::AlgebraicLoad>(
+                             dist::AlgebraicLoad::with_mean(3.0, 100.0))},
+  };
+  const auto rigid = std::make_shared<utility::Rigid>(1.0);
+  const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+
+  for (const auto& [util_name, utility] :
+       {std::pair<std::string,
+                  std::shared_ptr<const utility::UtilityFunction>>{
+            "rigid", rigid},
+        {"adaptive", adaptive}}) {
+    std::printf("\nOverprovisioning needed, %s applications (kbar = 100):\n",
+                util_name.c_str());
+    std::printf("%10s", "C");
+    for (const auto& c : cases) std::printf(" %18s", c.name.c_str());
+    std::printf("\n");
+    for (const double capacity : {100.0, 150.0, 200.0, 400.0, 800.0}) {
+      std::printf("%10.0f", capacity);
+      for (const auto& c : cases) {
+        const core::VariableLoadModel model(c.load, utility);
+        const double gap = model.bandwidth_gap(capacity);
+        std::printf("     %6.1f (x%4.2f)", gap, (capacity + gap) / capacity);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nReading: 'x1.00' means best effort already matches reservations;\n"
+      "the algebraic column's factor refuses to decay — the paper's case\n"
+      "that the reservation debate hinges on future load tails.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Provisioning advisor: a small decision-support tool built on the
+// welfare model (paper §4). Given a traffic forecast (load family +
+// mean), an application profile (utility family), a bandwidth price,
+// and an estimate of how much reservation machinery inflates per-unit
+// bandwidth cost, it recommends an architecture and a capacity.
+//
+// Usage:
+//   provisioning_advisor [load] [utility] [mean] [price] [complexity%]
+//     load       poisson | exponential | algebraic   (default exponential)
+//     utility    rigid | adaptive                    (default adaptive)
+//     mean       mean offered flows                  (default 100)
+//     price      bandwidth price per unit            (default 0.05)
+//     complexity reservation cost premium in %       (default 10)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+std::shared_ptr<const bevr::dist::DiscreteLoad> make_load(
+    const std::string& kind, double mean) {
+  if (kind == "poisson") {
+    return std::make_shared<bevr::dist::PoissonLoad>(mean);
+  }
+  if (kind == "algebraic") {
+    return std::make_shared<bevr::dist::AlgebraicLoad>(
+        bevr::dist::AlgebraicLoad::with_mean(3.0, mean));
+  }
+  return std::make_shared<bevr::dist::ExponentialLoad>(
+      bevr::dist::ExponentialLoad::with_mean(mean));
+}
+
+std::shared_ptr<const bevr::utility::UtilityFunction> make_utility(
+    const std::string& kind) {
+  if (kind == "rigid") return std::make_shared<bevr::utility::Rigid>(1.0);
+  return std::make_shared<bevr::utility::AdaptiveExp>();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bevr;
+  const std::string load_kind = argc > 1 ? argv[1] : "exponential";
+  const std::string util_kind = argc > 2 ? argv[2] : "adaptive";
+  const double mean = argc > 3 ? std::atof(argv[3]) : 100.0;
+  const double price = argc > 4 ? std::atof(argv[4]) : 0.05;
+  const double complexity_pct = argc > 5 ? std::atof(argv[5]) : 10.0;
+  if (!(mean > 0.0) || !(price > 0.0) || complexity_pct < 0.0) {
+    std::fprintf(stderr, "invalid arguments\n");
+    return 1;
+  }
+
+  const auto load = make_load(load_kind, mean);
+  const auto utility = make_utility(util_kind);
+  const auto model = std::make_shared<core::VariableLoadModel>(load, utility);
+  const core::WelfareAnalysis welfare(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); },
+      model->mean_load());
+
+  std::printf("Traffic forecast : %s (mean %.0f flows)\n",
+              load->name().c_str(), mean);
+  std::printf("Application mix  : %s\n", utility->name().c_str());
+  std::printf("Bandwidth price  : %.4f per unit\n", price);
+  std::printf("Reservation cost : +%.1f%% per unit bandwidth\n\n",
+              complexity_pct);
+
+  const auto best_effort = welfare.best_effort(price);
+  // The reservation network pays the complexity premium on bandwidth.
+  const double premium_price = price * (1.0 + complexity_pct / 100.0);
+  const auto reservation = welfare.reservation(premium_price);
+  const double gamma = welfare.price_ratio(price);
+
+  std::printf("Best-effort-only : build C = %8.1f  -> welfare %8.2f\n",
+              best_effort.capacity, best_effort.welfare);
+  std::printf("Reservations     : build C = %8.1f  -> welfare %8.2f "
+              "(at price %.4f)\n",
+              reservation.capacity, reservation.welfare, premium_price);
+  std::printf("Break-even premium (gamma - 1): %.1f%%\n\n",
+              100.0 * (gamma - 1.0));
+
+  if (reservation.welfare > best_effort.welfare) {
+    std::printf("RECOMMENDATION: deploy the RESERVATION-CAPABLE "
+                "architecture.\n");
+    std::printf("  Its %.1f%% complexity premium is below the %.1f%% "
+                "break-even point.\n",
+                complexity_pct, 100.0 * (gamma - 1.0));
+  } else {
+    std::printf("RECOMMENDATION: stay BEST-EFFORT-ONLY and overprovision.\n");
+    std::printf("  The complexity premium (%.1f%%) exceeds the %.1f%% "
+                "break-even point;\n",
+                complexity_pct, 100.0 * (gamma - 1.0));
+    std::printf("  the extra capacity needed to match reservations is "
+                "Delta(C*) = %.1f.\n",
+                model->bandwidth_gap(best_effort.capacity));
+  }
+  return 0;
+}

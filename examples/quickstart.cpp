@@ -1,0 +1,57 @@
+// Quickstart: the core question of Breslau & Shenker (SIGCOMM '98) in
+// twenty lines — how much better would a reservation-capable network
+// serve a random load of adaptive flows than a best-effort-only one,
+// and how much extra capacity would close the gap?
+#include <cstdio>
+#include <memory>
+
+#include "bevr/core/fixed_load.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/utility/utility.h"
+
+int main() {
+  using namespace bevr;
+
+  // Load: a random number of flows with mean k̄ = 100, exponentially
+  // distributed (the paper's middle case). Utility: the paper's
+  // adaptive audio/video curve, Eq. (2).
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const auto utility = std::make_shared<utility::AdaptiveExp>();
+  const core::VariableLoadModel model(load, utility);
+
+  std::printf("Best-effort versus reservations, %s + %s\n",
+              load->name().c_str(), utility->name().c_str());
+  std::printf("%10s %12s %12s %12s %12s %8s\n", "capacity", "B(C)", "R(C)",
+              "delta(C)", "Delta(C)", "k_max");
+  for (const double c : {50.0, 100.0, 150.0, 200.0, 400.0}) {
+    std::printf("%10.0f %12.4f %12.4f %12.5f %12.2f %8lld\n", c,
+                model.best_effort(c), model.reservation(c),
+                model.performance_gap(c), model.bandwidth_gap(c),
+                static_cast<long long>(model.k_max(c).value_or(-1)));
+  }
+
+  // The economics (paper §4): at a bandwidth price p, how much more
+  // expensive could reservation-capable bandwidth be and still win?
+  const core::WelfareAnalysis welfare(
+      [&model](double c) { return model.total_best_effort(c); },
+      [&model](double c) { return model.total_reservation(c); },
+      model.mean_load());
+  const double price = 0.05;
+  const auto best_effort = welfare.best_effort(price);
+  const auto reservation = welfare.reservation(price);
+  std::printf("\nAt bandwidth price %.2f:\n", price);
+  std::printf("  best-effort : build C = %7.1f for welfare %7.2f\n",
+              best_effort.capacity, best_effort.welfare);
+  std::printf("  reservations: build C = %7.1f for welfare %7.2f\n",
+              reservation.capacity, reservation.welfare);
+  std::printf("  equalising price ratio gamma = %.4f\n",
+              welfare.price_ratio(price));
+  std::printf(
+      "  -> reservations remain worthwhile if their complexity costs less\n"
+      "     than %.1f%% extra per unit of bandwidth.\n",
+      100.0 * (welfare.price_ratio(price) - 1.0));
+  return 0;
+}

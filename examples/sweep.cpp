@@ -1,0 +1,110 @@
+// Parameterised sweep tool: prints B(C), R(C), delta(C), Delta(C) as
+// CSV for any load/utility configuration — the general-purpose front
+// end to the variable-load model for plotting or downstream analysis.
+//
+// Usage:
+//   sweep [load] [load_param] [utility] [util_param] [c_lo] [c_hi] [points]
+//
+//   load       poisson | exponential | algebraic    (default exponential)
+//   load_param mean k̄ for poisson/exponential;      (default 100)
+//              for algebraic: the power z (mean fixed at 100)
+//   utility    rigid | adaptive | pwl | elastic | algtail  (default adaptive)
+//   util_param rigid: b̂; adaptive: κ; pwl: floor a; algtail: r
+//              (default: the paper's value for each family)
+//   c_lo/c_hi  capacity range                        (default 10..400)
+//   points     sweep points                          (default 40)
+//
+// Example: plot Figure 3's rigid panels as CSV:
+//   sweep exponential 100 rigid 1 10 800 80 > fig3_rigid.csv
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using namespace bevr;
+
+std::shared_ptr<const dist::DiscreteLoad> make_load(const std::string& kind,
+                                                    double parameter) {
+  if (kind == "poisson") return std::make_shared<dist::PoissonLoad>(parameter);
+  if (kind == "algebraic") {
+    return std::make_shared<dist::AlgebraicLoad>(
+        dist::AlgebraicLoad::with_mean(parameter, 100.0));
+  }
+  if (kind == "exponential") {
+    return std::make_shared<dist::ExponentialLoad>(
+        dist::ExponentialLoad::with_mean(parameter));
+  }
+  std::fprintf(stderr, "unknown load '%s'\n", kind.c_str());
+  std::exit(1);
+}
+
+std::shared_ptr<const utility::UtilityFunction> make_utility(
+    const std::string& kind, double parameter) {
+  if (kind == "rigid") return std::make_shared<utility::Rigid>(parameter);
+  if (kind == "adaptive") {
+    return std::make_shared<utility::AdaptiveExp>(parameter);
+  }
+  if (kind == "pwl") return std::make_shared<utility::PiecewiseLinear>(parameter);
+  if (kind == "elastic") return std::make_shared<utility::Elastic>();
+  if (kind == "algtail") {
+    return std::make_shared<utility::AlgebraicTail>(parameter);
+  }
+  std::fprintf(stderr, "unknown utility '%s'\n", kind.c_str());
+  std::exit(1);
+}
+
+double default_utility_parameter(const std::string& kind) {
+  if (kind == "rigid") return 1.0;
+  if (kind == "adaptive") return utility::AdaptiveExp::kPaperKappa;
+  if (kind == "pwl") return 0.5;
+  return 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const std::string load_kind = argc > 1 ? argv[1] : "exponential";
+  const double load_param = argc > 2 ? std::atof(argv[2]) : 100.0;
+  const std::string util_kind = argc > 3 ? argv[3] : "adaptive";
+  const double util_param = argc > 4 ? std::atof(argv[4])
+                                     : default_utility_parameter(util_kind);
+  const double c_lo = argc > 5 ? std::atof(argv[5]) : 10.0;
+  const double c_hi = argc > 6 ? std::atof(argv[6]) : 400.0;
+  const int points = argc > 7 ? std::atoi(argv[7]) : 40;
+  if (!(c_lo > 0.0) || !(c_hi > c_lo) || points < 2) {
+    std::fprintf(stderr, "invalid sweep range\n");
+    return 1;
+  }
+
+  const auto load = make_load(load_kind, load_param);
+  const auto utility = make_utility(util_kind, util_param);
+  const core::VariableLoadModel model(load, utility);
+
+  std::printf("# %s, %s, kbar=%g\n", load->name().c_str(),
+              utility->name().c_str(), model.mean_load());
+  std::printf("capacity,best_effort,reservation,delta,bandwidth_gap,k_max\n");
+  for (int i = 0; i < points; ++i) {
+    const double c = c_lo + (c_hi - c_lo) * i / (points - 1);
+    const auto kmax = model.k_max(c);
+    std::printf("%.6g,%.10g,%.10g,%.10g,%.10g,%lld\n", c,
+                model.best_effort(c), model.reservation(c),
+                model.performance_gap(c), model.bandwidth_gap(c),
+                static_cast<long long>(kmax.value_or(-1)));
+  }
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "sweep: %s\n", error.what());
+  std::fprintf(stderr,
+               "usage: sweep [load] [load_param] [utility] [util_param] "
+               "[c_lo] [c_hi] [points]\n");
+  return 1;
+}

@@ -1,0 +1,94 @@
+#include "bevr/core/asymptotics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::core::asymptotics {
+
+namespace {
+
+void check_z(double z) {
+  if (!(z > 2.0)) {
+    throw std::invalid_argument("asymptotics: z must exceed 2");
+  }
+}
+
+void check_floor(double a) {
+  if (!(a > 0.0) || !(a < 1.0)) {
+    throw std::invalid_argument("asymptotics: floor must lie in (0, 1)");
+  }
+}
+
+/// The adaptive overload factor g(z, a) = 1 + a(1−a^{z−2})/(1−a);
+/// g → z−1 as a → 1 (rigid), g → 1 as a → 0 (fully adaptive).
+double adaptive_factor(double z, double a) {
+  return 1.0 + a * (1.0 - std::pow(a, z - 2.0)) / (1.0 - a);
+}
+
+}  // namespace
+
+double capacity_ratio_rigid(double z) {
+  check_z(z);
+  return std::pow(z - 1.0, 1.0 / (z - 2.0));
+}
+
+double capacity_ratio_adaptive(double z, double floor) {
+  check_z(z);
+  check_floor(floor);
+  return std::pow(adaptive_factor(z, floor), 1.0 / (z - 2.0));
+}
+
+double capacity_ratio_rigid_sampling(double z, int samples) {
+  check_z(z);
+  if (samples < 1) throw std::invalid_argument("asymptotics: samples >= 1");
+  return std::pow(static_cast<double>(samples) * (z - 1.0), 1.0 / (z - 2.0));
+}
+
+double capacity_ratio_adaptive_sampling(double z, double floor, int samples) {
+  check_z(z);
+  check_floor(floor);
+  if (samples < 1) throw std::invalid_argument("asymptotics: samples >= 1");
+  return std::pow(static_cast<double>(samples) * adaptive_factor(z, floor),
+                  1.0 / (z - 2.0));
+}
+
+double capacity_ratio_rigid_retry(double z, double alpha) {
+  check_z(z);
+  if (!(alpha > 0.0)) throw std::invalid_argument("asymptotics: alpha > 0");
+  return std::pow((z - 1.0) / alpha, 1.0 / (z - 2.0));
+}
+
+double capacity_ratio_adaptive_retry(double z, double floor, double alpha) {
+  check_z(z);
+  check_floor(floor);
+  if (!(alpha > 0.0)) throw std::invalid_argument("asymptotics: alpha > 0");
+  return std::pow(adaptive_factor(z, floor) / alpha, 1.0 / (z - 2.0));
+}
+
+double basic_model_ratio_bound() noexcept {
+  return std::exp(1.0);  // lim_{z→2⁺} (z−1)^{1/(z−2)}
+}
+
+double exponential_rigid_gap(double beta, double capacity) {
+  if (!(beta > 0.0)) throw std::invalid_argument("asymptotics: beta > 0");
+  if (!(capacity > 0.0)) throw std::invalid_argument("asymptotics: capacity > 0");
+  return std::log1p(beta * capacity) / beta;
+}
+
+double exponential_adaptive_gap_limit(double beta, double floor) {
+  if (!(beta > 0.0)) throw std::invalid_argument("asymptotics: beta > 0");
+  check_floor(floor);
+  return -std::log1p(-floor) / beta;
+}
+
+double exponential_adaptive_retry_gap_limit(double beta, double floor,
+                                            double alpha) {
+  if (!(beta > 0.0)) throw std::invalid_argument("asymptotics: beta > 0");
+  check_floor(floor);
+  if (!(alpha > 0.0) || !(alpha * (1.0 - floor) < 1.0)) {
+    throw std::invalid_argument("asymptotics: need 0 < alpha(1-a) < 1");
+  }
+  return -std::log(alpha * (1.0 - floor)) / beta;
+}
+
+}  // namespace bevr::core::asymptotics

@@ -1,0 +1,52 @@
+// Closed-form asymptotics and the paper's conjectured bounds
+// (§3.3, §4, §5, §6).
+//
+// All "capacity ratios" are lim_{C→∞} (C + Δ(C))/C under algebraic
+// (Pareto) continuum loads — how much total bandwidth a best-effort
+// network needs, as a multiple of the reservation network's, to match
+// its performance. The paper conjectures these coincide with the
+// small-price limits of the equalising price ratio γ(p), and that the
+// basic model's worst case (z → 2⁺) is bounded by e — a bound the §5
+// extensions break.
+#pragma once
+
+namespace bevr::core::asymptotics {
+
+/// Basic model, rigid utility: ((z−1))^{1/(z−2)}.
+[[nodiscard]] double capacity_ratio_rigid(double z);
+
+/// Basic model, piecewise-adaptive (floor a):
+/// (1 + a(1−a^{z−2})/(1−a))^{1/(z−2)}.
+[[nodiscard]] double capacity_ratio_adaptive(double z, double floor);
+
+/// Sampling extension (§5.1): (S(z−1))^{1/(z−2)} — diverges as z → 2⁺
+/// for any S > 1, breaking the basic model's e bound.
+[[nodiscard]] double capacity_ratio_rigid_sampling(double z, int samples);
+
+/// Sampling + adaptive: (S·(1 + a(1−a^{z−2})/(1−a)))^{1/(z−2)}.
+[[nodiscard]] double capacity_ratio_adaptive_sampling(double z, double floor,
+                                                      int samples);
+
+/// Retry extension (§5.2): ((z−1)/α)^{1/(z−2)} — diverges as z → 2⁺
+/// for any α < 1.
+[[nodiscard]] double capacity_ratio_rigid_retry(double z, double alpha);
+
+/// Retry + adaptive: ((1 + a(1−a^{z−2})/(1−a))/α)^{1/(z−2)}.
+[[nodiscard]] double capacity_ratio_adaptive_retry(double z, double floor,
+                                                   double alpha);
+
+/// The basic-model worst case, lim_{z→2⁺} (z−1)^{1/(z−2)} = e, i.e.
+/// Δ(C)/C ≤ e − 1 and γ(p) ≤ e (paper §6 conjecture).
+[[nodiscard]] double basic_model_ratio_bound() noexcept;
+
+/// Exponential-load limits of the bandwidth gap:
+/// rigid: Δ(C) ≈ ln(1+βC)/β (returned at a given C);
+[[nodiscard]] double exponential_rigid_gap(double beta, double capacity);
+/// adaptive: Δ(∞) = −ln(1−a)/β;
+[[nodiscard]] double exponential_adaptive_gap_limit(double beta, double floor);
+/// adaptive with retries: Δ(∞) = −ln(α(1−a))/β (for α(1−a) < 1).
+[[nodiscard]] double exponential_adaptive_retry_gap_limit(double beta,
+                                                          double floor,
+                                                          double alpha);
+
+}  // namespace bevr::core::asymptotics

@@ -1,0 +1,227 @@
+// Continuum variable-load model (paper §3.2/§3.3) — closed forms.
+//
+// The load level k is continuous:
+//   V_B(C) = ∫ P(k)·k·π(C/k) dk
+//   V_R(C) = ∫_0^{k_max} P(k)·k·π(C/k) dk + k_max·π(C/k_max)·∫_{k_max}^∞ P
+// For {exponential, Pareto} loads × {rigid, piecewise-linear adaptive,
+// algebraic-tail} utilities the paper derives (and we re-derive — the
+// ACM scan is OCR-damaged there) closed forms for B, R, δ and Δ along
+// with their asymptotics:
+//   exponential+rigid:    Δ(C) solves βΔ = ln(1+β(C+Δ)); Δ ~ ln(βC)/β
+//   exponential+adaptive: Δ(C) → −ln(1−a)/β  (a constant!)
+//   algebraic+rigid:      Δ(C) = C·((z−1)^{1/(z−2)} − 1)  (linear!)
+//   algebraic+adaptive:   Δ(C) = C·((1 + a(1−a^{z−2})/(1−a))^{1/(z−2)} − 1)
+// Each closed form is validated against NumericContinuumModel
+// (quadrature over the same integrals) in the test suite.
+//
+// Welfare closed forms (paper §4) are exposed on the same classes:
+// provisioning C(p) maximising V(C) − pC, welfare W(p), and the
+// equalising price ratio γ(p) with W_R(γ(p)·p) = W_B(p).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bevr/dist/continuum.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+
+/// Common interface over continuum models (normalised per-flow
+/// utilities; totals divide out k̄).
+class ContinuumModel {
+ public:
+  virtual ~ContinuumModel() = default;
+
+  [[nodiscard]] virtual double best_effort(double capacity) const = 0;
+  [[nodiscard]] virtual double reservation(double capacity) const = 0;
+  [[nodiscard]] virtual double total_best_effort(double capacity) const = 0;
+  [[nodiscard]] virtual double total_reservation(double capacity) const = 0;
+
+  /// δ(C) = R − B (≥ 0).
+  [[nodiscard]] double performance_gap(double capacity) const;
+
+  /// Δ(C) solving R(C) = B(C+Δ). Default implementation root-solves on
+  /// best_effort(); closed-form classes override.
+  [[nodiscard]] virtual double bandwidth_gap(double capacity) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Quadrature-backed oracle over any (ContinuumLoad, UtilityFunction)
+/// pair; used in tests to validate every closed form below, and usable
+/// directly for configurations without closed forms.
+class NumericContinuumModel final : public ContinuumModel {
+ public:
+  NumericContinuumModel(std::shared_ptr<const dist::ContinuumLoad> load,
+                        std::shared_ptr<const utility::UtilityFunction> pi);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// k_max(C) = C / b*, b* maximising π(b)/b.
+  [[nodiscard]] double k_max(double capacity) const;
+
+ private:
+  std::shared_ptr<const dist::ContinuumLoad> load_;
+  std::shared_ptr<const utility::UtilityFunction> pi_;
+  double optimal_share_;
+  double mean_;
+};
+
+/// Exponential load (density βe^{-βk}) + rigid utility (b̂ = 1).
+///   B(C) = 1 − e^{−βC}(1+βC),  R(C) = 1 − e^{−βC},  δ = βC·e^{−βC}.
+class ExponentialRigidContinuum final : public ContinuumModel {
+ public:
+  explicit ExponentialRigidContinuum(double beta);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] double bandwidth_gap(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Welfare closed forms (paper §4). Capacities chosen by V'(C) = p;
+  /// the best-effort relation is p = βC·e^{−βC}, inverted with the
+  /// W₋₁ Lambert branch (largest root). Welfare is clamped at 0 (the
+  /// provider can always build nothing).
+  [[nodiscard]] double capacity_best_effort(double price) const;
+  [[nodiscard]] double capacity_reservation(double price) const;
+  [[nodiscard]] double welfare_best_effort(double price) const;
+  [[nodiscard]] double welfare_reservation(double price) const;
+  /// γ(p): W_R(γp) = W_B(p); → 1 as p → 0 (paper: ≈ 1 + ln(−ln p)/(−ln p)).
+  [[nodiscard]] double equalizing_price_ratio(double price) const;
+
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Exponential load + piecewise-linear adaptive utility with floor a.
+///   B(C) = 1 − e^{−βC}/(1−a) + (a/(1−a))e^{−βC/a},  R as rigid,
+///   δ(C) = (a/(1−a))·(e^{−βC} − e^{−βC/a}),  Δ(∞) = −ln(1−a)/β.
+class ExponentialAdaptiveContinuum final : public ContinuumModel {
+ public:
+  ExponentialAdaptiveContinuum(double beta, double floor);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] double bandwidth_gap(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Large-C limit of the bandwidth gap: −ln(1−a)/β.
+  [[nodiscard]] double bandwidth_gap_limit() const;
+
+  /// Welfare: V_B'(C) = (e^{−βC} − e^{−βC/a})/(1−a) = p, solved on the
+  /// decreasing branch; reservation side identical to the rigid case.
+  [[nodiscard]] double capacity_best_effort(double price) const;
+  [[nodiscard]] double capacity_reservation(double price) const;
+  [[nodiscard]] double welfare_best_effort(double price) const;
+  [[nodiscard]] double welfare_reservation(double price) const;
+  [[nodiscard]] double equalizing_price_ratio(double price) const;
+
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double floor() const { return a_; }
+
+ private:
+  double beta_;
+  double a_;
+};
+
+/// Pareto load ((z−1)k^{−z} on [1,∞)) + rigid utility.
+///   B(C) = 1 − C^{2−z},  R(C) = 1 − C^{2−z}/(z−1),
+///   δ(C) = C^{2−z}(z−2)/(z−1),  Δ(C) = C((z−1)^{1/(z−2)} − 1),
+///   γ(p) = (z−1)^{1/(z−2)}  (exactly, for all prices with C_B ≥ 1).
+class AlgebraicRigidContinuum final : public ContinuumModel {
+ public:
+  explicit AlgebraicRigidContinuum(double z);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] double bandwidth_gap(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double capacity_best_effort(double price) const;
+  [[nodiscard]] double capacity_reservation(double price) const;
+  [[nodiscard]] double welfare_best_effort(double price) const;
+  [[nodiscard]] double welfare_reservation(double price) const;
+  [[nodiscard]] double equalizing_price_ratio(double price) const;
+
+  [[nodiscard]] double z() const { return z_; }
+
+ private:
+  double z_;
+  double mean_;  ///< k̄ = (z−1)/(z−2)
+};
+
+/// Pareto load + piecewise-linear adaptive utility with floor a.
+///   B(C) = 1 − g_B·C^{2−z},  g_B = (1 + a(1−a^{z−2})/(1−a))/(z−1),
+///   R as rigid,  Δ(C) = C·(((z−1)g_B)^{1/(z−2)} − 1),
+///   γ(p) = ((z−1)g_B)^{1/(z−2)}.
+/// Valid for C ≥ 1 (the closed forms assume the support edge k = 1).
+class AlgebraicAdaptiveContinuum final : public ContinuumModel {
+ public:
+  AlgebraicAdaptiveContinuum(double z, double floor);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] double bandwidth_gap(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The coefficient (z−1)·g_B = 1 + a(1−a^{z−2})/(1−a).
+  [[nodiscard]] double gap_ratio_power() const;
+
+  [[nodiscard]] double capacity_best_effort(double price) const;
+  [[nodiscard]] double capacity_reservation(double price) const;
+  [[nodiscard]] double welfare_best_effort(double price) const;
+  [[nodiscard]] double welfare_reservation(double price) const;
+  [[nodiscard]] double equalizing_price_ratio(double price) const;
+
+  [[nodiscard]] double z() const { return z_; }
+  [[nodiscard]] double floor() const { return a_; }
+
+ private:
+  double z_;
+  double a_;
+  double mean_;
+  double g_b_;  ///< coefficient of C^{2−z} in 1 − B(C)
+};
+
+/// Pareto load + algebraic-tail utility π(b) = 1 − b^{−r} (b > 1)
+/// (§3.3 footnote). k_max(C) = C/(r+1)^{1/r}; the totals take the form
+/// V = w₁ + w₂C^{−r} + w₃C^{2−z}, so Δ(C)'s growth regime depends on
+/// r vs z−2 and z−3.
+class AlgebraicTailUtilityContinuum final : public ContinuumModel {
+ public:
+  AlgebraicTailUtilityContinuum(double z, double r);
+
+  [[nodiscard]] double best_effort(double capacity) const override;
+  [[nodiscard]] double reservation(double capacity) const override;
+  [[nodiscard]] double total_best_effort(double capacity) const override;
+  [[nodiscard]] double total_reservation(double capacity) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The optimal per-flow share b* = (r+1)^{1/r}.
+  [[nodiscard]] double optimal_share() const;
+
+  [[nodiscard]] double z() const { return z_; }
+  [[nodiscard]] double r() const { return r_; }
+
+ private:
+  double z_;
+  double r_;
+  double mean_;
+};
+
+}  // namespace bevr::core

@@ -1,0 +1,84 @@
+#include "bevr/core/fixed_load.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bevr/numerics/optimize.h"
+
+namespace bevr::core {
+
+double total_utility(const utility::UtilityFunction& pi, double capacity,
+                     std::int64_t flows) {
+  if (flows < 0) throw std::invalid_argument("total_utility: flows < 0");
+  if (!(capacity >= 0.0)) {
+    throw std::invalid_argument("total_utility: capacity < 0");
+  }
+  if (flows == 0) return 0.0;
+  const double kd = static_cast<double>(flows);
+  return kd * pi.value(capacity / kd);
+}
+
+std::optional<std::int64_t> k_max(const utility::UtilityFunction& pi,
+                                  double capacity) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("k_max: capacity must be positive");
+  }
+  // Exact fast paths for the step-structured utilities.
+  if (const auto* rigid = dynamic_cast<const utility::Rigid*>(&pi)) {
+    const auto k = static_cast<std::int64_t>(
+        std::floor(capacity / rigid->requirement()));
+    return k >= 1 ? std::optional<std::int64_t>(k) : std::nullopt;
+  }
+  if (dynamic_cast<const utility::PiecewiseLinear*>(&pi) != nullptr) {
+    // V(k) = k for k ≤ C, then (C - a·k)/(1-a) decreasing: peak at ⌊C⌋.
+    const auto k = static_cast<std::int64_t>(std::floor(capacity));
+    return k >= 1 ? std::optional<std::int64_t>(k) : std::nullopt;
+  }
+  if (!pi.inelastic()) return std::nullopt;  // V(k) increasing (elastic)
+
+  auto v = [&pi, capacity](std::int64_t k) {
+    return total_utility(pi, capacity, k);
+  };
+  // Search [1, cap]; grow the cap if the argmax keeps landing on it
+  // (guards against mis-flagged inelastic() implementations).
+  std::int64_t cap = std::max<std::int64_t>(
+      1024, static_cast<std::int64_t>(std::ceil(8.0 * capacity)) + 16);
+  const bool unimodal = pi.unimodal_total_utility();
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const auto best = numerics::integer_argmax(v, 1, cap, unimodal);
+    if (best.k < cap - 1) return best.k;
+    cap *= 8;
+  }
+  return std::nullopt;
+}
+
+double optimal_share(const utility::UtilityFunction& pi) {
+  if (const auto* rigid = dynamic_cast<const utility::Rigid*>(&pi)) {
+    return rigid->requirement();
+  }
+  if (dynamic_cast<const utility::PiecewiseLinear*>(&pi) != nullptr) {
+    return 1.0;  // π(b)/b peaks at the knee b = 1
+  }
+  if (!pi.inelastic()) {
+    throw std::invalid_argument(
+        "optimal_share: elastic utilities have no finite maximiser of pi(b)/b");
+  }
+  // Maximise π(b)/b over log-b (scale-free bracketing).
+  auto objective = [&pi](double log_b) {
+    const double b = std::exp(log_b);
+    return pi.value(b) / b;
+  };
+  const auto best =
+      numerics::grid_refine_max(objective, std::log(1e-4), std::log(1e4),
+                                /*grid_points=*/2048, /*x_tol=*/1e-12);
+  return std::exp(best.x);
+}
+
+double k_max_continuum(const utility::UtilityFunction& pi, double capacity) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("k_max_continuum: capacity must be positive");
+  }
+  return capacity / optimal_share(pi);
+}
+
+}  // namespace bevr::core

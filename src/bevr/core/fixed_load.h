@@ -1,0 +1,38 @@
+// Fixed-load model (paper §2).
+//
+// A single link of capacity C carries k identical flows; bandwidth is
+// split evenly, so total utility is V(k; C) = k·π(C/k). If V peaks at a
+// finite k_max(C), denying access to flows beyond k_max raises total
+// utility — this is exactly what a reservation-capable architecture can
+// do and a best-effort-only one cannot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+
+/// Total utility of `flows` identical flows sharing `capacity` evenly:
+/// V(k; C) = k·π(C/k). V(0; C) = 0.
+[[nodiscard]] double total_utility(const utility::UtilityFunction& pi,
+                                   double capacity, std::int64_t flows);
+
+/// k_max(C) = argmax_{k ≥ 1} k·π(C/k).
+/// Returns nullopt when V(k) is increasing without a finite maximiser
+/// (elastic utilities, for which admission control never helps).
+/// Exact closed forms are used for Rigid (⌊C/b̂⌋) and PiecewiseLinear
+/// (⌊C⌋); other utilities use unimodal integer search.
+[[nodiscard]] std::optional<std::int64_t> k_max(
+    const utility::UtilityFunction& pi, double capacity);
+
+/// Continuum-model per-flow share b* maximising π(b)/b, i.e. solving
+/// π′(b)·b = π(b). The continuum admission threshold is C/b*.
+[[nodiscard]] double optimal_share(const utility::UtilityFunction& pi);
+
+/// Continuum k_max(C) = C / optimal_share(pi).
+[[nodiscard]] double k_max_continuum(const utility::UtilityFunction& pi,
+                                     double capacity);
+
+}  // namespace bevr::core

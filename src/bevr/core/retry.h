@@ -1,0 +1,78 @@
+// Retry extension (paper §5.2).
+//
+// In the basic model a blocked reservation is lost (utility 0). Here a
+// blocked flow retries later, eventually gets in, but pays a utility
+// penalty α per retry. Retries inflate the offered load: if the
+// original load family has mean L, the effective load is the same
+// family at mean L̂ ≥ L, fixed by conservation —
+//     (admitted flow mass at L̂) = (original arrival mass):
+//     L̂ · (1 − θ_{L̂}(C)) = L,
+// with θ the flow-perspective blocking probability. The average number
+// of retries per flow is D = (L̂ − L)/L, and the reservation utility
+// becomes
+//     R̃(C) = (L̂/L)·R_{L̂}(C) − α·D.
+// Best effort is unaffected (it never blocks).
+//
+// Below the feasibility threshold (offered load cannot be carried even
+// with unbounded retries, L ≥ sup_m E[min(K_m, k_max)]) the model
+// diverges; reservation() reports −inf and welfare treats such
+// capacities as worthless.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/discrete.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+
+class RetryModel {
+ public:
+  /// Builds the load distribution of the family at a given mean
+  /// (e.g. [](double m) { return make_shared<PoissonLoad>(m); }).
+  using LoadFactory =
+      std::function<std::shared_ptr<const dist::DiscreteLoad>(double mean)>;
+
+  /// `alpha` is the per-retry utility penalty (the paper uses 0.1).
+  RetryModel(LoadFactory factory, double base_mean,
+             std::shared_ptr<const utility::UtilityFunction> pi, double alpha);
+
+  /// Full solution of the retry fixed point at capacity C.
+  struct Solution {
+    bool feasible = false;
+    double inflated_mean = 0.0;  ///< L̂
+    double retries = 0.0;        ///< D = (L̂ − L)/L
+    double blocking = 0.0;       ///< θ_{L̂}(C)
+    double utility = 0.0;        ///< R̃(C)
+  };
+  [[nodiscard]] Solution solve(double capacity) const;
+
+  /// R̃(C); −inf when infeasible.
+  [[nodiscard]] double reservation(double capacity) const;
+
+  /// B(C) of the basic model at the base mean (retries do not apply).
+  [[nodiscard]] double best_effort(double capacity) const;
+
+  /// δ̃(C) = R̃ − B (clamped at 0); Δ̃(C) with R̃(C) = B(C + Δ̃).
+  [[nodiscard]] double performance_gap(double capacity) const;
+  [[nodiscard]] double bandwidth_gap(double capacity) const;
+
+  /// Totals for welfare: infeasible capacities yield −inf so the
+  /// welfare optimiser never selects them.
+  [[nodiscard]] double total_best_effort(double capacity) const;
+  [[nodiscard]] double total_reservation(double capacity) const;
+
+  [[nodiscard]] double base_mean() const { return base_mean_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  LoadFactory factory_;
+  double base_mean_;
+  std::shared_ptr<const utility::UtilityFunction> pi_;
+  double alpha_;
+  std::shared_ptr<VariableLoadModel> base_model_;
+};
+
+}  // namespace bevr::core

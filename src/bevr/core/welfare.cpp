@@ -1,0 +1,95 @@
+#include "bevr/core/welfare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "bevr/numerics/optimize.h"
+#include "bevr/numerics/roots.h"
+
+namespace bevr::core {
+
+WelfarePoint maximize_welfare(
+    const std::function<double(double)>& total_utility, double price,
+    double scale_hint, int grid_points) {
+  if (!(price > 0.0)) {
+    throw std::invalid_argument("maximize_welfare: price must be > 0");
+  }
+  if (!(scale_hint > 0.0)) {
+    throw std::invalid_argument("maximize_welfare: scale_hint must be > 0");
+  }
+  auto objective = [&total_utility, price](double c) {
+    const double v = total_utility(c);
+    return std::isfinite(v) ? v - price * c
+                            : -std::numeric_limits<double>::infinity();
+  };
+  // Expand the upper search bound until the objective is declining at
+  // the boundary (checking hi against 0.9·hi catches optima between
+  // hi and 2·hi that a hi-vs-2·hi comparison would miss).
+  double hi = 4.0 * scale_hint;
+  constexpr double kHardCap = 1e10;
+  while (hi < kHardCap && objective(hi) >= objective(0.9 * hi)) hi *= 2.0;
+  const auto best =
+      numerics::grid_refine_max(objective, 0.0, hi, grid_points, 1e-9);
+  if (best.value <= 0.0) return {0.0, 0.0};  // building nothing is optimal
+  return {best.x, best.value};
+}
+
+double equalizing_price_ratio(
+    const std::function<double(double)>& welfare_best_effort,
+    const std::function<double(double)>& welfare_reservation, double price) {
+  if (!(price > 0.0)) {
+    throw std::invalid_argument("equalizing_price_ratio: price must be > 0");
+  }
+  const double target = welfare_best_effort(price);
+  auto deficit = [&welfare_reservation, target](double p_hat) {
+    return welfare_reservation(p_hat) - target;
+  };
+  const double at_p = deficit(price);
+  if (at_p <= 0.0) return 1.0;  // W_R(p) ≤ W_B(p) can only mean equality
+  // W_R is nonincreasing: expand upward until it falls to the target.
+  double hi = 2.0 * price;
+  constexpr double kHardCap = 1e12;
+  while (deficit(hi) > 0.0) {
+    hi *= 2.0;
+    if (hi / price > kHardCap) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  const auto root = numerics::brent(deficit, price, hi,
+                                    {.x_tol = 1e-14, .x_rtol = 1e-10,
+                                     .f_tol = 0.0, .max_iterations = 200});
+  return root.x / price;
+}
+
+WelfareAnalysis::WelfareAnalysis(std::function<double(double)> v_best_effort,
+                                 std::function<double(double)> v_reservation,
+                                 double scale_hint)
+    : v_b_(std::move(v_best_effort)),
+      v_r_(std::move(v_reservation)),
+      scale_(scale_hint) {
+  if (!v_b_ || !v_r_) {
+    throw std::invalid_argument("WelfareAnalysis: null utility callables");
+  }
+  if (!(scale_hint > 0.0)) {
+    throw std::invalid_argument("WelfareAnalysis: scale_hint must be > 0");
+  }
+}
+
+WelfarePoint WelfareAnalysis::best_effort(double price) const {
+  return maximize_welfare(v_b_, price, scale_);
+}
+
+WelfarePoint WelfareAnalysis::reservation(double price) const {
+  return maximize_welfare(v_r_, price, scale_);
+}
+
+double WelfareAnalysis::price_ratio(double price) const {
+  auto wb = [this](double p) { return best_effort(p).welfare; };
+  auto wr = [this](double p) { return reservation(p).welfare; };
+  return equalizing_price_ratio(wb, wr, price);
+}
+
+}  // namespace bevr::core

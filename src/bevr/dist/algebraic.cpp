@@ -1,0 +1,115 @@
+#include "bevr/dist/algebraic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bevr/numerics/roots.h"
+#include "bevr/numerics/special.h"
+
+namespace bevr::dist {
+
+namespace {
+
+double mean_for(double z, double lambda) {
+  // k̄ = [ζ(z-1, λ+1) - λ·ζ(z, λ+1)] / ζ(z, λ+1).
+  const double za = numerics::hurwitz_zeta(z - 1.0, lambda + 1.0);
+  const double zb = numerics::hurwitz_zeta(z, lambda + 1.0);
+  return za / zb - lambda;
+}
+
+}  // namespace
+
+AlgebraicLoad::AlgebraicLoad(double z, double lambda) : z_(z), lambda_(lambda) {
+  if (!(z > 2.0)) {
+    throw std::invalid_argument("AlgebraicLoad: z must exceed 2 (finite mean)");
+  }
+  if (!(lambda >= 0.0) || !std::isfinite(lambda)) {
+    throw std::invalid_argument("AlgebraicLoad: lambda must be >= 0");
+  }
+  norm_ = numerics::hurwitz_zeta(z, lambda + 1.0);
+}
+
+AlgebraicLoad AlgebraicLoad::with_mean(double z, double mean) {
+  if (!(z > 2.0)) {
+    throw std::invalid_argument("AlgebraicLoad::with_mean: z must exceed 2");
+  }
+  const double min_mean = mean_for(z, 0.0);
+  if (!(mean >= min_mean)) {
+    throw std::invalid_argument(
+        "AlgebraicLoad::with_mean: mean below the lambda=0 minimum");
+  }
+  if (mean == min_mean) return AlgebraicLoad(z, 0.0);
+  // mean_for is increasing in lambda (roughly linear, slope 1/(z-2)).
+  auto objective = [z, mean](double lambda) { return mean_for(z, lambda) - mean; };
+  const double guess = mean * (z - 2.0);
+  const auto bracket =
+      numerics::expand_bracket(objective, 0.0, std::max(1.0, 2.0 * guess),
+                               /*grow=*/2.0, /*max_expansions=*/80,
+                               /*min_lo=*/0.0);
+  if (!bracket) {
+    throw std::runtime_error("AlgebraicLoad::with_mean: failed to bracket lambda");
+  }
+  const auto root = numerics::brent(objective, *bracket);
+  return AlgebraicLoad(z, root.x);
+}
+
+double AlgebraicLoad::pmf(std::int64_t k) const {
+  if (k < 1) return 0.0;
+  return std::pow(lambda_ + static_cast<double>(k), -z_) / norm_;
+}
+
+double AlgebraicLoad::tail_above(std::int64_t k) const {
+  if (k < 1) return 1.0;
+  // Σ_{j>k} (λ+j)^{-z} = ζ(z, λ+k+1).
+  return numerics::hurwitz_zeta(z_, lambda_ + static_cast<double>(k) + 1.0) /
+         norm_;
+}
+
+double AlgebraicLoad::cdf(std::int64_t k) const {
+  if (k < 1) return 0.0;
+  // Direct head sum avoids the 1 − tail cancellation for small k.
+  constexpr std::int64_t kDirectCdfTerms = 4096;
+  if (k <= kDirectCdfTerms) {
+    double sum = 0.0;
+    for (std::int64_t j = k; j >= 1; --j) {
+      sum += std::pow(lambda_ + static_cast<double>(j), -z_);
+    }
+    return std::min(1.0, sum / norm_);
+  }
+  return std::clamp(1.0 - tail_above(k), 0.0, 1.0);
+}
+
+double AlgebraicLoad::mean() const { return mean_for(z_, lambda_); }
+
+double AlgebraicLoad::second_moment() const {
+  if (z_ <= 3.0) return std::numeric_limits<double>::infinity();
+  // E[K²] = [ζ(z-2, q) - 2λ·ζ(z-1, q) + λ²·ζ(z, q)] / ζ(z, q), q = λ+1.
+  const double q = lambda_ + 1.0;
+  const double numerator = numerics::hurwitz_zeta(z_ - 2.0, q) -
+                           2.0 * lambda_ * numerics::hurwitz_zeta(z_ - 1.0, q) +
+                           lambda_ * lambda_ * norm_;
+  return numerator / norm_;
+}
+
+double AlgebraicLoad::partial_mean_above(std::int64_t k) const {
+  if (k < 1) return mean();
+  // Σ_{j>k} j(λ+j)^{-z} = ζ(z-1, λ+k+1) - λ·ζ(z, λ+k+1).
+  const double q = lambda_ + static_cast<double>(k) + 1.0;
+  return (numerics::hurwitz_zeta(z_ - 1.0, q) -
+          lambda_ * numerics::hurwitz_zeta(z_, q)) /
+         norm_;
+}
+
+double AlgebraicLoad::pmf_continuous(double k) const {
+  if (k < 1.0) return 0.0;
+  return std::pow(lambda_ + k, -z_) / norm_;
+}
+
+std::string AlgebraicLoad::name() const {
+  return "Algebraic(z=" + std::to_string(z_) +
+         ", lambda=" + std::to_string(lambda_) + ")";
+}
+
+}  // namespace bevr::dist

@@ -1,0 +1,43 @@
+// Algebraic (heavy-tailed) load distribution,
+//   P(k) = (λ + k)^{-z} / ζ(z, λ+1),  k = 1, 2, ...   (paper §3.1)
+// The shift λ tunes the mean while holding the asymptotic power law z
+// fixed — exactly the two-parameter form the paper motivates. Models
+// self-similar / long-range-dependent load (paper refs [1,5,9,11]).
+//
+// Moments: the mean requires z > 2, the second moment z > 3; the paper
+// explores z → 2⁺ where reservations' advantage is largest.
+#pragma once
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+class AlgebraicLoad final : public DiscreteLoad {
+ public:
+  /// z > 2 (finite mean), λ ≥ 0.
+  AlgebraicLoad(double z, double lambda);
+
+  /// Construct with power z and a target mean by solving for λ.
+  /// Requires mean ≥ the λ=0 mean ζ(z-1,1... i.e. the minimum attainable.
+  [[nodiscard]] static AlgebraicLoad with_mean(double z, double mean);
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override { return 1; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double z() const { return z_; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double z_;
+  double lambda_;
+  double norm_;  ///< ζ(z, λ+1)
+};
+
+}  // namespace bevr::dist

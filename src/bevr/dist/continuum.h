@@ -1,0 +1,35 @@
+// Continuum load densities for the analytically tractable model
+// (paper §3.2): the load level k varies continuously on [0, ∞) (or
+// [1, ∞) for the Pareto form). Closed-form partial moments are exposed
+// so the continuum model's B, R, δ, Δ can be written exactly and then
+// cross-validated against quadrature.
+#pragma once
+
+#include <string>
+
+namespace bevr::dist {
+
+/// Interface for a continuous probability density over load levels.
+class ContinuumLoad {
+ public:
+  virtual ~ContinuumLoad() = default;
+
+  /// Density p(k); zero below min_support().
+  [[nodiscard]] virtual double density(double k) const = 0;
+
+  /// ∫_k^∞ p(x) dx.
+  [[nodiscard]] virtual double tail_above(double k) const = 0;
+
+  /// ∫_{min}^{k} x·p(x) dx — the mass of flows at load levels up to k.
+  [[nodiscard]] virtual double partial_mean_below(double k) const = 0;
+
+  /// E[K].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Lower edge of the support.
+  [[nodiscard]] virtual double min_support() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace bevr::dist

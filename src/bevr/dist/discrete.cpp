@@ -1,0 +1,37 @@
+#include "bevr/dist/discrete.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bevr::dist {
+
+double DiscreteLoad::cdf(std::int64_t k) const {
+  return std::clamp(1.0 - tail_above(k), 0.0, 1.0);
+}
+
+std::int64_t DiscreteLoad::truncation_point(double eps) const {
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("truncation_point: eps must be in (0, 1)");
+  }
+  // Exponential search for an upper bound, then binary search for the
+  // smallest k with tail_above(k) <= eps.
+  std::int64_t lo = min_support();
+  std::int64_t hi = lo + 1;
+  constexpr std::int64_t kHardCap = 1LL << 46;
+  while (tail_above(hi) > eps) {
+    lo = hi;
+    hi *= 2;
+    if (hi > kHardCap) return kHardCap;  // give up: astronomically heavy tail
+  }
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (tail_above(mid) > eps) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace bevr::dist

@@ -1,0 +1,58 @@
+// Discrete load distributions P(k) — the probability that k flows
+// request service on the link (paper §3.1). All three paper families
+// (Poisson, exponential, algebraic) implement this interface, as do the
+// derived flow-perspective distributions used by the §5 extensions.
+//
+// Accuracy contract: pmf/tail_above/partial_mean_above are closed-form
+// (or stably summed) so that model sums can truncate with exact tails:
+//   R(C) = Σ_{k ≤ k_max} P(k)·k·π(C/k) + k_max·π(C/k_max)·tail_above(k_max).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bevr::dist {
+
+/// Interface for a discrete probability distribution over load levels
+/// k = min_support(), min_support()+1, ...
+class DiscreteLoad {
+ public:
+  virtual ~DiscreteLoad() = default;
+
+  /// P[K = k]; zero below min_support().
+  [[nodiscard]] virtual double pmf(std::int64_t k) const = 0;
+
+  /// P[K > k], closed-form/stable (not 1 - Σ pmf).
+  [[nodiscard]] virtual double tail_above(std::int64_t k) const = 0;
+
+  /// P[K ≤ k]. The default complements tail_above(); distributions
+  /// override it with a cancellation-free form (1 − tail loses all
+  /// precision deep in the lower tail, where cdf ≪ 1).
+  [[nodiscard]] virtual double cdf(std::int64_t k) const;
+
+  /// E[K]; the paper fixes this to k̄ = 100 in all numerical work.
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// E[K²]; may be +infinity (algebraic loads with z ≤ 3).
+  [[nodiscard]] virtual double second_moment() const = 0;
+
+  /// Σ_{j > k} j·P(j); drives size-biased tails and truncated sums.
+  [[nodiscard]] virtual double partial_mean_above(std::int64_t k) const = 0;
+
+  /// Smooth real-argument extension of the pmf (e.g. Γ in place of the
+  /// factorial). Model sums over very heavy tails switch from direct
+  /// summation to an Euler–Maclaurin integral of this extension.
+  [[nodiscard]] virtual double pmf_continuous(double k) const = 0;
+
+  /// Smallest k with positive probability.
+  [[nodiscard]] virtual std::int64_t min_support() const = 0;
+
+  /// Smallest k with tail_above(k) ≤ eps; model sums truncate here.
+  [[nodiscard]] virtual std::int64_t truncation_point(double eps) const;
+
+  /// Human-readable identification for logs/benches.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace bevr::dist

@@ -1,0 +1,67 @@
+#include "bevr/dist/exponential.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::dist {
+
+ExponentialLoad::ExponentialLoad(double beta)
+    : beta_(beta), q_(std::exp(-beta)) {
+  if (!(beta > 0.0) || !std::isfinite(beta)) {
+    throw std::invalid_argument("ExponentialLoad: beta must be positive");
+  }
+}
+
+ExponentialLoad ExponentialLoad::with_mean(double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("ExponentialLoad::with_mean: mean must be > 0");
+  }
+  return ExponentialLoad(std::log1p(1.0 / mean));
+}
+
+double ExponentialLoad::pmf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  return -std::expm1(-beta_) * std::exp(-beta_ * static_cast<double>(k));
+}
+
+double ExponentialLoad::tail_above(std::int64_t k) const {
+  if (k < 0) return 1.0;
+  // Σ_{j>k} (1-q)q^j = q^{k+1}.
+  return std::exp(-beta_ * static_cast<double>(k + 1));
+}
+
+double ExponentialLoad::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  // 1 − q^{k+1} computed without cancellation.
+  return -std::expm1(-beta_ * static_cast<double>(k + 1));
+}
+
+double ExponentialLoad::mean() const {
+  // q/(1-q) = 1/(e^β - 1).
+  return 1.0 / std::expm1(beta_);
+}
+
+double ExponentialLoad::second_moment() const {
+  // E[K²] = q(1+q)/(1-q)² for a geometric on {0,1,...}.
+  const double one_minus_q = -std::expm1(-beta_);
+  return q_ * (1.0 + q_) / (one_minus_q * one_minus_q);
+}
+
+double ExponentialLoad::partial_mean_above(std::int64_t k) const {
+  // Σ_{j>k} j(1-q)q^j = q^{k+1}·((k+1) - k·q)/(1-q).
+  if (k < 0) return mean();
+  const double kd = static_cast<double>(k);
+  const double one_minus_q = -std::expm1(-beta_);
+  return std::pow(q_, kd + 1.0) * ((kd + 1.0) - kd * q_) / one_minus_q;
+}
+
+double ExponentialLoad::pmf_continuous(double k) const {
+  if (k < 0.0) return 0.0;
+  return -std::expm1(-beta_) * std::exp(-beta_ * k);
+}
+
+std::string ExponentialLoad::name() const {
+  return "Exponential(beta=" + std::to_string(beta_) + ")";
+}
+
+}  // namespace bevr::dist

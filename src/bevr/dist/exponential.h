@@ -1,0 +1,36 @@
+// Exponential (geometric) load distribution,
+//   P(k) = (1 - e^{-β}) e^{-βk},  k = 0, 1, 2, ...   (paper §3.1)
+// with mean k̄ = 1/(e^β - 1). Models load that "decays over the whole
+// range at an exponential rate" rather than peaking near the mean.
+#pragma once
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+class ExponentialLoad final : public DiscreteLoad {
+ public:
+  /// β > 0 is the decay rate of the geometric tail.
+  explicit ExponentialLoad(double beta);
+
+  /// Construct with a target mean: β = ln(1 + 1/mean).
+  [[nodiscard]] static ExponentialLoad with_mean(double mean);
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override { return 0; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double beta_;
+  double q_;  ///< e^{-β}, the geometric ratio
+};
+
+}  // namespace bevr::dist

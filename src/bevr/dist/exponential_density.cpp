@@ -1,0 +1,42 @@
+#include "bevr/dist/exponential_density.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::dist {
+
+ExponentialDensity::ExponentialDensity(double beta) : beta_(beta) {
+  if (!(beta > 0.0) || !std::isfinite(beta)) {
+    throw std::invalid_argument("ExponentialDensity: beta must be positive");
+  }
+}
+
+ExponentialDensity ExponentialDensity::with_mean(double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("ExponentialDensity::with_mean: mean must be > 0");
+  }
+  return ExponentialDensity(1.0 / mean);
+}
+
+double ExponentialDensity::density(double k) const {
+  if (k < 0.0) return 0.0;
+  return beta_ * std::exp(-beta_ * k);
+}
+
+double ExponentialDensity::tail_above(double k) const {
+  if (k <= 0.0) return 1.0;
+  return std::exp(-beta_ * k);
+}
+
+double ExponentialDensity::partial_mean_below(double k) const {
+  if (k <= 0.0) return 0.0;
+  // ∫_0^k xβe^{-βx} dx = (1/β)(1 - e^{-βk}(1 + βk)).
+  const double bk = beta_ * k;
+  return (1.0 - std::exp(-bk) * (1.0 + bk)) / beta_;
+}
+
+std::string ExponentialDensity::name() const {
+  return "ExponentialDensity(beta=" + std::to_string(beta_) + ")";
+}
+
+}  // namespace bevr::dist

@@ -1,0 +1,28 @@
+// Continuum exponential load: p(k) = β e^{-βk} on [0, ∞), mean 1/β.
+#pragma once
+
+#include "bevr/dist/continuum.h"
+
+namespace bevr::dist {
+
+class ExponentialDensity final : public ContinuumLoad {
+ public:
+  explicit ExponentialDensity(double beta);
+
+  /// β = 1/mean.
+  [[nodiscard]] static ExponentialDensity with_mean(double mean);
+
+  [[nodiscard]] double density(double k) const override;
+  [[nodiscard]] double tail_above(double k) const override;
+  [[nodiscard]] double partial_mean_below(double k) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / beta_; }
+  [[nodiscard]] double min_support() const override { return 0.0; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+}  // namespace bevr::dist

@@ -1,0 +1,103 @@
+#include "bevr/dist/mixture_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace bevr::dist {
+
+MixtureLoad::MixtureLoad(std::vector<LoadRegime> regimes)
+    : regimes_(std::move(regimes)) {
+  if (regimes_.empty()) {
+    throw std::invalid_argument("MixtureLoad: needs >= 1 regime");
+  }
+  double weight_sum = 0.0;
+  for (const auto& regime : regimes_) {
+    if (!regime.load) throw std::invalid_argument("MixtureLoad: null regime");
+    if (!(regime.weight > 0.0)) {
+      throw std::invalid_argument("MixtureLoad: weights must be positive");
+    }
+    weight_sum += regime.weight;
+  }
+  for (auto& regime : regimes_) regime.weight /= weight_sum;
+}
+
+double MixtureLoad::pmf(std::int64_t k) const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->pmf(k);
+  }
+  return total;
+}
+
+double MixtureLoad::tail_above(std::int64_t k) const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->tail_above(k);
+  }
+  return total;
+}
+
+double MixtureLoad::cdf(std::int64_t k) const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->cdf(k);
+  }
+  return std::min(1.0, total);
+}
+
+double MixtureLoad::mean() const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->mean();
+  }
+  return total;
+}
+
+double MixtureLoad::second_moment() const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    const double m2 = regime.load->second_moment();
+    if (!std::isfinite(m2)) return std::numeric_limits<double>::infinity();
+    total += regime.weight * m2;
+  }
+  return total;
+}
+
+double MixtureLoad::partial_mean_above(std::int64_t k) const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->partial_mean_above(k);
+  }
+  return total;
+}
+
+double MixtureLoad::pmf_continuous(double k) const {
+  double total = 0.0;
+  for (const auto& regime : regimes_) {
+    total += regime.weight * regime.load->pmf_continuous(k);
+  }
+  return total;
+}
+
+std::int64_t MixtureLoad::min_support() const {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  for (const auto& regime : regimes_) {
+    lo = std::min(lo, regime.load->min_support());
+  }
+  return lo;
+}
+
+std::string MixtureLoad::name() const {
+  std::string name = "Mixture[";
+  for (std::size_t i = 0; i < regimes_.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += std::to_string(regimes_[i].weight) + "x" +
+            regimes_[i].load->name();
+  }
+  return name + "]";
+}
+
+}  // namespace bevr::dist

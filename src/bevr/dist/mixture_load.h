@@ -1,0 +1,50 @@
+// Nonstationary loads (paper §5, "nonstationary loads — where the
+// probability distribution is not fixed").
+//
+// Diurnal or regime-switching traffic is modelled as a mixture over
+// regimes: with probability wⱼ the link lives in regime j with load
+// distribution Pⱼ(k). Since the paper's quantities are expectations
+// over the stationary law, the mixture is itself a DiscreteLoad —
+// P(k) = Σⱼ wⱼ Pⱼ(k) — and the whole model stack applies unchanged.
+// The asymptotics are governed by the heaviest-tailed regime, which is
+// exactly why the paper reports this extension "did not change the
+// basic nature of the asymptotic results" (verified in tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+/// One regime of a MixtureLoad.
+struct LoadRegime {
+  std::shared_ptr<const DiscreteLoad> load;
+  double weight = 1.0;  ///< time fraction (normalised on build)
+};
+
+class MixtureLoad final : public DiscreteLoad {
+ public:
+  /// Requires ≥ 1 regime; weights are normalised to sum to 1.
+  explicit MixtureLoad(std::vector<LoadRegime> regimes);
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<LoadRegime>& regimes() const {
+    return regimes_;
+  }
+
+ private:
+  std::vector<LoadRegime> regimes_;
+};
+
+}  // namespace bevr::dist

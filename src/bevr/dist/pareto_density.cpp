@@ -1,0 +1,34 @@
+#include "bevr/dist/pareto_density.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::dist {
+
+ParetoDensity::ParetoDensity(double z) : z_(z) {
+  if (!(z > 2.0)) {
+    throw std::invalid_argument("ParetoDensity: z must exceed 2 (finite mean)");
+  }
+}
+
+double ParetoDensity::density(double k) const {
+  if (k < 1.0) return 0.0;
+  return (z_ - 1.0) * std::pow(k, -z_);
+}
+
+double ParetoDensity::tail_above(double k) const {
+  if (k <= 1.0) return 1.0;
+  return std::pow(k, 1.0 - z_);
+}
+
+double ParetoDensity::partial_mean_below(double k) const {
+  if (k <= 1.0) return 0.0;
+  // ∫_1^k x (z-1) x^{-z} dx = (z-1)/(z-2) (1 - k^{2-z}).
+  return mean() * (1.0 - std::pow(k, 2.0 - z_));
+}
+
+std::string ParetoDensity::name() const {
+  return "ParetoDensity(z=" + std::to_string(z_) + ")";
+}
+
+}  // namespace bevr::dist

@@ -1,0 +1,28 @@
+// Continuum algebraic (Pareto) load: p(k) = (z-1) k^{-z} on [1, ∞),
+// mean (z-1)/(z-2) for z > 2 (paper §3.2). The paper's strongest
+// reservations-favouring results live here, in the z → 2⁺ limit.
+#pragma once
+
+#include "bevr/dist/continuum.h"
+
+namespace bevr::dist {
+
+class ParetoDensity final : public ContinuumLoad {
+ public:
+  /// Requires z > 2 so the mean is finite.
+  explicit ParetoDensity(double z);
+
+  [[nodiscard]] double density(double k) const override;
+  [[nodiscard]] double tail_above(double k) const override;
+  [[nodiscard]] double partial_mean_below(double k) const override;
+  [[nodiscard]] double mean() const override { return (z_ - 1.0) / (z_ - 2.0); }
+  [[nodiscard]] double min_support() const override { return 1.0; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double z() const { return z_; }
+
+ private:
+  double z_;
+};
+
+}  // namespace bevr::dist

@@ -1,0 +1,58 @@
+#include "bevr/dist/poisson.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bevr/numerics/kahan.h"
+
+#include "bevr/numerics/special.h"
+
+namespace bevr::dist {
+
+PoissonLoad::PoissonLoad(double nu) : nu_(nu) {
+  if (!(nu > 0.0) || !std::isfinite(nu)) {
+    throw std::invalid_argument("PoissonLoad: nu must be positive and finite");
+  }
+}
+
+double PoissonLoad::pmf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  return numerics::poisson_pmf(k, nu_);
+}
+
+double PoissonLoad::tail_above(std::int64_t k) const {
+  return numerics::poisson_tail_above(k, nu_);
+}
+
+double PoissonLoad::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  // Below the mean, sum the pmf upward (cancellation-free); above it,
+  // complement the stably-summed tail.
+  if (static_cast<double>(k) < nu_) {
+    numerics::KahanSum sum;
+    double term = numerics::poisson_pmf(0, nu_);
+    for (std::int64_t j = 0; j <= k; ++j) {
+      sum.add(term);
+      term *= nu_ / static_cast<double>(j + 1);
+    }
+    return std::min(1.0, sum.value());
+  }
+  return std::clamp(1.0 - tail_above(k), 0.0, 1.0);
+}
+
+double PoissonLoad::partial_mean_above(std::int64_t k) const {
+  // Σ_{j>k} j·e^{-ν}ν^j/j! = ν·Σ_{j>k} e^{-ν}ν^{j-1}/(j-1)! = ν·P[K > k-1].
+  return nu_ * tail_above(k - 1);
+}
+
+double PoissonLoad::pmf_continuous(double k) const {
+  if (k < 0.0) return 0.0;
+  return std::exp(k * std::log(nu_) - nu_ - std::lgamma(k + 1.0));
+}
+
+std::string PoissonLoad::name() const {
+  return "Poisson(nu=" + std::to_string(nu_) + ")";
+}
+
+}  // namespace bevr::dist

@@ -1,0 +1,41 @@
+// Poisson load distribution, P(k) = e^{-ν} ν^k / k!  (paper §3.1).
+//
+// Models tightly controlled load: "excursions to large (or small)
+// loads are extremely rare" — the stationary occupancy of an M/M/∞
+// system with offered load ν (which bevr::sim verifies empirically).
+#pragma once
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+class PoissonLoad final : public DiscreteLoad {
+ public:
+  /// ν > 0 is both the mean and the variance.
+  explicit PoissonLoad(double nu);
+
+  /// Mean-parameterised construction (ν = mean), used by the retry
+  /// extension which inflates the offered load.
+  [[nodiscard]] static PoissonLoad with_mean(double mean) {
+    return PoissonLoad(mean);
+  }
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override { return nu_; }
+  [[nodiscard]] double second_moment() const override {
+    return nu_ * (nu_ + 1.0);
+  }
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override { return 0; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double nu() const { return nu_; }
+
+ private:
+  double nu_;
+};
+
+}  // namespace bevr::dist

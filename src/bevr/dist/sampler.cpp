@@ -1,0 +1,47 @@
+#include "bevr/dist/sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bevr/numerics/kahan.h"
+
+namespace bevr::dist {
+
+DiscreteSampler::DiscreteSampler(const DiscreteLoad& load, double tail_eps)
+    : load_(load), first_(load.min_support()) {
+  if (!(tail_eps > 0.0) || tail_eps >= 1.0) {
+    throw std::invalid_argument("DiscreteSampler: tail_eps must be in (0, 1)");
+  }
+  const std::int64_t last = load.truncation_point(tail_eps);
+  const std::int64_t count = last - first_ + 1;
+  if (count <= 0 || count > (1LL << 28)) {
+    throw std::invalid_argument("DiscreteSampler: unreasonable table size");
+  }
+  cdf_.reserve(static_cast<std::size_t>(count));
+  numerics::KahanSum acc;
+  for (std::int64_t k = first_; k <= last; ++k) {
+    acc.add(load.pmf(k));
+    cdf_.push_back(std::min(1.0, acc.value()));
+  }
+}
+
+std::int64_t DiscreteSampler::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it != cdf_.end()) {
+    return first_ + static_cast<std::int64_t>(it - cdf_.begin());
+  }
+  // Tail fallback: walk the pmf beyond the table.
+  std::int64_t k = first_ + static_cast<std::int64_t>(cdf_.size());
+  double mass = cdf_.back();
+  while (mass < u) {
+    const double p = load_.pmf(k);
+    mass += p;
+    if (mass >= u || p <= 0.0) break;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace bevr::dist

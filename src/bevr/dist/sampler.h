@@ -1,0 +1,34 @@
+// Random sampling from any DiscreteLoad via inversion on a cached CDF
+// table. Used by the flow-level simulator (bevr::sim) to draw static
+// load configurations and by tests to verify distribution identities.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+/// Inversion sampler with a precomputed CDF table covering all but
+/// `tail_eps` of the mass; draws landing in the residual tail fall back
+/// to a pmf walk beyond the table.
+class DiscreteSampler {
+ public:
+  /// Builds the CDF cache up to the (1 - tail_eps) quantile.
+  explicit DiscreteSampler(const DiscreteLoad& load, double tail_eps = 1e-12);
+
+  /// Draw one load level.
+  [[nodiscard]] std::int64_t sample(std::mt19937_64& rng) const;
+
+  /// Number of cached CDF entries (exposed for tests).
+  [[nodiscard]] std::size_t table_size() const { return cdf_.size(); }
+
+ private:
+  const DiscreteLoad& load_;
+  std::int64_t first_;               ///< k value of cdf_[0]
+  std::vector<double> cdf_;          ///< cdf_[i] = P[K <= first_ + i]
+};
+
+}  // namespace bevr::dist

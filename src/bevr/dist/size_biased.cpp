@@ -1,0 +1,164 @@
+#include "bevr/dist/size_biased.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "bevr/numerics/kahan.h"
+#include "bevr/numerics/series.h"
+
+namespace bevr::dist {
+
+SizeBiasedLoad::SizeBiasedLoad(std::shared_ptr<const DiscreteLoad> base)
+    : base_(std::move(base)) {
+  if (!base_) throw std::invalid_argument("SizeBiasedLoad: null base");
+  base_mean_ = base_->mean();
+  if (!(base_mean_ > 0.0) || !std::isfinite(base_mean_)) {
+    throw std::invalid_argument("SizeBiasedLoad: base mean must be finite/positive");
+  }
+}
+
+double SizeBiasedLoad::pmf(std::int64_t k) const {
+  if (k < 1) return 0.0;  // the k=0 configuration carries no flows
+  return base_->pmf(k) * static_cast<double>(k) / base_mean_;
+}
+
+double SizeBiasedLoad::tail_above(std::int64_t k) const {
+  return base_->partial_mean_above(k) / base_mean_;
+}
+
+double SizeBiasedLoad::cdf(std::int64_t k) const {
+  if (k < min_support()) return 0.0;
+  // Direct head sum for small k (cancellation-free); tail complement
+  // beyond a threshold.
+  constexpr std::int64_t kDirectCdfTerms = 65'536;
+  if (k - min_support() <= kDirectCdfTerms) {
+    numerics::KahanSum sum;
+    for (std::int64_t j = min_support(); j <= k; ++j) sum.add(pmf(j));
+    return std::min(1.0, sum.value());
+  }
+  return std::clamp(1.0 - tail_above(k), 0.0, 1.0);
+}
+
+double SizeBiasedLoad::mean() const {
+  const double m2 = base_->second_moment();
+  return m2 / base_mean_;  // may be +inf for heavy-tailed bases
+}
+
+double SizeBiasedLoad::second_moment() const {
+  // E_Q[K²] = E_P[K³]/k̄; evaluated numerically (may diverge -> +inf).
+  const auto sum = numerics::sum_until_negligible(
+      [this](std::int64_t k) {
+        const double kd = static_cast<double>(k);
+        return base_->pmf(k) * kd * kd * kd / base_mean_;
+      },
+      std::max<std::int64_t>(1, base_->min_support()),
+      {.rel_tol = 1e-12, .abs_tol = 1e-300, .consecutive_small = 32,
+       .max_terms = 10'000'000});
+  return sum.converged ? sum.value : std::numeric_limits<double>::infinity();
+}
+
+double SizeBiasedLoad::partial_mean_above(std::int64_t k) const {
+  // Σ_{j>k} j·Q(j) = Σ_{j>k} j²·P(j)/k̄; numeric, with exact-tail guard.
+  const auto sum = numerics::sum_until_negligible(
+      [this, k](std::int64_t i) {
+        const std::int64_t j = k + 1 + i;
+        const double jd = static_cast<double>(j);
+        return base_->pmf(j) * jd * jd / base_mean_;
+      },
+      0,
+      {.rel_tol = 1e-12, .abs_tol = 1e-300, .consecutive_small = 32,
+       .max_terms = 10'000'000});
+  return sum.converged ? sum.value : std::numeric_limits<double>::infinity();
+}
+
+double SizeBiasedLoad::pmf_continuous(double k) const {
+  if (k <= 0.0) return 0.0;
+  return base_->pmf_continuous(k) * k / base_mean_;
+}
+
+std::int64_t SizeBiasedLoad::min_support() const {
+  return std::max<std::int64_t>(1, base_->min_support());
+}
+
+std::string SizeBiasedLoad::name() const {
+  return "SizeBiased[" + base_->name() + "]";
+}
+
+MaxOfSLoad::MaxOfSLoad(std::shared_ptr<const DiscreteLoad> base, int samples)
+    : base_(std::move(base)), samples_(samples) {
+  if (!base_) throw std::invalid_argument("MaxOfSLoad: null base");
+  if (samples < 1) throw std::invalid_argument("MaxOfSLoad: samples must be >= 1");
+}
+
+double MaxOfSLoad::pmf(std::int64_t k) const {
+  if (k < base_->min_support()) return 0.0;
+  const double fk = base_->cdf(k);
+  const double fk1 = base_->cdf(k - 1);
+  return std::pow(fk, samples_) - std::pow(fk1, samples_);
+}
+
+double MaxOfSLoad::tail_above(std::int64_t k) const {
+  // P[max > k] = 1 - F(k)^S.
+  const double fk = base_->cdf(k);
+  if (fk <= 0.0) return 1.0;
+  if (samples_ == 1) return 1.0 - fk;
+  return -std::expm1(static_cast<double>(samples_) * std::log(fk));
+}
+
+double MaxOfSLoad::cdf(std::int64_t k) const {
+  return std::pow(base_->cdf(k), static_cast<double>(samples_));
+}
+
+double MaxOfSLoad::mean() const {
+  // E[M] = Σ_{k≥0} P[M > k].
+  const auto sum = numerics::sum_until_negligible(
+      [this](std::int64_t k) { return tail_above(k); }, 0,
+      {.rel_tol = 1e-12, .abs_tol = 1e-300, .consecutive_small = 32,
+       .max_terms = 10'000'000});
+  return sum.converged ? sum.value : std::numeric_limits<double>::infinity();
+}
+
+double MaxOfSLoad::second_moment() const {
+  // E[M²] = Σ_{k≥0} (2k+1)·P[M > k].
+  const auto sum = numerics::sum_until_negligible(
+      [this](std::int64_t k) {
+        return (2.0 * static_cast<double>(k) + 1.0) * tail_above(k);
+      },
+      0,
+      {.rel_tol = 1e-12, .abs_tol = 1e-300, .consecutive_small = 32,
+       .max_terms = 10'000'000});
+  return sum.converged ? sum.value : std::numeric_limits<double>::infinity();
+}
+
+double MaxOfSLoad::partial_mean_above(std::int64_t k) const {
+  const auto sum = numerics::sum_until_negligible(
+      [this, k](std::int64_t i) {
+        const std::int64_t j = k + 1 + i;
+        return pmf(j) * static_cast<double>(j);
+      },
+      0,
+      {.rel_tol = 1e-12, .abs_tol = 1e-300, .consecutive_small = 32,
+       .max_terms = 10'000'000});
+  return sum.converged ? sum.value : std::numeric_limits<double>::infinity();
+}
+
+double MaxOfSLoad::pmf_continuous(double k) const {
+  // f_M(x) ≈ S·F(⌊x⌋)^{S-1}·f(x): exact in the S=1 case and
+  // asymptotically exact in the tail, where F ≈ 1. Used only to
+  // accelerate far-tail sums, never near the body.
+  const double f = base_->cdf(static_cast<std::int64_t>(std::floor(k)));
+  return static_cast<double>(samples_) *
+         std::pow(f, static_cast<double>(samples_ - 1)) *
+         base_->pmf_continuous(k);
+}
+
+std::int64_t MaxOfSLoad::min_support() const { return base_->min_support(); }
+
+std::string MaxOfSLoad::name() const {
+  return "MaxOf" + std::to_string(samples_) + "[" + base_->name() + "]";
+}
+
+}  // namespace bevr::dist

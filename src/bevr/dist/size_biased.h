@@ -1,0 +1,64 @@
+// Flow-perspective (size-biased) load distributions for the §5
+// extensions.
+//
+// When we follow a *flow* rather than a random instant, the load level
+// it observes is size-biased: Q(k) = P(k)·k / k̄ (a flow is k times more
+// likely to belong to a level-k configuration). The sampling extension
+// (§5.1) additionally needs the distribution of the maximum of S
+// independent draws from Q: Q_S(k) = F_Q(k)^S − F_Q(k−1)^S.
+#pragma once
+
+#include <memory>
+
+#include "bevr/dist/discrete.h"
+
+namespace bevr::dist {
+
+/// Q(k) = P(k)·k / k̄ over the base distribution's support.
+/// The mean of Q is E[K²]/k̄ and may be +infinity for heavy tails
+/// (algebraic z ≤ 3); callers in the sampling model never need it.
+class SizeBiasedLoad final : public DiscreteLoad {
+ public:
+  /// Keeps a shared reference to the base distribution.
+  explicit SizeBiasedLoad(std::shared_ptr<const DiscreteLoad> base);
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const DiscreteLoad& base() const { return *base_; }
+
+ private:
+  std::shared_ptr<const DiscreteLoad> base_;
+  double base_mean_;
+};
+
+/// Distribution of max(K₁,…,K_S) with Kᵢ i.i.d. from `base`.
+class MaxOfSLoad final : public DiscreteLoad {
+ public:
+  MaxOfSLoad(std::shared_ptr<const DiscreteLoad> base, int samples);
+
+  [[nodiscard]] double pmf(std::int64_t k) const override;
+  [[nodiscard]] double tail_above(std::int64_t k) const override;
+  [[nodiscard]] double cdf(std::int64_t k) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double second_moment() const override;
+  [[nodiscard]] double partial_mean_above(std::int64_t k) const override;
+  [[nodiscard]] double pmf_continuous(double k) const override;
+  [[nodiscard]] std::int64_t min_support() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int samples() const { return samples_; }
+
+ private:
+  std::shared_ptr<const DiscreteLoad> base_;
+  int samples_;
+};
+
+}  // namespace bevr::dist

@@ -1,0 +1,94 @@
+// Admission control algorithms (the "network exercises control" half
+// of the integrated-services architecture, paper §1).
+//
+// Two families from the literature the paper draws on:
+//  * parameter-based — admit iff declared reservations fit within a
+//    utilisation bound of capacity (guaranteed service, RFC 2212);
+//  * measurement-based — admit against a measured load estimate rather
+//    than declared sums (controlled-load style; Jamin et al., ref [8]),
+//    trading occasional overload for utilisation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bevr/net/flowspec.h"
+
+namespace bevr::net {
+
+/// Per-link state visible to an admission decision.
+struct LinkAdmissionState {
+  double capacity = 0.0;        ///< link capacity
+  double reserved_sum = 0.0;    ///< Σ admitted reservation rates
+  double measured_load = 0.0;   ///< current load estimate (see below)
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  /// Decide whether the request fits on a link in the given state.
+  [[nodiscard]] virtual bool admit(const LinkAdmissionState& link,
+                                   const FlowSpec& request) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Parameter-based: Σ reserved + R ≤ η·C.
+class ParameterBasedAdmission final : public AdmissionController {
+ public:
+  explicit ParameterBasedAdmission(double utilization_bound = 1.0);
+
+  [[nodiscard]] bool admit(const LinkAdmissionState& link,
+                           const FlowSpec& request) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double utilization_bound() const { return bound_; }
+
+ private:
+  double bound_;
+};
+
+/// Measurement-based: measured load + R ≤ η·C. The caller maintains
+/// `measured_load` (see LoadEstimator).
+class MeasurementBasedAdmission final : public AdmissionController {
+ public:
+  explicit MeasurementBasedAdmission(double utilization_bound = 0.9);
+
+  [[nodiscard]] bool admit(const LinkAdmissionState& link,
+                           const FlowSpec& request) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double utilization_bound() const { return bound_; }
+
+ private:
+  double bound_;
+};
+
+/// Time-decaying exponential load estimator with measurement-window
+/// maxima, in the spirit of the Jamin et al. algorithm: the estimate
+/// is the max of per-window averages, aged toward the current average.
+class LoadEstimator {
+ public:
+  /// `window`: measurement window length; `decay`: weight of the past
+  /// estimate when a new window completes (0 = memoryless).
+  LoadEstimator(double window, double decay);
+
+  /// Record instantaneous load `value` observed at `now`.
+  void observe(double now, double value);
+
+  /// Current estimate.
+  [[nodiscard]] double estimate() const { return estimate_; }
+
+ private:
+  double window_;
+  double decay_;
+  double window_start_ = 0.0;
+  double window_integral_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double estimate_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace bevr::net

@@ -1,0 +1,56 @@
+// Integrated-services flow specifications (paper refs [2,12,13,16,17]).
+//
+// A reservation request carries a TSpec (what the flow will send — a
+// token bucket) and an RSpec (what service it wants — a rate, plus
+// slack). This mirrors RFC 2210/2212/2211 at the granularity the
+// analysis needs.
+#pragma once
+
+#include <stdexcept>
+
+namespace bevr::net {
+
+/// Traffic specification: token-bucket description of the offered load.
+struct TSpec {
+  double bucket_rate = 1.0;    ///< r: sustained rate
+  double bucket_depth = 1.0;   ///< b: burst allowance
+  double peak_rate = 1.0;      ///< p ≥ r
+  double max_packet_size = 1.0;
+
+  void validate() const {
+    if (!(bucket_rate > 0.0) || !(bucket_depth >= 0.0) ||
+        !(peak_rate >= bucket_rate) || !(max_packet_size > 0.0)) {
+      throw std::invalid_argument("TSpec: invalid parameters");
+    }
+  }
+};
+
+/// Service specification: the bandwidth the flow asks the network to
+/// set aside (guaranteed/controlled-load style).
+struct RSpec {
+  double rate = 1.0;   ///< reserved bandwidth R
+  double slack = 0.0;  ///< delay slack (unused by the fluid model)
+
+  void validate() const {
+    if (!(rate > 0.0) || !(slack >= 0.0)) {
+      throw std::invalid_argument("RSpec: invalid parameters");
+    }
+  }
+};
+
+/// A full reservation request.
+struct FlowSpec {
+  TSpec tspec;
+  RSpec rspec;
+
+  void validate() const {
+    tspec.validate();
+    rspec.validate();
+    if (rspec.rate + 1e-12 < tspec.bucket_rate) {
+      throw std::invalid_argument(
+          "FlowSpec: reserved rate below the flow's sustained rate");
+    }
+  }
+};
+
+}  // namespace bevr::net

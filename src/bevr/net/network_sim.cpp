@@ -1,0 +1,157 @@
+#include "bevr/net/network_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "bevr/sim/event_queue.h"
+#include "bevr/sim/metrics.h"
+#include "bevr/sim/rng.h"
+
+namespace bevr::net {
+
+NetworkExperiment::NetworkExperiment(
+    std::shared_ptr<Topology> topology,
+    std::shared_ptr<const AdmissionController> admission,
+    std::vector<TrafficPair> pairs,
+    std::shared_ptr<const utility::UtilityFunction> pi,
+    NetworkExperimentConfig config)
+    : topology_(std::move(topology)),
+      admission_(std::move(admission)),
+      pairs_(std::move(pairs)),
+      pi_(std::move(pi)),
+      config_(config) {
+  if (!topology_) throw std::invalid_argument("NetworkExperiment: null topology");
+  if (!admission_) throw std::invalid_argument("NetworkExperiment: null admission");
+  if (!pi_) throw std::invalid_argument("NetworkExperiment: null utility");
+  if (pairs_.empty()) {
+    throw std::invalid_argument("NetworkExperiment: needs >= 1 traffic pair");
+  }
+  if (!(config_.horizon > config_.warmup) || !(config_.warmup >= 0.0)) {
+    throw std::invalid_argument("NetworkExperiment: horizon > warmup >= 0");
+  }
+  for (const auto& pair : pairs_) {
+    if (!(pair.arrival_rate > 0.0) || !(pair.mean_holding > 0.0) ||
+        !(pair.reserved_rate > 0.0) || !(pair.utilization > 0.0) ||
+        pair.utilization > 1.0) {
+      throw std::invalid_argument("NetworkExperiment: bad traffic pair");
+    }
+    if (!topology_->route(pair.src, pair.dst)) {
+      throw std::invalid_argument("NetworkExperiment: unroutable pair");
+    }
+  }
+}
+
+NetworkReport NetworkExperiment::run() const {
+  sim::EventQueue queue;
+  sim::Rng rng(config_.seed);
+  // Soft state is refreshed implicitly by making the timeout outlive
+  // the run; flows tear down explicitly at departure.
+  RsvpAgent agent(topology_, admission_, /*refresh_timeout=*/
+                  2.0 * config_.horizon + 1.0);
+
+  struct PairState {
+    std::uint64_t attempts = 0;
+    std::uint64_t blocked = 0;
+    sim::RunningStats utility;
+  };
+  std::vector<PairState> state(pairs_.size());
+  double peak_reserved = 0.0;
+  double peak_usage = 0.0;
+
+  // Actual (measured) per-link usage; fed to the agent so measurement-
+  // based admission controllers see real load rather than declarations.
+  std::vector<double> usage(topology_->link_count(), 0.0);
+  // Cache each pair's route once (routes are static).
+  std::vector<std::vector<LinkId>> routes;
+  routes.reserve(pairs_.size());
+  for (const auto& pair : pairs_) routes.push_back(*topology_->route(pair.src, pair.dst));
+
+  auto apply_usage = [&](std::size_t pair_index, double delta) {
+    const double actual =
+        pairs_[pair_index].reserved_rate * pairs_[pair_index].utilization;
+    for (const LinkId lid : routes[pair_index]) {
+      usage[static_cast<std::size_t>(lid)] += delta * actual;
+      agent.set_measured_load(lid,
+                              std::max(0.0, usage[static_cast<std::size_t>(lid)]));
+      peak_usage =
+          std::max(peak_usage, usage[static_cast<std::size_t>(lid)]);
+    }
+  };
+
+  auto track_peak = [this, &agent, &peak_reserved] {
+    for (LinkId lid = 0; lid < static_cast<LinkId>(topology_->link_count());
+         ++lid) {
+      peak_reserved = std::max(peak_reserved, agent.reserved_on_link(lid));
+    }
+  };
+
+  std::function<void(std::size_t)> arrival = [&](std::size_t pair_index) {
+    const TrafficPair& pair = pairs_[pair_index];
+    PairState& pair_state = state[pair_index];
+    const double now = queue.now();
+    const bool scored = now >= config_.warmup;
+    if (scored) ++pair_state.attempts;
+
+    FlowSpec spec;
+    spec.tspec.bucket_rate = pair.reserved_rate;
+    spec.tspec.peak_rate = pair.reserved_rate;
+    spec.tspec.bucket_depth = pair.reserved_rate;
+    spec.rspec.rate = pair.reserved_rate;
+
+    const auto session = agent.open_session(pair.src, pair.dst, now);
+    const auto result = agent.reserve(*session, spec, now);
+    if (result == ResvResult::kCommitted) {
+      track_peak();
+      apply_usage(pair_index, +1.0);
+      if (scored) {
+        // A committed flow holds exactly its reservation for life.
+        pair_state.utility.add(pi_->value(pair.reserved_rate));
+      }
+      const double holding = rng.exponential(pair.mean_holding);
+      const SessionId id = *session;
+      queue.schedule_in(holding, [&agent, &queue, &apply_usage, pair_index,
+                                  id] {
+        agent.teardown(id, queue.now());
+        apply_usage(pair_index, -1.0);
+      });
+    } else {
+      agent.teardown(*session, now);  // drop the path state
+      if (scored) {
+        ++pair_state.blocked;
+        pair_state.utility.add(0.0);
+      }
+    }
+    const double gap = rng.exponential(1.0 / pair.arrival_rate);
+    if (now + gap <= config_.horizon) {
+      queue.schedule_in(gap, [&arrival, pair_index] { arrival(pair_index); });
+    }
+  };
+
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const double first = rng.exponential(1.0 / pairs_[i].arrival_rate);
+    queue.schedule(first, [&arrival, i] { arrival(i); });
+  }
+  while (queue.step()) {
+  }
+
+  NetworkReport report;
+  report.peak_bottleneck_reserved = peak_reserved;
+  report.peak_bottleneck_usage = peak_usage;
+  report.pairs.reserve(state.size());
+  for (const auto& pair_state : state) {
+    PairReport pair_report;
+    pair_report.attempts = pair_state.attempts;
+    pair_report.blocked = pair_state.blocked;
+    pair_report.blocking_probability =
+        pair_state.attempts > 0
+            ? static_cast<double>(pair_state.blocked) /
+                  static_cast<double>(pair_state.attempts)
+            : 0.0;
+    pair_report.mean_utility = pair_state.utility.mean();
+    report.pairs.push_back(pair_report);
+  }
+  return report;
+}
+
+}  // namespace bevr::net

@@ -1,0 +1,125 @@
+#include "bevr/net/packet_link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bevr::net {
+
+namespace {
+
+void check_stream_args(double rate, double packet_size, double start,
+                       double end) {
+  if (!(rate > 0.0) || !(packet_size > 0.0) || !(end > start)) {
+    throw std::invalid_argument("packet stream: bad parameters");
+  }
+}
+
+}  // namespace
+
+std::vector<Packet> cbr_packets(std::uint64_t flow, double rate,
+                                double packet_size, double start, double end) {
+  check_stream_args(rate, packet_size, start, end);
+  std::vector<Packet> packets;
+  const double period = packet_size / rate;
+  for (double t = start; t < end; t += period) {
+    packets.push_back({flow, packet_size, t});
+  }
+  return packets;
+}
+
+std::vector<Packet> token_bucket_burst_packets(std::uint64_t flow,
+                                               double sigma, double rho,
+                                               double packet_size,
+                                               double start, double end) {
+  check_stream_args(rho, packet_size, start, end);
+  if (!(sigma >= 0.0)) {
+    throw std::invalid_argument("token_bucket_burst_packets: sigma >= 0");
+  }
+  std::vector<Packet> packets;
+  // The burst: σ worth of packets all stamped at `start`.
+  const auto burst_count = static_cast<std::int64_t>(sigma / packet_size);
+  for (std::int64_t i = 0; i < burst_count; ++i) {
+    packets.push_back({flow, packet_size, start});
+  }
+  // Then the sustained stream at rate ρ.
+  const double period = packet_size / rho;
+  for (double t = start + period; t < end; t += period) {
+    packets.push_back({flow, packet_size, t});
+  }
+  return packets;
+}
+
+std::vector<Packet> poisson_packets(std::uint64_t flow, double rate,
+                                    double packet_size, double start,
+                                    double end, sim::Rng& rng) {
+  check_stream_args(rate, packet_size, start, end);
+  std::vector<Packet> packets;
+  const double mean_gap = packet_size / rate;
+  for (double t = start + rng.exponential(mean_gap); t < end;
+       t += rng.exponential(mean_gap)) {
+    packets.push_back({flow, packet_size, t});
+  }
+  return packets;
+}
+
+PacketLinkReport simulate_link(double capacity, PacketScheduler& scheduler,
+                               std::vector<Packet> packets) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("simulate_link: capacity must be > 0");
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  struct Accumulator {
+    std::uint64_t packets = 0;
+    double delay_sum = 0.0;
+    double max_delay = 0.0;
+    double volume = 0.0;
+  };
+  std::map<std::uint64_t, Accumulator> accumulators;
+
+  std::size_t next = 0;
+  double clock = 0.0;
+  double first_arrival = packets.empty() ? 0.0 : packets.front().arrival_time;
+  double finish_time = first_arrival;
+  while (next < packets.size() || scheduler.backlogged()) {
+    if (!scheduler.backlogged()) {
+      clock = std::max(clock, packets[next].arrival_time);
+    }
+    // Everything that has arrived by now joins the queue before the
+    // next service decision (non-preemptive).
+    while (next < packets.size() &&
+           packets[next].arrival_time <= clock + 1e-12) {
+      scheduler.enqueue(packets[next]);
+      ++next;
+    }
+    if (!scheduler.backlogged()) continue;
+    const Packet packet = scheduler.dequeue();
+    const double start = std::max(clock, packet.arrival_time);
+    const double done = start + packet.size / capacity;
+    clock = done;
+    finish_time = done;
+    auto& acc = accumulators[packet.flow];
+    const double delay = done - packet.arrival_time;
+    ++acc.packets;
+    acc.delay_sum += delay;
+    acc.max_delay = std::max(acc.max_delay, delay);
+    acc.volume += packet.size;
+  }
+
+  PacketLinkReport report;
+  report.finish_time = finish_time;
+  const double horizon = std::max(1e-12, finish_time - first_arrival);
+  for (const auto& [flow, acc] : accumulators) {
+    FlowDelayStats stats;
+    stats.packets = acc.packets;
+    stats.mean_delay = acc.delay_sum / static_cast<double>(acc.packets);
+    stats.max_delay = acc.max_delay;
+    stats.throughput = acc.volume / horizon;
+    report.flows[flow] = stats;
+  }
+  return report;
+}
+
+}  // namespace bevr::net

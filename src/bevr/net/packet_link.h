@@ -1,0 +1,57 @@
+// Packet-level single-link simulation: traffic generators and a
+// non-preemptive server driving a PacketScheduler. Used to demonstrate
+// the service-quality half of the paper's argument: with WFQ a
+// reserved (token-bucket-conformant) flow keeps its delay bound no
+// matter what best-effort traffic does, while under FIFO its delay is
+// hostage to everyone else's bursts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bevr/net/packet_sched.h"
+#include "bevr/sim/rng.h"
+
+namespace bevr::net {
+
+/// Constant-bit-rate packets of the given size at the given rate over
+/// [start, end).
+[[nodiscard]] std::vector<Packet> cbr_packets(std::uint64_t flow, double rate,
+                                              double packet_size,
+                                              double start, double end);
+
+/// Worst-case (σ, ρ) token-bucket-conformant arrivals: a back-to-back
+/// burst of σ at `start`, then a steady stream at rate ρ.
+[[nodiscard]] std::vector<Packet> token_bucket_burst_packets(
+    std::uint64_t flow, double sigma, double rho, double packet_size,
+    double start, double end);
+
+/// Poisson packet arrivals at the given rate.
+[[nodiscard]] std::vector<Packet> poisson_packets(std::uint64_t flow,
+                                                  double rate,
+                                                  double packet_size,
+                                                  double start, double end,
+                                                  sim::Rng& rng);
+
+/// Per-flow outcome of a link run.
+struct FlowDelayStats {
+  std::uint64_t packets = 0;
+  double mean_delay = 0.0;   ///< arrival → transmission-complete
+  double max_delay = 0.0;
+  double throughput = 0.0;   ///< delivered volume / busy horizon
+};
+
+struct PacketLinkReport {
+  std::map<std::uint64_t, FlowDelayStats> flows;
+  double finish_time = 0.0;  ///< when the last packet left
+};
+
+/// Run every packet through `scheduler` over a link of rate `capacity`
+/// (non-preemptive, work-conserving). Packets may be supplied in any
+/// order; they are sorted by arrival time.
+[[nodiscard]] PacketLinkReport simulate_link(double capacity,
+                                             PacketScheduler& scheduler,
+                                             std::vector<Packet> packets);
+
+}  // namespace bevr::net

@@ -1,0 +1,90 @@
+#include "bevr/net/packet_sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bevr::net {
+
+void FifoScheduler::enqueue(const Packet& packet) {
+  if (!(packet.size > 0.0)) {
+    throw std::invalid_argument("FifoScheduler: packet size must be > 0");
+  }
+  queue_.push(packet);
+}
+
+Packet FifoScheduler::dequeue() {
+  if (queue_.empty()) throw std::logic_error("FifoScheduler: empty dequeue");
+  Packet packet = queue_.front();
+  queue_.pop();
+  return packet;
+}
+
+WfqScheduler::WfqScheduler(double capacity) : capacity_(capacity) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("WfqScheduler: capacity must be > 0");
+  }
+}
+
+void WfqScheduler::add_flow(std::uint64_t flow, double weight) {
+  if (!(weight > 0.0)) {
+    throw std::invalid_argument("WfqScheduler: weight must be > 0");
+  }
+  if (!flows_.emplace(flow, FlowState{weight, 0.0, 0}).second) {
+    throw std::invalid_argument("WfqScheduler: duplicate flow");
+  }
+}
+
+void WfqScheduler::advance_virtual_time(double now) {
+  if (now < last_event_time_) {
+    throw std::invalid_argument("WfqScheduler: time went backwards");
+  }
+  if (active_weight_ > 0.0) {
+    // GPS: the virtual clock ticks at C/Σ_active w, so a backlogged
+    // flow of weight w drains size/w of tag per unit of virtual time
+    // while receiving real rate C·w/Σw.
+    virtual_time_ += (now - last_event_time_) * capacity_ / active_weight_;
+  }
+  last_event_time_ = now;
+}
+
+void WfqScheduler::enqueue(const Packet& packet) {
+  if (!(packet.size > 0.0)) {
+    throw std::invalid_argument("WfqScheduler: packet size must be > 0");
+  }
+  const auto it = flows_.find(packet.flow);
+  if (it == flows_.end()) {
+    throw std::invalid_argument("WfqScheduler: unknown flow (add_flow first)");
+  }
+  FlowState& flow = it->second;
+  if (heap_.empty() && active_weight_ == 0.0) {
+    // New busy period: the GPS reference system restarts.
+    virtual_time_ = 0.0;
+    last_event_time_ = packet.arrival_time;
+    for (auto& entry : flows_) entry.second.last_finish_tag = 0.0;
+  } else {
+    advance_virtual_time(packet.arrival_time);
+  }
+  Tagged tagged;
+  tagged.packet = packet;
+  tagged.start_tag = std::max(flow.last_finish_tag, virtual_time_);
+  tagged.finish_tag = tagged.start_tag + packet.size / flow.weight;
+  tagged.seq = next_seq_++;
+  flow.last_finish_tag = tagged.finish_tag;
+  if (flow.backlog == 0) active_weight_ += flow.weight;
+  ++flow.backlog;
+  heap_.push(tagged);
+}
+
+bool WfqScheduler::backlogged() const { return !heap_.empty(); }
+
+Packet WfqScheduler::dequeue() {
+  if (heap_.empty()) throw std::logic_error("WfqScheduler: empty dequeue");
+  const Tagged tagged = heap_.top();
+  heap_.pop();
+  FlowState& flow = flows_.at(tagged.packet.flow);
+  --flow.backlog;
+  if (flow.backlog == 0) active_weight_ -= flow.weight;
+  return tagged.packet;
+}
+
+}  // namespace bevr::net

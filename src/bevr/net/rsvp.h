@@ -1,0 +1,101 @@
+// RSVP-style soft-state reservation signalling (paper refs [2,18]).
+//
+// Receiver-oriented, soft-state resource reservation reduced to the
+// mechanics the analysis rests on:
+//   * PATH: the sender advertises a session along the routed path,
+//     installing path state at every hop;
+//   * RESV: the receiver requests a FlowSpec hop-by-hop back toward
+//     the sender; each link runs admission control and either commits
+//     bandwidth or rejects the whole request (ResvErr);
+//   * soft state: both kinds of state expire unless refreshed;
+//   * teardown: explicit release.
+// The paper's single-link admission rule (accept at most k_max flows)
+// is the homogeneous special case of this machinery — shown in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bevr/net/admission.h"
+#include "bevr/net/flowspec.h"
+#include "bevr/net/topology.h"
+
+namespace bevr::net {
+
+using SessionId = std::uint64_t;
+
+/// Outcome of a RESV request.
+enum class ResvResult {
+  kCommitted,       ///< reserved on every hop
+  kAdmissionDenied, ///< some hop refused; nothing is held
+  kNoPathState,     ///< PATH missing/expired on some hop
+};
+
+/// Per-link, per-session reservation record.
+struct Reservation {
+  FlowSpec spec;
+  double expires_at = 0.0;
+};
+
+class RsvpAgent {
+ public:
+  /// `refresh_timeout`: soft-state lifetime granted by each PATH/RESV
+  /// or refresh message.
+  RsvpAgent(std::shared_ptr<Topology> topology,
+            std::shared_ptr<const AdmissionController> admission,
+            double refresh_timeout = 30.0);
+
+  /// Sender side: install PATH state from src to dst; returns the new
+  /// session id, or nullopt when no route exists.
+  [[nodiscard]] std::optional<SessionId> open_session(NodeId src, NodeId dst,
+                                                      double now);
+
+  /// Receiver side: request a reservation for the session.
+  [[nodiscard]] ResvResult reserve(SessionId session, const FlowSpec& spec,
+                                   double now);
+
+  /// Refresh both path and reservation state (extends expiry).
+  void refresh(SessionId session, double now);
+
+  /// Explicit teardown; releases reserved bandwidth at every hop.
+  void teardown(SessionId session, double now);
+
+  /// Expire stale soft state; call periodically with the current time.
+  void expire(double now);
+
+  /// Σ reserved rates on a link (0 if none).
+  [[nodiscard]] double reserved_on_link(LinkId link) const;
+
+  /// Number of sessions holding a committed reservation.
+  [[nodiscard]] std::size_t committed_sessions() const;
+
+  /// Whether the session currently holds a committed reservation.
+  [[nodiscard]] bool has_reservation(SessionId session) const;
+
+  /// Feed a measured-load estimate for a link (for measurement-based
+  /// admission controllers).
+  void set_measured_load(LinkId link, double load);
+
+ private:
+  struct SessionState {
+    std::vector<LinkId> path;
+    double path_expires_at = 0.0;
+    bool reserved = false;
+    FlowSpec spec;
+  };
+
+  void release_links(SessionId id, const SessionState& session);
+
+  std::shared_ptr<Topology> topology_;
+  std::shared_ptr<const AdmissionController> admission_;
+  double refresh_timeout_;
+  SessionId next_session_ = 1;
+  std::map<SessionId, SessionState> sessions_;
+  std::map<LinkId, std::map<SessionId, Reservation>> link_reservations_;
+  std::map<LinkId, double> measured_load_;
+};
+
+}  // namespace bevr::net

@@ -1,0 +1,82 @@
+#include "bevr/net/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::net {
+
+FluidScheduler::FluidScheduler(double capacity) : capacity_(capacity) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("FluidScheduler: capacity must be > 0");
+  }
+}
+
+std::vector<Allocation> FluidScheduler::allocate(
+    const std::vector<SchedulableFlow>& flows) const {
+  double reserved_total = 0.0;
+  for (const auto& flow : flows) {
+    if (!(flow.reserved_rate >= 0.0) || !(flow.weight > 0.0) ||
+        !(flow.demand >= 0.0)) {
+      throw std::invalid_argument("FluidScheduler: invalid flow parameters");
+    }
+    reserved_total += flow.reserved_rate;
+  }
+  if (reserved_total > capacity_ * (1.0 + 1e-9)) {
+    throw std::invalid_argument(
+        "FluidScheduler: reservations exceed capacity (admission bug)");
+  }
+
+  std::vector<Allocation> result(flows.size());
+  std::vector<double> residual(flows.size());
+  double allocated = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    result[i].id = flows[i].id;
+    // Guaranteed floor: a reserved flow owns min(demand, reservation).
+    result[i].rate = std::min(flows[i].demand, flows[i].reserved_rate);
+    residual[i] = flows[i].demand - result[i].rate;
+    allocated += result[i].rate;
+  }
+
+  // Progressive water-filling of the leftover by weight.
+  double leftover = capacity_ - allocated;
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (residual[i] > 0.0) active.push_back(i);
+  }
+  while (leftover > 1e-12 && !active.empty()) {
+    double weight_sum = 0.0;
+    for (const std::size_t i : active) weight_sum += flows[i].weight;
+    const double per_weight = leftover / weight_sum;
+    bool someone_capped = false;
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (const std::size_t i : active) {
+      const double offer = per_weight * flows[i].weight;
+      if (residual[i] <= offer * (1.0 + 1e-12)) {
+        // The flow's demand saturates below its fair share: give it all
+        // it wants and redistribute the rest next round.
+        result[i].rate += residual[i];
+        leftover -= residual[i];
+        residual[i] = 0.0;
+        someone_capped = true;
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    if (!someone_capped) {
+      // Everyone can absorb the full fair share: final round.
+      for (const std::size_t i : still_active) {
+        const double offer = per_weight * flows[i].weight;
+        result[i].rate += offer;
+        residual[i] -= offer;
+      }
+      leftover = 0.0;
+      break;
+    }
+    active = std::move(still_active);
+  }
+  return result;
+}
+
+}  // namespace bevr::net

@@ -1,0 +1,41 @@
+#include "bevr/net/token_bucket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bevr::net {
+
+TokenBucket::TokenBucket(double rate, double depth)
+    : rate_(rate), depth_(depth), tokens_(depth) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("TokenBucket: rate must be > 0");
+  }
+  if (!(depth >= 0.0)) {
+    throw std::invalid_argument("TokenBucket: depth must be >= 0");
+  }
+}
+
+void TokenBucket::refill(double now) const {
+  if (now < last_refill_) {
+    throw std::invalid_argument("TokenBucket: time went backwards");
+  }
+  tokens_ = std::min(depth_, tokens_ + rate_ * (now - last_refill_));
+  last_refill_ = now;
+}
+
+bool TokenBucket::consume(double now, double amount) {
+  if (!(amount >= 0.0)) {
+    throw std::invalid_argument("TokenBucket: amount must be >= 0");
+  }
+  refill(now);
+  if (tokens_ + 1e-12 < amount) return false;
+  tokens_ -= amount;
+  return true;
+}
+
+double TokenBucket::available(double now) const {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace bevr::net

@@ -1,0 +1,38 @@
+// Token-bucket traffic specification and policer (int-serv TSpec,
+// paper refs [12,16,17]).
+//
+// A flow's traffic specification in the integrated-services
+// architecture is a token bucket (rate r, depth b): over any interval
+// of length t the flow may send at most r·t + b. The policer below is
+// the continuous-time version used by the reservation substrate to
+// decide conformance.
+#pragma once
+
+namespace bevr::net {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens accrue per unit time, up to `depth` stored tokens.
+  /// The bucket starts full.
+  TokenBucket(double rate, double depth);
+
+  /// True iff `amount` tokens are available at time `now`; if so they
+  /// are consumed. `now` must be nondecreasing across calls.
+  [[nodiscard]] bool consume(double now, double amount);
+
+  /// Tokens available at time `now` without consuming.
+  [[nodiscard]] double available(double now) const;
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double depth() const { return depth_; }
+
+ private:
+  void refill(double now) const;
+
+  double rate_;
+  double depth_;
+  mutable double tokens_;
+  mutable double last_refill_ = 0.0;
+};
+
+}  // namespace bevr::net

@@ -1,0 +1,84 @@
+#include "bevr/net/topology.h"
+
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace bevr::net {
+
+NodeId Topology::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  outgoing_.emplace_back();
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("Topology: self-loop link");
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("Topology: capacity must be > 0");
+  }
+  const auto forward = static_cast<LinkId>(links_.size());
+  links_.push_back({a, b, capacity});
+  outgoing_[static_cast<std::size_t>(a)].push_back(forward);
+  const auto reverse = static_cast<LinkId>(links_.size());
+  links_.push_back({b, a, capacity});
+  outgoing_[static_cast<std::size_t>(b)].push_back(reverse);
+  return forward;
+}
+
+const LinkInfo& Topology::link(LinkId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) {
+    throw std::out_of_range("Topology: bad link id");
+  }
+  return links_[static_cast<std::size_t>(id)];
+}
+
+const std::string& Topology::node_name(NodeId id) const {
+  check_node(id);
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+std::optional<std::vector<LinkId>> Topology::route(NodeId src,
+                                                   NodeId dst) const {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) return std::vector<LinkId>{};
+  std::vector<LinkId> via(node_names_.size(), -1);
+  std::vector<bool> seen(node_names_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(src);
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (const LinkId lid : outgoing_[static_cast<std::size_t>(node)]) {
+      const NodeId next = links_[static_cast<std::size_t>(lid)].to;
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = true;
+      via[static_cast<std::size_t>(next)] = lid;
+      if (next == dst) {
+        // Reconstruct the path backwards.
+        std::vector<LinkId> path;
+        NodeId cursor = dst;
+        while (cursor != src) {
+          const LinkId lid_back = via[static_cast<std::size_t>(cursor)];
+          path.push_back(lid_back);
+          cursor = links_[static_cast<std::size_t>(lid_back)].from;
+        }
+        return std::vector<LinkId>(path.rbegin(), path.rend());
+      }
+      frontier.push(next);
+    }
+  }
+  return std::nullopt;
+}
+
+void Topology::check_node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= node_names_.size()) {
+    throw std::out_of_range("Topology: bad node id");
+  }
+}
+
+}  // namespace bevr::net

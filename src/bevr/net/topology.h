@@ -1,0 +1,50 @@
+// Network topology: nodes, directed links with capacities, and
+// min-hop routing. The paper analyses a single link; the substrate
+// supports multi-hop paths so the RSVP-style signalling is exercised
+// end-to-end (per-link admission along a route).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bevr::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+struct LinkInfo {
+  NodeId from = -1;
+  NodeId to = -1;
+  double capacity = 0.0;
+};
+
+class Topology {
+ public:
+  /// Add a node; returns its id.
+  NodeId add_node(std::string name);
+
+  /// Add a bidirectional link of the given capacity between two nodes;
+  /// returns the id of the forward direction (the reverse gets id+1).
+  LinkId add_link(NodeId a, NodeId b, double capacity);
+
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const LinkInfo& link(LinkId id) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  /// Min-hop route from `src` to `dst` as a sequence of link ids
+  /// (BFS); nullopt when unreachable.
+  [[nodiscard]] std::optional<std::vector<LinkId>> route(NodeId src,
+                                                         NodeId dst) const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::vector<LinkId>> outgoing_;  // per node
+};
+
+}  // namespace bevr::net

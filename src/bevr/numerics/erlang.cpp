@@ -1,0 +1,44 @@
+#include "bevr/numerics/erlang.h"
+
+#include <stdexcept>
+
+namespace bevr::numerics {
+
+double erlang_b(double offered_load, std::int64_t servers) {
+  if (!(offered_load >= 0.0)) {
+    throw std::invalid_argument("erlang_b: offered load must be >= 0");
+  }
+  if (servers < 0) {
+    throw std::invalid_argument("erlang_b: servers must be >= 0");
+  }
+  if (offered_load == 0.0) return servers == 0 ? 1.0 : 0.0;
+  double blocking = 1.0;
+  for (std::int64_t m = 1; m <= servers; ++m) {
+    blocking = offered_load * blocking /
+               (static_cast<double>(m) + offered_load * blocking);
+  }
+  return blocking;
+}
+
+std::int64_t erlang_b_servers(double offered_load, double target_blocking) {
+  if (!(target_blocking > 0.0) || !(target_blocking < 1.0)) {
+    throw std::invalid_argument("erlang_b_servers: target must lie in (0, 1)");
+  }
+  if (!(offered_load >= 0.0)) {
+    throw std::invalid_argument("erlang_b_servers: offered load must be >= 0");
+  }
+  double blocking = 1.0;
+  std::int64_t m = 0;
+  // The recursion is monotone decreasing in m and → 0, so this ends.
+  while (blocking > target_blocking) {
+    ++m;
+    blocking = offered_load * blocking /
+               (static_cast<double>(m) + offered_load * blocking);
+    if (m > 100'000'000) {
+      throw std::runtime_error("erlang_b_servers: runaway search");
+    }
+  }
+  return m;
+}
+
+}  // namespace bevr::numerics

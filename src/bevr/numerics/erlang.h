@@ -1,0 +1,25 @@
+// Erlang-B (loss system) formulas.
+//
+// The reservation architecture on a single link with unit flows is an
+// M/M/m/m loss system; Erlang-B gives its exact blocking probability
+// and is the classical yardstick for the admission-controlled runs of
+// the flow-level simulator. The paper's static-distribution blocking
+// fraction is a different (unconstrained-occupancy) estimate; both are
+// exposed so the difference can be studied.
+#pragma once
+
+#include <cstdint>
+
+namespace bevr::numerics {
+
+/// Erlang-B blocking probability B(E, m) for offered load E (erlangs)
+/// and m servers, via the standard numerically stable recursion
+///   B(E, 0) = 1,  B(E, m) = E·B(E, m−1) / (m + E·B(E, m−1)).
+[[nodiscard]] double erlang_b(double offered_load, std::int64_t servers);
+
+/// Smallest m with erlang_b(E, m) ≤ target (capacity planning helper).
+/// Throws std::invalid_argument unless 0 < target < 1.
+[[nodiscard]] std::int64_t erlang_b_servers(double offered_load,
+                                            double target_blocking);
+
+}  // namespace bevr::numerics

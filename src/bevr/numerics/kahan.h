@@ -1,0 +1,45 @@
+// Compensated summation (Kahan–Neumaier).
+//
+// The variable-load model sums long series of probability-weighted
+// utilities whose terms span many orders of magnitude (e.g. Poisson
+// pmf values below 1e-300 next to O(1) terms). Naive accumulation
+// loses the small terms; the Neumaier variant keeps a running error
+// compensation that also handles the case where the new term is
+// larger than the running sum.
+#pragma once
+
+namespace bevr::numerics {
+
+/// Compensated accumulator. Usage:
+///   KahanSum s; s.add(x); ...; double total = s.value();
+class KahanSum {
+ public:
+  constexpr KahanSum() noexcept = default;
+  constexpr explicit KahanSum(double initial) noexcept : sum_(initial) {}
+
+  /// Add a term, tracking the rounding error of the addition.
+  constexpr void add(double term) noexcept {
+    const double t = sum_ + term;
+    // Neumaier: compensate with whichever operand lost low-order bits.
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (term >= 0 ? term : -term)) {
+      comp_ += (sum_ - t) + term;
+    } else {
+      comp_ += (term - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanSum& operator+=(double term) noexcept {
+    add(term);
+    return *this;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace bevr::numerics

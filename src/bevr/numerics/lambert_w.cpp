@@ -1,0 +1,91 @@
+#include "bevr/numerics/lambert_w.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::numerics {
+
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;  // 1/e
+constexpr double kBranchPoint = -kInvE;
+
+/// Halley iteration for w·e^w = x starting from w0. Converges cubically
+/// for any reasonable starting guess on the correct branch.
+double halley(double x, double w) {
+  for (int i = 0; i < 64; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) return w;
+    const double wp1 = w + 1.0;
+    // At the branch point w = -1 the derivative vanishes; the series
+    // start is already as accurate as the iteration can get.
+    if (std::abs(wp1) < 1e-8) return w;
+    const double denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    if (denom == 0.0) break;
+    const double step = f / denom;
+    const double next = w - step;
+    if (std::abs(step) <= 1e-16 * (1.0 + std::abs(next))) return next;
+    w = next;
+  }
+  return w;
+}
+
+/// Series about the branch point x = -1/e:
+/// W ≈ -1 + p - p²/3 + 11p³/72, p = ±sqrt(2(e·x + 1)).
+double branch_point_series(double x, bool principal) {
+  const double q = 2.0 * (std::exp(1.0) * x + 1.0);
+  const double p = (principal ? 1.0 : -1.0) * std::sqrt(std::max(0.0, q));
+  return -1.0 + p * (1.0 + p * (-1.0 / 3.0 + p * (11.0 / 72.0)));
+}
+
+}  // namespace
+
+double lambert_w0(double x) {
+  if (std::isnan(x)) throw std::domain_error("lambert_w0: NaN input");
+  if (x < kBranchPoint) {
+    if (x > kBranchPoint - 1e-14) return -1.0;  // rounding slop at -1/e
+    throw std::domain_error("lambert_w0: x < -1/e");
+  }
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < kBranchPoint + 0.04) {
+    w = branch_point_series(x, /*principal=*/true);
+  } else if (x < 3.0) {
+    // Padé-flavoured rational start, adequate for Halley.
+    w = x * (1.0 + 1.25 * x) / (1.0 + x * (2.25 + 0.75 * x));
+  } else {
+    const double l1 = std::log(x);
+    const double l2 = std::log(l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return halley(x, w);
+}
+
+double lambert_w_minus1(double x) {
+  if (std::isnan(x)) throw std::domain_error("lambert_w_minus1: NaN input");
+  if (x >= 0.0 || x < kBranchPoint) {
+    if (x < kBranchPoint && x > kBranchPoint - 1e-14) return -1.0;
+    throw std::domain_error("lambert_w_minus1: x must lie in [-1/e, 0)");
+  }
+  double w;
+  if (x < kBranchPoint + 0.04) {
+    w = branch_point_series(x, /*principal=*/false);
+  } else {
+    // For x -> 0-, W-1(x) ≈ ln(-x) - ln(-ln(-x)).
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return halley(x, w);
+}
+
+double largest_h_of_he_minus_h(double p) {
+  if (!(p > 0.0) || p > kInvE + 1e-14) {
+    throw std::domain_error("largest_h_of_he_minus_h: p must be in (0, 1/e]");
+  }
+  if (p >= kInvE) return 1.0;
+  return -lambert_w_minus1(-p);
+}
+
+}  // namespace bevr::numerics

@@ -1,0 +1,24 @@
+// Real branches of the Lambert W function.
+//
+// The exponential-load welfare closed forms (paper §4) require the
+// largest solution h of h·e^{-h} = p, which is h = -W_{-1}(-p) for
+// p ∈ (0, 1/e]. We implement both real branches with Halley iteration
+// from branch-appropriate initial guesses.
+#pragma once
+
+namespace bevr::numerics {
+
+/// Principal branch W₀(x), defined for x ≥ -1/e; W₀(x) ≥ -1.
+/// Throws std::domain_error for x < -1/e (beyond rounding slop).
+[[nodiscard]] double lambert_w0(double x);
+
+/// Secondary real branch W₋₁(x), defined for x ∈ [-1/e, 0); W₋₁ ≤ -1.
+/// Throws std::domain_error outside that interval.
+[[nodiscard]] double lambert_w_minus1(double x);
+
+/// The largest solution h of h·e^{-h} = p for p ∈ (0, 1/e]:
+/// h(p) = -W₋₁(-p). This is the best-effort welfare capacity relation
+/// under exponential loads and rigid utility (paper §4).
+[[nodiscard]] double largest_h_of_he_minus_h(double p);
+
+}  // namespace bevr::numerics

@@ -1,0 +1,99 @@
+#include "bevr/numerics/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::numerics {
+
+MaxResult golden_section_max(const std::function<double(double)>& f, double lo,
+                             double hi, double x_tol, int max_iterations) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden_section_max: lo > hi");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int evals = 2;
+  for (int iter = 0; iter < max_iterations && (b - a) > x_tol; ++iter) {
+    if (f1 >= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++evals;
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x), evals + 1};
+}
+
+MaxResult grid_refine_max(const std::function<double(double)>& f, double lo,
+                          double hi, int grid_points, double x_tol) {
+  if (!(lo <= hi)) throw std::invalid_argument("grid_refine_max: lo > hi");
+  if (grid_points < 3) throw std::invalid_argument("grid_refine_max: need >= 3 grid points");
+  const double step = (hi - lo) / (grid_points - 1);
+  double best_x = lo;
+  double best_v = f(lo);
+  int evals = 1;
+  for (int i = 1; i < grid_points; ++i) {
+    const double x = lo + step * i;
+    const double v = f(x);
+    ++evals;
+    if (v > best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  const double a = std::max(lo, best_x - step);
+  const double b = std::min(hi, best_x + step);
+  MaxResult refined = golden_section_max(f, a, b, x_tol);
+  refined.evaluations += evals;
+  if (refined.value < best_v) {
+    refined.x = best_x;
+    refined.value = best_v;
+  }
+  return refined;
+}
+
+IntMaxResult integer_argmax(const std::function<double(std::int64_t)>& f,
+                            std::int64_t lo, std::int64_t hi,
+                            bool assume_unimodal) {
+  if (lo > hi) throw std::invalid_argument("integer_argmax: empty range");
+  if (!assume_unimodal || hi - lo <= 64) {
+    IntMaxResult best{lo, f(lo)};
+    for (std::int64_t k = lo + 1; k <= hi; ++k) {
+      const double v = f(k);
+      if (v > best.value) best = {k, v};
+    }
+    return best;
+  }
+  // Ternary search until the interval is small, then scan. This handles
+  // short plateaus (ties) that pure ternary search can mis-handle.
+  std::int64_t a = lo, b = hi;
+  while (b - a > 64) {
+    const std::int64_t m1 = a + (b - a) / 3;
+    const std::int64_t m2 = b - (b - a) / 3;
+    if (f(m1) < f(m2)) {
+      a = m1 + 1;
+    } else {
+      b = m2 - 1;
+    }
+  }
+  IntMaxResult best{a, f(a)};
+  for (std::int64_t k = a + 1; k <= b; ++k) {
+    const double v = f(k);
+    if (v > best.value) best = {k, v};
+  }
+  return best;
+}
+
+}  // namespace bevr::numerics

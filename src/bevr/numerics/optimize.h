@@ -1,0 +1,49 @@
+// One-dimensional maximisation.
+//
+// The welfare model (paper §4) maximises V(C) - p*C over capacity C.
+// In the discrete model V_R has kinks (k_max(C) is integer-valued) and
+// V_B under rigid utility is a pure step function, so we provide both
+// a golden-section search (for smooth/unimodal objectives) and a
+// robust grid-scan + local-refine maximiser for kinked objectives.
+// The fixed-load model needs an integer argmax of k -> k*pi(C/k).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bevr::numerics {
+
+/// Result of a scalar maximisation.
+struct MaxResult {
+  double x = 0.0;    ///< maximising argument
+  double value = 0.0;///< objective value at x
+  int evaluations = 0;
+};
+
+/// Golden-section search for the maximum of a unimodal `f` on [lo, hi].
+[[nodiscard]] MaxResult golden_section_max(
+    const std::function<double(double)>& f, double lo, double hi,
+    double x_tol = 1e-10, int max_iterations = 200);
+
+/// Robust maximiser for possibly kinked / stepped objectives on [lo, hi]:
+/// scans `grid_points` equally spaced samples, then refines around the
+/// best sample with golden-section search on the neighbouring bracket.
+[[nodiscard]] MaxResult grid_refine_max(
+    const std::function<double(double)>& f, double lo, double hi,
+    int grid_points = 512, double x_tol = 1e-9);
+
+/// Result of an integer argmax search.
+struct IntMaxResult {
+  std::int64_t k = 0;
+  double value = 0.0;
+};
+
+/// Argmax of f(k) over integers k in [lo, hi]. Exploits unimodality by
+/// ternary search when `assume_unimodal` is true; otherwise scans.
+/// For unimodal search, plateaus are handled by falling back to a local
+/// scan once the interval is small.
+[[nodiscard]] IntMaxResult integer_argmax(
+    const std::function<double(std::int64_t)>& f, std::int64_t lo,
+    std::int64_t hi, bool assume_unimodal = true);
+
+}  // namespace bevr::numerics

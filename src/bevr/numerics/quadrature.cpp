@@ -1,0 +1,117 @@
+#include "bevr/numerics/quadrature.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::numerics {
+
+namespace {
+
+// Kronrod-15 nodes (positive half) and weights; Gauss-7 weights embed on
+// the odd-indexed nodes. Values from the standard QUADPACK tables.
+constexpr std::array<double, 8> kKronrodNodes = {
+    0.991455371120813, 0.949107912342759, 0.864864423359769,
+    0.741531185599394, 0.586087235467691, 0.405845151377397,
+    0.207784955007898, 0.000000000000000};
+constexpr std::array<double, 8> kKronrodWeights = {
+    0.022935322010529, 0.063092092629979, 0.104790010322250,
+    0.140653259715525, 0.169004726639267, 0.190350578064785,
+    0.204432940075298, 0.209482141084728};
+constexpr std::array<double, 4> kGaussWeights = {
+    0.129484966168870, 0.279705391489277, 0.381830050505119,
+    0.417959183673469};
+
+struct Panel {
+  double a, b, value, error;
+};
+
+Panel evaluate_panel(const std::function<double(double)>& f, double a,
+                     double b) {
+  const double center = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double kronrod = 0.0;
+  double gauss = 0.0;
+  for (std::size_t i = 0; i < kKronrodNodes.size(); ++i) {
+    const double node = kKronrodNodes[i];
+    double fsum;
+    if (node == 0.0) {
+      fsum = f(center);
+    } else {
+      fsum = f(center - half * node) + f(center + half * node);
+    }
+    kronrod += kKronrodWeights[i] * fsum;
+    if (i % 2 == 1) {  // odd indices carry the embedded Gauss-7 nodes
+      gauss += kGaussWeights[i / 2] * fsum;
+    }
+  }
+  kronrod *= half;
+  gauss *= half;
+  const double diff = std::abs(kronrod - gauss);
+  // QUADPACK-style sharpened error estimate.
+  const double err = diff * std::sqrt(std::min(1.0, 200.0 * diff));
+  return Panel{a, b, kronrod, err};
+}
+
+void integrate_recursive(const std::function<double(double)>& f,
+                         const Panel& panel, double abs_tol, double rel_tol,
+                         int depth, int max_depth, QuadratureResult* out) {
+  const double tol =
+      std::max(abs_tol, rel_tol * std::abs(panel.value));
+  if (panel.error <= tol || depth >= max_depth) {
+    out->value += panel.value;
+    out->error_estimate += panel.error;
+    if (depth >= max_depth && panel.error > tol) out->converged = false;
+    return;
+  }
+  const double mid = 0.5 * (panel.a + panel.b);
+  const Panel left = evaluate_panel(f, panel.a, mid);
+  const Panel right = evaluate_panel(f, mid, panel.b);
+  out->evaluations += 30;
+  integrate_recursive(f, left, 0.5 * abs_tol, rel_tol, depth + 1, max_depth, out);
+  integrate_recursive(f, right, 0.5 * abs_tol, rel_tol, depth + 1, max_depth, out);
+}
+
+}  // namespace
+
+QuadratureResult gauss_kronrod_15(const std::function<double(double)>& f,
+                                  double a, double b) {
+  const Panel panel = evaluate_panel(f, a, b);
+  return {panel.value, panel.error, 15, true};
+}
+
+QuadratureResult integrate(const std::function<double(double)>& f, double a,
+                           double b, double abs_tol, double rel_tol,
+                           int max_depth) {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    throw std::invalid_argument("integrate: endpoints must be finite");
+  }
+  if (a == b) return {0.0, 0.0, 0, true};
+  const double sign = (a < b) ? 1.0 : -1.0;
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  QuadratureResult result;
+  result.converged = true;
+  const Panel root = evaluate_panel(f, lo, hi);
+  result.evaluations = 15;
+  integrate_recursive(f, root, abs_tol, rel_tol, 0, max_depth, &result);
+  result.value *= sign;
+  return result;
+}
+
+QuadratureResult integrate_to_infinity(const std::function<double(double)>& f,
+                                       double a, double abs_tol,
+                                       double rel_tol, int max_depth) {
+  // k = a + t/(1-t); dk = dt/(1-t)^2. t in [0,1); clip just below 1.
+  auto transformed = [&f, a](double t) {
+    const double om = 1.0 - t;
+    const double k = a + t / om;
+    const double jac = 1.0 / (om * om);
+    const double v = f(k);
+    return v * jac;
+  };
+  constexpr double kUpper = 1.0 - 1e-14;
+  return integrate(transformed, 0.0, kUpper, abs_tol, rel_tol, max_depth);
+}
+
+}  // namespace bevr::numerics

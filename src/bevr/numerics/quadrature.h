@@ -1,0 +1,40 @@
+// Numerical integration.
+//
+// The continuum variable-load model (paper §3.2) defines
+//   V_B(C) = ∫_0^∞ P(k) k π(C/k) dk
+//   V_R(C) = ∫_0^{k_max} P(k) k π(C/k) dk + π(C/k_max) k_max ∫_{k_max}^∞ P(k) dk
+// We evaluate these with adaptive Gauss–Kronrod quadrature; the
+// closed-form expressions in core/continuum.cpp are cross-validated
+// against these numeric integrals in the test suite.
+#pragma once
+
+#include <functional>
+
+namespace bevr::numerics {
+
+/// Result of an integration.
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Non-adaptive 15-point Gauss–Kronrod rule on [a, b]; the error
+/// estimate compares against the embedded 7-point Gauss rule.
+[[nodiscard]] QuadratureResult gauss_kronrod_15(
+    const std::function<double(double)>& f, double a, double b);
+
+/// Adaptive integration of f over the finite interval [a, b] by
+/// recursive bisection of Gauss–Kronrod panels.
+[[nodiscard]] QuadratureResult integrate(
+    const std::function<double(double)>& f, double a, double b,
+    double abs_tol = 1e-12, double rel_tol = 1e-10, int max_depth = 40);
+
+/// Adaptive integration of f over the semi-infinite interval [a, ∞)
+/// via the transform k = a + t/(1-t), t ∈ [0, 1).
+[[nodiscard]] QuadratureResult integrate_to_infinity(
+    const std::function<double(double)>& f, double a,
+    double abs_tol = 1e-12, double rel_tol = 1e-10, int max_depth = 40);
+
+}  // namespace bevr::numerics

@@ -1,0 +1,167 @@
+#include "bevr/numerics/roots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::numerics {
+
+namespace {
+
+bool opposite_signs(double a, double b) noexcept {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+bool within_tol(double a, double b, const RootOptions& o) noexcept {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(b - a) <= o.x_tol + o.x_rtol * scale;
+}
+
+}  // namespace
+
+std::optional<Bracket> expand_bracket(const std::function<double(double)>& f,
+                                      double lo, double hi, double grow,
+                                      int max_expansions, double min_lo,
+                                      double max_hi) {
+  if (!(lo < hi)) throw std::invalid_argument("expand_bracket: lo must be < hi");
+  if (!(grow > 1.0)) throw std::invalid_argument("expand_bracket: grow must be > 1");
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  for (int i = 0; i <= max_expansions; ++i) {
+    if (std::isfinite(f_lo) && std::isfinite(f_hi) && opposite_signs(f_lo, f_hi)) {
+      return Bracket{lo, hi, f_lo, f_hi};
+    }
+    const double width = hi - lo;
+    // Expand the endpoint whose |f| is smaller (closer to the root), or
+    // whichever endpoint still has room under the hard bounds.
+    const bool can_grow_lo = lo > min_lo;
+    const bool can_grow_hi = hi < max_hi;
+    if (!can_grow_lo && !can_grow_hi) break;
+    const bool grow_lo =
+        can_grow_lo && (!can_grow_hi || std::abs(f_lo) < std::abs(f_hi));
+    if (grow_lo) {
+      lo = std::max(min_lo, lo - (grow - 1.0) * width);
+      f_lo = f(lo);
+    } else {
+      hi = std::min(max_hi, hi + (grow - 1.0) * width);
+      f_hi = f(hi);
+    }
+  }
+  return std::nullopt;
+}
+
+RootResult brent(const std::function<double(double)>& f, const Bracket& bracket,
+                 const RootOptions& options) {
+  double a = bracket.lo, b = bracket.hi;
+  double fa = bracket.f_lo, fb = bracket.f_hi;
+  if (!opposite_signs(fa, fb)) {
+    throw std::invalid_argument("brent: interval does not bracket a root");
+  }
+  RootResult result;
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+
+  // Keep |f(b)| <= |f(a)|: b is the best iterate.
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;   // previous iterate
+  double d = b - a;        // step taken last iteration
+  double e = d;            // step before that
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol =
+        0.5 * (options.x_tol + options.x_rtol * std::abs(b));
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 || std::abs(fb) <= options.f_tol) {
+      return {b, fb, iter, true};
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = e = m;  // bisection
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {
+        // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // inverse quadratic interpolation
+        const double qa = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qa * (qa - r) - (b - a) * (r - 1.0));
+        q = (qa - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      } else {
+        p = -p;
+      }
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;  // accept interpolation
+      } else {
+        d = e = m;  // fall back to bisection
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = e = b - a;
+    }
+    result.iterations = iter;
+  }
+  result.x = b;
+  result.f = fb;
+  result.converged = false;
+  return result;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& options) {
+  Bracket br{lo, hi, f(lo), f(hi)};
+  return brent(f, br, options);
+}
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  if (f_lo == 0.0) return {lo, 0.0, 0, true};
+  if (f_hi == 0.0) return {hi, 0.0, 0, true};
+  if (!opposite_signs(f_lo, f_hi)) {
+    throw std::invalid_argument("bisect: interval does not bracket a root");
+  }
+  RootResult result;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    const double mid = lo + 0.5 * (hi - lo);
+    const double f_mid = f(mid);
+    result.iterations = iter;
+    if (f_mid == 0.0 || within_tol(lo, hi, options) ||
+        std::abs(f_mid) <= options.f_tol) {
+      return {mid, f_mid, iter, true};
+    }
+    if (opposite_signs(f_lo, f_mid)) {
+      hi = mid;
+      f_hi = f_mid;
+    } else {
+      lo = mid;
+      f_lo = f_mid;
+    }
+  }
+  result.x = lo + 0.5 * (hi - lo);
+  result.f = f(result.x);
+  result.converged = within_tol(lo, hi, options);
+  return result;
+}
+
+}  // namespace bevr::numerics

@@ -1,0 +1,66 @@
+// One-dimensional root finding.
+//
+// Used throughout the models: inverting B(C) to obtain the bandwidth
+// gap Delta(C), solving welfare first-order conditions V'(C)=p, the
+// equalising price ratio W_R(p̂)=W_B(p), the retry-extension load
+// fixed point, and mean-parameterisation of the algebraic load
+// distribution.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace bevr::numerics {
+
+/// A bracketing interval [lo, hi] with f(lo) and f(hi) of opposite sign
+/// (or one of them exactly zero).
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+};
+
+/// Options controlling the root search.
+struct RootOptions {
+  double x_tol = 1e-12;       ///< absolute tolerance on the abscissa
+  double x_rtol = 1e-12;      ///< relative tolerance on the abscissa
+  double f_tol = 0.0;         ///< |f| small enough to accept immediately
+  int max_iterations = 200;   ///< hard cap on iterations
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;        ///< the root estimate
+  double f = 0.0;        ///< residual f(x)
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+/// Try to bracket a root of `f` starting from [lo, hi], expanding the
+/// interval geometrically (factor `grow`) up to `max_expansions` times.
+/// Expansion respects the optional hard bounds [min_lo, max_hi].
+/// Returns nullopt if no sign change could be found.
+[[nodiscard]] std::optional<Bracket> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    double grow = 2.0, int max_expansions = 64,
+    double min_lo = -1e308, double max_hi = 1e308);
+
+/// Brent's method on a valid bracket. Precondition: f(lo)*f(hi) <= 0;
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               const Bracket& bracket,
+                               const RootOptions& options = {});
+
+/// Convenience: evaluate endpoints, validate the sign change, run Brent.
+/// Throws std::invalid_argument when [lo, hi] does not bracket a root.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               const RootOptions& options = {});
+
+/// Plain bisection (robust fallback; also used in tests as an oracle).
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options = {});
+
+}  // namespace bevr::numerics

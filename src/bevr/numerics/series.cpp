@@ -1,0 +1,47 @@
+#include "bevr/numerics/series.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bevr/numerics/kahan.h"
+
+namespace bevr::numerics {
+
+SeriesResult sum_until_negligible(const std::function<double(std::int64_t)>& f,
+                                  std::int64_t first,
+                                  const SeriesOptions& options) {
+  if (options.consecutive_small < 1) {
+    throw std::invalid_argument("sum_until_negligible: consecutive_small >= 1");
+  }
+  KahanSum sum;
+  int small_run = 0;
+  SeriesResult result;
+  for (std::int64_t k = first; k - first < options.max_terms; ++k) {
+    const double term = f(k);
+    sum.add(term);
+    ++result.terms;
+    const double threshold =
+        std::max(options.abs_tol, options.rel_tol * std::abs(sum.value()));
+    if (std::abs(term) <= threshold) {
+      if (++small_run >= options.consecutive_small) {
+        result.value = sum.value();
+        result.converged = true;
+        return result;
+      }
+    } else {
+      small_run = 0;
+    }
+  }
+  result.value = sum.value();
+  result.converged = false;
+  return result;
+}
+
+double sum_range(const std::function<double(std::int64_t)>& f,
+                 std::int64_t first, std::int64_t last) {
+  KahanSum sum;
+  for (std::int64_t k = first; k <= last; ++k) sum.add(f(k));
+  return sum.value();
+}
+
+}  // namespace bevr::numerics

@@ -1,0 +1,42 @@
+// Infinite-series summation with tail control.
+//
+// The discrete variable-load model is a sum over load levels k with
+// probability weights that eventually decay (exponentially for the
+// Poisson/exponential loads, algebraically for the heavy-tailed one).
+// sum_until_negligible() accumulates terms with compensated summation
+// and stops once a run of consecutive terms is relatively negligible —
+// with a run length long enough to be safe for slowly decaying terms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bevr::numerics {
+
+/// Result of a series summation.
+struct SeriesResult {
+  double value = 0.0;
+  std::int64_t terms = 0;       ///< number of terms evaluated
+  bool converged = false;       ///< tail criterion met before the term cap
+};
+
+/// Options for sum_until_negligible().
+struct SeriesOptions {
+  double rel_tol = 1e-14;           ///< term/|partial sum| threshold
+  double abs_tol = 1e-300;          ///< absolute term threshold
+  int consecutive_small = 16;       ///< run length required to stop
+  std::int64_t max_terms = 50'000'000;  ///< hard cap
+};
+
+/// Sum f(k) for k = first, first+1, ... until `consecutive_small`
+/// consecutive terms are below max(abs_tol, rel_tol*|sum|), or max_terms
+/// is hit. Intended for eventually-decreasing nonnegative-ish terms.
+[[nodiscard]] SeriesResult sum_until_negligible(
+    const std::function<double(std::int64_t)>& f, std::int64_t first = 0,
+    const SeriesOptions& options = {});
+
+/// Sum f(k) for k in [first, last] inclusive with compensated summation.
+[[nodiscard]] double sum_range(const std::function<double(std::int64_t)>& f,
+                               std::int64_t first, std::int64_t last);
+
+}  // namespace bevr::numerics

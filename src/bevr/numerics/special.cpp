@@ -1,0 +1,101 @@
+#include "bevr/numerics/special.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bevr/numerics/kahan.h"
+
+namespace bevr::numerics {
+
+namespace {
+
+// B_{2j} / (2j)! for j = 1..8 (Euler–Maclaurin correction coefficients).
+constexpr std::array<double, 8> kBernoulliOverFactorial = {
+    1.0 / 12.0,                      // B2/2!
+    -1.0 / 720.0,                    // B4/4!
+    1.0 / 30240.0,                   // B6/6!
+    -1.0 / 1209600.0,                // B8/8!
+    1.0 / 47900160.0,                // B10/10!
+    -691.0 / 1307674368000.0,        // B12/12!
+    1.0 / 74724249600.0,             // B14/14!
+    -3617.0 / 10670622842880000.0,   // B16/16!
+};
+
+}  // namespace
+
+double hurwitz_zeta(double s, double q) {
+  if (!(s > 1.0)) throw std::invalid_argument("hurwitz_zeta: requires s > 1");
+  if (!(q > 0.0)) throw std::invalid_argument("hurwitz_zeta: requires q > 0");
+
+  // Direct terms k = 0..N-1, then Euler–Maclaurin tail from q+N.
+  constexpr int kDirectTerms = 24;
+  KahanSum sum;
+  for (int k = 0; k < kDirectTerms; ++k) {
+    sum.add(std::pow(q + k, -s));
+  }
+  const double a = q + kDirectTerms;
+  sum.add(std::pow(a, 1.0 - s) / (s - 1.0));  // integral tail
+  sum.add(0.5 * std::pow(a, -s));             // trapezoid correction
+
+  // Correction terms: B_{2j}/(2j)! * rising(s, 2j-1) * a^{-s-2j+1}.
+  // This is an ASYMPTOTIC series: for large s relative to a the terms
+  // eventually grow, so truncate at the smallest term (optimal
+  // truncation), never past it.
+  double rising = s;            // rising factorial s(s+1)...(s+2j-2)
+  double a_pow = std::pow(a, -s - 1.0);
+  const double inv_a2 = 1.0 / (a * a);
+  double previous_magnitude = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < kBernoulliOverFactorial.size(); ++j) {
+    const double term = kBernoulliOverFactorial[j] * rising * a_pow;
+    if (std::abs(term) >= previous_magnitude) break;  // divergence onset
+    sum.add(term);
+    previous_magnitude = std::abs(term);
+    // advance rising factorial by two and power by a^{-2}
+    const double base = s + 2.0 * static_cast<double>(j);
+    rising *= (base + 1.0) * (base + 2.0);
+    a_pow *= inv_a2;
+  }
+  return sum.value();
+}
+
+double riemann_zeta(double s) { return hurwitz_zeta(s, 1.0); }
+
+double poisson_log_pmf(std::int64_t k, double nu) {
+  if (k < 0) throw std::invalid_argument("poisson_log_pmf: k < 0");
+  if (!(nu > 0.0)) throw std::invalid_argument("poisson_log_pmf: nu <= 0");
+  const double kd = static_cast<double>(k);
+  return kd * std::log(nu) - nu - std::lgamma(kd + 1.0);
+}
+
+double poisson_pmf(std::int64_t k, double nu) {
+  return std::exp(poisson_log_pmf(k, nu));
+}
+
+double poisson_tail_above(std::int64_t k, double nu) {
+  if (k < 0) return 1.0;
+  // Sum the pmf upward from k+1 by the recurrence p(j+1) = p(j)·ν/(j+1);
+  // stop once past the mode and the terms are negligible.
+  KahanSum tail;
+  std::int64_t j = k + 1;
+  double term = poisson_pmf(j, nu);
+  while (true) {
+    tail.add(term);
+    ++j;
+    term *= nu / static_cast<double>(j);
+    const bool past_mode = static_cast<double>(j) > nu;
+    if (past_mode && (term < 1e-18 * tail.value() || term < 1e-320)) break;
+    if (j - k > 100'000'000) break;  // defensive cap
+  }
+  return tail.value();
+}
+
+double log1mexp(double x) {
+  if (!(x < 0.0)) throw std::invalid_argument("log1mexp: requires x < 0");
+  // Mächler's recipe: use log(-expm1(x)) for x > -ln 2, log1p(-exp(x)) else.
+  constexpr double kLn2 = 0.6931471805599453;
+  return (x > -kLn2) ? std::log(-std::expm1(x)) : std::log1p(-std::exp(x));
+}
+
+}  // namespace bevr::numerics

@@ -1,0 +1,34 @@
+// Special functions used by the load distributions.
+//
+// * Hurwitz zeta ζ(s, q) normalises the discrete algebraic load
+//   P(k) ∝ (λ+k)^{-z} and provides its mean:
+//     Σ_{k≥1} (λ+k)^{-z} = ζ(z, λ+1)
+//     k̄ = [ζ(z-1, λ+1) - λ ζ(z, λ+1)] / ζ(z, λ+1)
+// * log-space Poisson pmf avoids under/overflow at k̄ = 100.
+#pragma once
+
+#include <cstdint>
+
+namespace bevr::numerics {
+
+/// Hurwitz zeta ζ(s, q) = Σ_{k≥0} (q+k)^{-s} for s > 1, q > 0,
+/// via Euler–Maclaurin. Accuracy ≈ 1e-14 relative.
+[[nodiscard]] double hurwitz_zeta(double s, double q);
+
+/// Riemann zeta ζ(s) = ζ(s, 1) for s > 1.
+[[nodiscard]] double riemann_zeta(double s);
+
+/// log of the Poisson pmf: k·ln ν − ν − ln k!  (k ≥ 0, ν > 0).
+[[nodiscard]] double poisson_log_pmf(std::int64_t k, double nu);
+
+/// Poisson pmf computed in log space.
+[[nodiscard]] double poisson_pmf(std::int64_t k, double nu);
+
+/// Regularised upper tail of the Poisson distribution, P[K > k],
+/// computed by stable summation from the mode outward.
+[[nodiscard]] double poisson_tail_above(std::int64_t k, double nu);
+
+/// log(1 - exp(x)) for x < 0, numerically stable near 0 and -inf.
+[[nodiscard]] double log1mexp(double x);
+
+}  // namespace bevr::numerics

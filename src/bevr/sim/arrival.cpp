@@ -1,0 +1,91 @@
+#include "bevr/sim/arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::sim {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+  }
+}
+
+double PoissonArrivals::next_interarrival(Rng& rng) {
+  return rng.exponential(1.0 / rate_);
+}
+
+std::string PoissonArrivals::name() const {
+  return "PoissonArrivals(rate=" + std::to_string(rate_) + ")";
+}
+
+BurstyArrivals::BurstyArrivals(double hot_rate, double cold_rate, double hot_p)
+    : hot_rate_(hot_rate), cold_rate_(cold_rate), hot_p_(hot_p) {
+  if (!(hot_rate > 0.0) || !(cold_rate > 0.0)) {
+    throw std::invalid_argument("BurstyArrivals: rates must be > 0");
+  }
+  if (!(hot_p >= 0.0) || !(hot_p <= 1.0)) {
+    throw std::invalid_argument("BurstyArrivals: hot_p must lie in [0, 1]");
+  }
+}
+
+double BurstyArrivals::next_interarrival(Rng& rng) {
+  const double r = rng.bernoulli(hot_p_) ? hot_rate_ : cold_rate_;
+  return rng.exponential(1.0 / r);
+}
+
+double BurstyArrivals::rate() const {
+  // Mean gap = p/hot + (1-p)/cold; rate is its reciprocal.
+  const double mean_gap = hot_p_ / hot_rate_ + (1.0 - hot_p_) / cold_rate_;
+  return 1.0 / mean_gap;
+}
+
+std::string BurstyArrivals::name() const {
+  return "BurstyArrivals(hot=" + std::to_string(hot_rate_) +
+         ", cold=" + std::to_string(cold_rate_) +
+         ", p=" + std::to_string(hot_p_) + ")";
+}
+
+ExponentialHolding::ExponentialHolding(double mean) : mean_(mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("ExponentialHolding: mean must be > 0");
+  }
+}
+
+double ExponentialHolding::next_duration(Rng& rng) {
+  return rng.exponential(mean_);
+}
+
+std::string ExponentialHolding::name() const {
+  return "ExponentialHolding(mean=" + std::to_string(mean_) + ")";
+}
+
+BoundedParetoHolding::BoundedParetoHolding(double shape, double lo, double hi)
+    : shape_(shape), lo_(lo), hi_(hi) {
+  if (!(shape > 0.0) || !(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("BoundedParetoHolding: bad parameters");
+  }
+}
+
+double BoundedParetoHolding::next_duration(Rng& rng) {
+  return rng.bounded_pareto(shape_, lo_, hi_);
+}
+
+double BoundedParetoHolding::mean() const {
+  // E[X] of a Pareto truncated to [lo, hi], tail index `shape`.
+  const double a = shape_;
+  if (a == 1.0) {
+    return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
+  }
+  // Standard bounded-Pareto mean for a ≠ 1.
+  const double truncation = 1.0 - std::pow(lo_ / hi_, a);
+  return std::pow(lo_, a) / truncation * (a / (a - 1.0)) *
+         (std::pow(lo_, 1.0 - a) - std::pow(hi_, 1.0 - a));
+}
+
+std::string BoundedParetoHolding::name() const {
+  return "BoundedParetoHolding(shape=" + std::to_string(shape_) +
+         ", lo=" + std::to_string(lo_) + ", hi=" + std::to_string(hi_) + ")";
+}
+
+}  // namespace bevr::sim

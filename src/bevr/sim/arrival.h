@@ -1,0 +1,96 @@
+// Traffic processes for the flow-level simulator.
+//
+// The paper deliberately skips flow dynamics and posits stationary
+// load distributions P(k); these processes generate the dynamics whose
+// stationary occupancy *is* (or approximates) those distributions:
+//  * Poisson arrivals + any holding time (M/G/∞) → Poisson occupancy,
+//    exactly the paper's Poisson case;
+//  * bursty (hyper-exponential) session arrivals → over-dispersed,
+//    exponential-like occupancy tails;
+//  * heavy-tailed holding times feed the self-similarity argument the
+//    paper cites for the algebraic case (refs [1,5,9,11]).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bevr/sim/rng.h"
+
+namespace bevr::sim {
+
+/// Interarrival-time generator.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Draw the time until the next flow arrival.
+  [[nodiscard]] virtual double next_interarrival(Rng& rng) = 0;
+  /// Long-run arrival rate (flows per unit time).
+  [[nodiscard]] virtual double rate() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Poisson arrivals at a fixed rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate);
+  [[nodiscard]] double next_interarrival(Rng& rng) override;
+  [[nodiscard]] double rate() const override { return rate_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double rate_;
+};
+
+/// Two-phase hyper-exponential interarrivals: with probability `hot_p`
+/// the gap is drawn at `hot_rate`, otherwise at `cold_rate`. Produces
+/// bursty arrivals with squared coefficient of variation > 1 while
+/// keeping the long-run rate analytic.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double hot_rate, double cold_rate, double hot_p);
+  [[nodiscard]] double next_interarrival(Rng& rng) override;
+  [[nodiscard]] double rate() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double hot_rate_;
+  double cold_rate_;
+  double hot_p_;
+};
+
+/// Flow holding-time generator.
+class HoldingTime {
+ public:
+  virtual ~HoldingTime() = default;
+  [[nodiscard]] virtual double next_duration(Rng& rng) = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exponential holding times (the M/M/∞ classic).
+class ExponentialHolding final : public HoldingTime {
+ public:
+  explicit ExponentialHolding(double mean);
+  [[nodiscard]] double next_duration(Rng& rng) override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mean_;
+};
+
+/// Bounded-Pareto holding times: heavy-tailed flow durations.
+class BoundedParetoHolding final : public HoldingTime {
+ public:
+  BoundedParetoHolding(double shape, double lo, double hi);
+  [[nodiscard]] double next_duration(Rng& rng) override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double shape_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace bevr::sim

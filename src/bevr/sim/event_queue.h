@@ -1,0 +1,69 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks with
+// FIFO tie-breaking. Shared by the flow-level simulator (bevr::sim)
+// and the RSVP soft-state machinery (bevr::net).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace bevr::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when` (must not precede now()).
+  void schedule(double when, Action action) {
+    if (when < now_) {
+      throw std::invalid_argument("EventQueue: cannot schedule in the past");
+    }
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  /// Schedule `action` `delay` after the current time.
+  void schedule_in(double delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Pop and run the earliest event; advances now(). Returns false when
+  /// the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Copy out before pop so the action may schedule further events.
+    Event event = heap_.top();
+    heap_.pop();
+    now_ = event.time;
+    event.action();
+    return true;
+  }
+
+  /// Run until the queue drains or the clock passes `horizon`.
+  void run_until(double horizon) {
+    while (!heap_.empty() && heap_.top().time <= horizon) step();
+    now_ = std::max(now_, horizon);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO among simultaneous events
+    Action action;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bevr::sim

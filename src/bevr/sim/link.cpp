@@ -1,0 +1,39 @@
+#include "bevr/sim/link.h"
+
+namespace bevr::sim {
+
+Link::Link(double capacity, Architecture architecture,
+           std::int64_t admission_limit)
+    : capacity_(capacity),
+      architecture_(architecture),
+      admission_limit_(admission_limit) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("Link: capacity must be > 0");
+  }
+  if (architecture == Architecture::kReservation && admission_limit < 0) {
+    throw std::invalid_argument("Link: admission_limit must be >= 0");
+  }
+}
+
+bool Link::try_admit() {
+  if (architecture_ == Architecture::kReservation &&
+      occupancy_ >= admission_limit_) {
+    return false;
+  }
+  ++occupancy_;
+  return true;
+}
+
+void Link::release() {
+  if (occupancy_ <= 0) {
+    throw std::logic_error("Link::release: no flows to release");
+  }
+  --occupancy_;
+}
+
+double Link::share() const {
+  return occupancy_ > 0 ? capacity_ / static_cast<double>(occupancy_)
+                        : capacity_;
+}
+
+}  // namespace bevr::sim

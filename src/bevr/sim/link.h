@@ -1,0 +1,49 @@
+// The shared link under the two architectures (paper §2):
+//  * best-effort: every flow is admitted, bandwidth is processor-shared
+//    (each of k active flows gets C/k);
+//  * reservation: at most `admission_limit` flows are admitted, each
+//    then holding an even share of C; further requests are blocked.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace bevr::sim {
+
+enum class Architecture {
+  kBestEffort,
+  kReservation,
+};
+
+class Link {
+ public:
+  /// `admission_limit` is ignored in best-effort mode; in reservation
+  /// mode it is typically k_max(C) from the fixed-load model.
+  Link(double capacity, Architecture architecture,
+       std::int64_t admission_limit);
+
+  /// Attempt to admit one flow; returns false when blocked.
+  [[nodiscard]] bool try_admit();
+
+  /// Release one admitted flow.
+  void release();
+
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] Architecture architecture() const { return architecture_; }
+  [[nodiscard]] std::int64_t occupancy() const { return occupancy_; }
+  [[nodiscard]] std::int64_t admission_limit() const {
+    return admission_limit_;
+  }
+
+  /// Per-flow bandwidth share at the current occupancy (capacity when
+  /// idle — the next flow would get everything).
+  [[nodiscard]] double share() const;
+
+ private:
+  double capacity_;
+  Architecture architecture_;
+  std::int64_t admission_limit_;
+  std::int64_t occupancy_ = 0;
+};
+
+}  // namespace bevr::sim

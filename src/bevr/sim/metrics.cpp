@@ -1,0 +1,74 @@
+#include "bevr/sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::sim {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedOccupancy::record(double now, std::int64_t occupancy) {
+  if (occupancy < 0) {
+    throw std::invalid_argument("TimeWeightedOccupancy: negative occupancy");
+  }
+  if (started_) {
+    if (now < last_time_) {
+      throw std::invalid_argument("TimeWeightedOccupancy: time went backwards");
+    }
+    const double elapsed = now - last_time_;
+    const auto level = static_cast<std::size_t>(current_);
+    if (time_at_.size() <= level) time_at_.resize(level + 1, 0.0);
+    time_at_[level] += elapsed;
+    total_time_ += elapsed;
+  }
+  started_ = true;
+  last_time_ = now;
+  current_ = occupancy;
+}
+
+double TimeWeightedOccupancy::fraction(std::int64_t k) const {
+  if (total_time_ <= 0.0 || k < 0) return 0.0;
+  const auto level = static_cast<std::size_t>(k);
+  if (level >= time_at_.size()) return 0.0;
+  return time_at_[level] / total_time_;
+}
+
+double TimeWeightedOccupancy::mean() const {
+  if (total_time_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < time_at_.size(); ++k) {
+    acc += static_cast<double>(k) * time_at_[k];
+  }
+  return acc / total_time_;
+}
+
+std::vector<double> TimeWeightedOccupancy::distribution() const {
+  std::vector<double> pmf(time_at_.size(), 0.0);
+  if (total_time_ <= 0.0) return pmf;
+  for (std::size_t k = 0; k < time_at_.size(); ++k) {
+    pmf[k] = time_at_[k] / total_time_;
+  }
+  return pmf;
+}
+
+}  // namespace bevr::sim

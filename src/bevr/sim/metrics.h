@@ -1,0 +1,61 @@
+// Measurement utilities for the simulator: numerically stable running
+// statistics (Welford) and a time-weighted occupancy histogram used to
+// recover the empirical stationary load distribution P(k) — the object
+// the analytical model takes as input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bevr::sim {
+
+/// Welford online mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates the fraction of time the system spends at each integer
+/// occupancy level.
+class TimeWeightedOccupancy {
+ public:
+  /// Note an occupancy change to `occupancy` at time `now`; the elapsed
+  /// interval is credited to the previous level. Call once at the end
+  /// with the final time to flush.
+  void record(double now, std::int64_t occupancy);
+
+  /// Fraction of (recorded) time at level k.
+  [[nodiscard]] double fraction(std::int64_t k) const;
+
+  /// Time-weighted mean occupancy.
+  [[nodiscard]] double mean() const;
+
+  /// Empirical pmf over [0, max_level]; sums to 1 when total time > 0.
+  [[nodiscard]] std::vector<double> distribution() const;
+
+  [[nodiscard]] double total_time() const { return total_time_; }
+
+ private:
+  std::vector<double> time_at_;  // indexed by occupancy level
+  double last_time_ = 0.0;
+  std::int64_t current_ = 0;
+  double total_time_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace bevr::sim

@@ -1,0 +1,232 @@
+#include "bevr/sim/simulator.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "bevr/sim/event_queue.h"
+#include "bevr/sim/rng.h"
+
+namespace bevr::sim {
+
+namespace {
+
+struct FlowState {
+  double arrival_time = 0.0;
+  double admission_time = 0.0;
+  double duration = 0.0;
+  double snapshot_utility = 0.0;
+  double utility_integral_at_admission = 0.0;
+  std::int64_t max_occupancy_seen = 0;
+  int retries = 0;
+};
+
+/// Mutable run state shared by the event closures.
+struct Runner {
+  const SimulationConfig& config;
+  const utility::UtilityFunction& pi;
+  ArrivalProcess& arrivals;
+  HoldingTime& holding;
+
+  EventQueue queue;
+  Rng rng;
+  Link link;
+  TimeWeightedOccupancy occupancy;
+
+  // Global running integral of π(C/n(t)) dt; per-flow time averages are
+  // differences of this (every active flow sees the same share).
+  double utility_integral = 0.0;
+  double last_change_time = 0.0;
+
+  std::unordered_map<std::uint64_t, FlowState> active;
+  std::uint64_t next_flow_id = 0;
+
+  RunningStats scored_utility;
+  RunningStats scored_retries;
+  std::uint64_t first_attempt_arrivals = 0;
+  std::uint64_t first_attempt_blocked = 0;
+  std::uint64_t abandoned = 0;
+
+  Runner(const SimulationConfig& cfg, const utility::UtilityFunction& util,
+         ArrivalProcess& arr, HoldingTime& hold)
+      : config(cfg),
+        pi(util),
+        arrivals(arr),
+        holding(hold),
+        rng(cfg.seed),
+        link(cfg.capacity, cfg.architecture, cfg.admission_limit) {}
+
+  [[nodiscard]] double current_share_utility() const {
+    const std::int64_t n = link.occupancy();
+    if (n == 0) return 0.0;
+    return pi.value(config.capacity / static_cast<double>(n));
+  }
+
+  /// Flush the utility integral and occupancy histogram up to now;
+  /// call immediately BEFORE changing the occupancy.
+  void before_occupancy_change() {
+    const double now = queue.now();
+    utility_integral += current_share_utility() * (now - last_change_time);
+    last_change_time = now;
+  }
+
+  void after_occupancy_change() {
+    const double now = queue.now();
+    if (now >= config.warmup) occupancy.record(now, link.occupancy());
+  }
+
+  void score(const FlowState& flow, double raw_utility) {
+    if (flow.arrival_time < config.warmup) return;
+    const double penalty =
+        config.retry.enabled ? config.retry.penalty * flow.retries : 0.0;
+    scored_utility.add(raw_utility - penalty);
+    scored_retries.add(static_cast<double>(flow.retries));
+  }
+
+  void depart(std::uint64_t id) {
+    const auto it = active.find(id);
+    if (it == active.end()) {
+      throw std::logic_error("FlowSimulator: departure of unknown flow");
+    }
+    before_occupancy_change();
+    const FlowState flow = it->second;
+    active.erase(it);
+    link.release();
+    after_occupancy_change();
+
+    double raw = 0.0;
+    switch (config.utility_mode) {
+      case UtilityMode::kSnapshotAtAdmission:
+        raw = flow.snapshot_utility;
+        break;
+      case UtilityMode::kTimeAverage:
+        raw = flow.duration > 0.0
+                  ? (utility_integral - flow.utility_integral_at_admission) /
+                        flow.duration
+                  : flow.snapshot_utility;
+        break;
+      case UtilityMode::kLifetimeMinimum:
+        raw = pi.value(config.capacity /
+                       static_cast<double>(flow.max_occupancy_seen));
+        break;
+    }
+    score(flow, raw);
+  }
+
+  void admit(FlowState flow) {
+    before_occupancy_change();
+    if (!link.try_admit()) {
+      throw std::logic_error("FlowSimulator: admit called on a full link");
+    }
+    after_occupancy_change();
+    const std::int64_t n = link.occupancy();
+    flow.admission_time = queue.now();
+    flow.snapshot_utility =
+        pi.value(config.capacity / static_cast<double>(n));
+    flow.utility_integral_at_admission = utility_integral;
+    flow.max_occupancy_seen = n;
+    // A new arrival raises the load every in-flight flow may ever see.
+    if (config.utility_mode == UtilityMode::kLifetimeMinimum) {
+      for (auto& entry : active) {
+        if (entry.second.max_occupancy_seen < n) {
+          entry.second.max_occupancy_seen = n;
+        }
+      }
+    }
+    const std::uint64_t id = next_flow_id++;
+    const double duration = flow.duration;
+    active.emplace(id, flow);
+    queue.schedule_in(duration, [this, id] { depart(id); });
+  }
+
+  void attempt(FlowState flow, int attempt_number) {
+    if (attempt_number == 1) {
+      ++first_attempt_arrivals;
+    }
+    if (config.architecture == Architecture::kBestEffort ||
+        link.occupancy() < link.admission_limit()) {
+      admit(flow);
+      return;
+    }
+    // Blocked.
+    if (attempt_number == 1) ++first_attempt_blocked;
+    if (config.retry.enabled && attempt_number < config.retry.max_attempts) {
+      flow.retries = attempt_number;  // retries made so far
+      queue.schedule_in(rng.exponential(config.retry.backoff_mean),
+                        [this, flow, attempt_number]() mutable {
+                          attempt(flow, attempt_number + 1);
+                        });
+      return;
+    }
+    // Lost (no retries, or gave up): zero bandwidth, zero raw utility.
+    flow.retries = attempt_number - 1;
+    ++abandoned;
+    score(flow, 0.0);
+  }
+
+  void arrival() {
+    FlowState flow;
+    flow.arrival_time = queue.now();
+    flow.duration = holding.next_duration(rng);
+    attempt(flow, 1);
+    const double gap = arrivals.next_interarrival(rng);
+    if (queue.now() + gap <= config.horizon) {
+      queue.schedule_in(gap, [this] { arrival(); });
+    }
+  }
+};
+
+}  // namespace
+
+FlowSimulator::FlowSimulator(SimulationConfig config,
+                             std::shared_ptr<const utility::UtilityFunction> pi,
+                             std::shared_ptr<ArrivalProcess> arrivals,
+                             std::shared_ptr<HoldingTime> holding)
+    : config_(config),
+      pi_(std::move(pi)),
+      arrivals_(std::move(arrivals)),
+      holding_(std::move(holding)) {
+  if (!pi_) throw std::invalid_argument("FlowSimulator: null utility");
+  if (!arrivals_) throw std::invalid_argument("FlowSimulator: null arrivals");
+  if (!holding_) throw std::invalid_argument("FlowSimulator: null holding");
+  if (!(config_.horizon > config_.warmup) || !(config_.warmup >= 0.0)) {
+    throw std::invalid_argument("FlowSimulator: need horizon > warmup >= 0");
+  }
+  if (config_.architecture == Architecture::kBestEffort) {
+    // The limit is meaningless for best effort; normalise it.
+    config_.admission_limit = std::numeric_limits<std::int64_t>::max();
+  }
+}
+
+SimulationReport FlowSimulator::run() const {
+  Runner runner(config_, *pi_, *arrivals_, *holding_);
+  runner.queue.schedule(runner.rng.exponential(1.0 / arrivals_->rate()),
+                        [&runner] { runner.arrival(); });
+  // Arrivals stop at the horizon; drain remaining departures/retries.
+  while (runner.queue.step()) {
+  }
+  // Flush the occupancy histogram to the final clock.
+  if (runner.queue.now() >= config_.warmup) {
+    runner.occupancy.record(runner.queue.now(), runner.link.occupancy());
+  }
+
+  SimulationReport report;
+  report.flows_scored = runner.scored_utility.count();
+  report.flows_blocked = runner.first_attempt_blocked;
+  report.flows_abandoned = runner.abandoned;
+  report.mean_utility = runner.scored_utility.mean();
+  report.blocking_probability =
+      runner.first_attempt_arrivals > 0
+          ? static_cast<double>(runner.first_attempt_blocked) /
+                static_cast<double>(runner.first_attempt_arrivals)
+          : 0.0;
+  report.mean_retries = runner.scored_retries.mean();
+  report.mean_occupancy = runner.occupancy.mean();
+  report.occupancy_pmf = runner.occupancy.distribution();
+  return report;
+}
+
+}  // namespace bevr::sim

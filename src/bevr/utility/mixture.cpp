@@ -1,0 +1,63 @@
+#include "bevr/utility/mixture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace bevr::utility {
+
+MixtureUtility::MixtureUtility(std::vector<MixtureComponent> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixtureUtility: needs >= 1 component");
+  }
+  double weight_sum = 0.0;
+  for (const auto& component : components_) {
+    if (!component.utility) {
+      throw std::invalid_argument("MixtureUtility: null component utility");
+    }
+    if (!(component.weight > 0.0) || !(component.scale > 0.0)) {
+      throw std::invalid_argument(
+          "MixtureUtility: weights and scales must be positive");
+    }
+    weight_sum += component.weight;
+  }
+  double common_dead_zone = std::numeric_limits<double>::infinity();
+  for (auto& component : components_) {
+    component.weight /= weight_sum;
+    inelastic_ = inelastic_ || component.utility->inelastic();
+    // The mixture is zero only where EVERY class is zero: below the
+    // minimum of the scaled dead zones.
+    common_dead_zone = std::min(common_dead_zone,
+                                component.scale *
+                                    component.utility->zero_below());
+  }
+  zero_below_ = std::isfinite(common_dead_zone) ? common_dead_zone : 0.0;
+}
+
+double MixtureUtility::value(double bandwidth) const {
+  if (!(bandwidth >= 0.0)) {
+    throw std::invalid_argument("MixtureUtility: bandwidth must be >= 0");
+  }
+  double total = 0.0;
+  for (const auto& component : components_) {
+    total += component.weight *
+             component.utility->value(bandwidth / component.scale);
+  }
+  return total;
+}
+
+std::string MixtureUtility::name() const {
+  std::string name = "Mixture[";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += std::to_string(components_[i].weight) + "x" +
+            components_[i].utility->name() + "@s=" +
+            std::to_string(components_[i].scale);
+  }
+  return name + "]";
+}
+
+}  // namespace bevr::utility

@@ -1,0 +1,55 @@
+// Heterogeneous flow populations (paper §5, "heterogeneous flows —
+// both in size and in utility").
+//
+// In the mean-field version of heterogeneity the class mix is fixed:
+// a fraction wᵢ of flows belongs to class i, which needs sᵢ units of
+// bandwidth per unit of "standard" share and values it through πᵢ.
+// Under even sharing every flow receives the same raw share b, so the
+// population's expected per-flow utility is
+//     π_mix(b) = Σᵢ wᵢ · πᵢ(b / sᵢ),
+// i.e. heterogeneity is exactly a mixture utility — the whole
+// variable-load machinery applies unchanged. The paper reports that
+// this extension "did not change the basic nature of the asymptotic
+// results"; tests/core/test_extensions.cpp verifies that.
+//
+// Caveat: mixtures of step utilities make V(k) = k·π_mix(C/k)
+// multi-peaked, so unimodal_total_utility() returns false and k_max
+// falls back to an exhaustive scan.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bevr/utility/utility.h"
+
+namespace bevr::utility {
+
+/// One population class inside a MixtureUtility.
+struct MixtureComponent {
+  std::shared_ptr<const UtilityFunction> utility;
+  double weight = 1.0;  ///< population fraction (normalised on build)
+  double scale = 1.0;   ///< bandwidth demand scale sᵢ (> 0)
+};
+
+class MixtureUtility final : public UtilityFunction {
+ public:
+  /// Weights are normalised to sum to 1; requires ≥ 1 component.
+  explicit MixtureUtility(std::vector<MixtureComponent> components);
+
+  [[nodiscard]] double value(double bandwidth) const override;
+  [[nodiscard]] double zero_below() const override { return zero_below_; }
+  [[nodiscard]] bool inelastic() const override { return inelastic_; }
+  [[nodiscard]] bool unimodal_total_utility() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<MixtureComponent>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<MixtureComponent> components_;
+  double zero_below_ = 0.0;
+  bool inelastic_ = false;
+};
+
+}  // namespace bevr::utility

@@ -1,0 +1,88 @@
+#include "bevr/utility/utility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bevr::utility {
+
+namespace {
+
+void check_bandwidth(double b) {
+  if (!(b >= 0.0)) {
+    throw std::invalid_argument("UtilityFunction: bandwidth must be >= 0");
+  }
+}
+
+}  // namespace
+
+double Elastic::value(double bandwidth) const {
+  check_bandwidth(bandwidth);
+  return -std::expm1(-bandwidth);
+}
+
+Rigid::Rigid(double bandwidth_requirement) : bhat_(bandwidth_requirement) {
+  if (!(bhat_ > 0.0) || !std::isfinite(bhat_)) {
+    throw std::invalid_argument("Rigid: requirement must be positive/finite");
+  }
+}
+
+double Rigid::value(double bandwidth) const {
+  check_bandwidth(bandwidth);
+  return bandwidth >= bhat_ ? 1.0 : 0.0;
+}
+
+std::string Rigid::name() const {
+  return "Rigid(bhat=" + std::to_string(bhat_) + ")";
+}
+
+AdaptiveExp::AdaptiveExp(double kappa) : kappa_(kappa) {
+  if (!(kappa > 0.0) || !std::isfinite(kappa)) {
+    throw std::invalid_argument("AdaptiveExp: kappa must be positive/finite");
+  }
+}
+
+double AdaptiveExp::value(double bandwidth) const {
+  check_bandwidth(bandwidth);
+  // π(b) = 1 − exp(−b²/(κ+b)); ≈ b²/κ near 0, ≈ 1 − e^{−b} for large b.
+  return -std::expm1(-bandwidth * bandwidth / (kappa_ + bandwidth));
+}
+
+std::string AdaptiveExp::name() const {
+  return "AdaptiveExp(kappa=" + std::to_string(kappa_) + ")";
+}
+
+PiecewiseLinear::PiecewiseLinear(double floor) : floor_(floor) {
+  if (!(floor >= 0.0) || !(floor <= 1.0)) {
+    throw std::invalid_argument("PiecewiseLinear: floor must lie in [0, 1]");
+  }
+}
+
+double PiecewiseLinear::value(double bandwidth) const {
+  check_bandwidth(bandwidth);
+  if (bandwidth >= 1.0) return 1.0;
+  if (floor_ >= 1.0) return 0.0;  // rigid degenerate case: b < 1 -> 0
+  if (bandwidth <= floor_) return 0.0;
+  return (bandwidth - floor_) / (1.0 - floor_);
+}
+
+std::string PiecewiseLinear::name() const {
+  return "PiecewiseLinear(a=" + std::to_string(floor_) + ")";
+}
+
+AlgebraicTail::AlgebraicTail(double r) : r_(r) {
+  if (!(r > 0.0) || !std::isfinite(r)) {
+    throw std::invalid_argument("AlgebraicTail: r must be positive/finite");
+  }
+}
+
+double AlgebraicTail::value(double bandwidth) const {
+  check_bandwidth(bandwidth);
+  if (bandwidth <= 1.0) return 0.0;
+  return 1.0 - std::pow(bandwidth, -r_);
+}
+
+std::string AlgebraicTail::name() const {
+  return "AlgebraicTail(r=" + std::to_string(r_) + ")";
+}
+
+}  // namespace bevr::utility

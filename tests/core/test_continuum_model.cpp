@@ -1,0 +1,227 @@
+#include "bevr/core/continuum.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/exponential_density.h"
+#include "bevr/dist/pareto_density.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+constexpr double kBeta = 0.01;  // mean 100, the paper's k̄
+
+NumericContinuumModel numeric_exponential_rigid() {
+  return NumericContinuumModel(
+      std::make_shared<dist::ExponentialDensity>(kBeta),
+      std::make_shared<utility::Rigid>(1.0));
+}
+
+// Every closed form is validated against quadrature over the defining
+// integrals — this is the core re-derivation check for the OCR-damaged
+// §3.2 formulas.
+
+TEST(ExponentialRigid, ClosedFormMatchesQuadrature) {
+  const ExponentialRigidContinuum closed(kBeta);
+  const auto numeric = numeric_exponential_rigid();
+  for (const double c : {10.0, 50.0, 100.0, 200.0, 400.0}) {
+    EXPECT_NEAR(closed.best_effort(c), numeric.best_effort(c), 1e-7)
+        << "C=" << c;
+    EXPECT_NEAR(closed.reservation(c), numeric.reservation(c), 1e-7)
+        << "C=" << c;
+  }
+}
+
+TEST(ExponentialRigid, PaperFormulas) {
+  // V_R = (1/β)(1−e^{−βC});  V_B = (1/β)(1−e^{−βC}(1+βC));  δ = βCe^{−βC}.
+  const ExponentialRigidContinuum model(kBeta);
+  const double c = 150.0;
+  EXPECT_NEAR(model.total_reservation(c),
+              (1.0 - std::exp(-kBeta * c)) / kBeta, 1e-10);
+  EXPECT_NEAR(model.performance_gap(c),
+              kBeta * c * std::exp(-kBeta * c), 1e-12);
+}
+
+TEST(ExponentialRigid, GapSolvesPaperEquation) {
+  // βΔ = ln(1 + β(C+Δ)).
+  const ExponentialRigidContinuum model(kBeta);
+  for (const double c : {100.0, 400.0, 1600.0}) {
+    const double delta = model.bandwidth_gap(c);
+    EXPECT_NEAR(kBeta * delta, std::log1p(kBeta * (c + delta)), 1e-9);
+  }
+}
+
+TEST(ExponentialRigid, GapGrowsLogarithmically) {
+  // Δ(C) ~ ln(βC)/β: doubling C adds ≈ ln(2)/β.
+  const ExponentialRigidContinuum model(kBeta);
+  const double d1 = model.bandwidth_gap(10'000.0);
+  const double d2 = model.bandwidth_gap(20'000.0);
+  EXPECT_NEAR(d2 - d1, std::log(2.0) / kBeta, 3.0);
+}
+
+TEST(ExponentialAdaptive, ClosedFormMatchesQuadrature) {
+  const double a = 0.5;
+  const ExponentialAdaptiveContinuum closed(kBeta, a);
+  const NumericContinuumModel numeric(
+      std::make_shared<dist::ExponentialDensity>(kBeta),
+      std::make_shared<utility::PiecewiseLinear>(a));
+  for (const double c : {10.0, 50.0, 100.0, 200.0, 400.0}) {
+    EXPECT_NEAR(closed.best_effort(c), numeric.best_effort(c), 1e-7)
+        << "C=" << c;
+    EXPECT_NEAR(closed.reservation(c), numeric.reservation(c), 1e-7)
+        << "C=" << c;
+  }
+}
+
+TEST(ExponentialAdaptive, GapConvergesToConstant) {
+  // Paper §3.3: Δ(∞) = −ln(1−a)/β — a constant, unlike the rigid case.
+  const double a = 0.5;
+  const ExponentialAdaptiveContinuum model(kBeta, a);
+  const double limit = model.bandwidth_gap_limit();
+  EXPECT_NEAR(limit, -std::log1p(-a) / kBeta, 1e-12);
+  EXPECT_NEAR(model.bandwidth_gap(2'000.0), limit, 0.5);
+  EXPECT_NEAR(model.bandwidth_gap(10'000.0), limit, 0.05);
+}
+
+TEST(ExponentialAdaptive, DeltaFormula) {
+  // δ(C) = (a/(1−a))(e^{−βC} − e^{−βC/a}).
+  const double a = 0.3;
+  const ExponentialAdaptiveContinuum model(kBeta, a);
+  const double c = 120.0;
+  const double expected = a / (1.0 - a) *
+                          (std::exp(-kBeta * c) - std::exp(-kBeta * c / a));
+  EXPECT_NEAR(model.performance_gap(c), expected, 1e-12);
+}
+
+TEST(AlgebraicRigid, ClosedFormMatchesQuadrature) {
+  const double z = 3.0;
+  const AlgebraicRigidContinuum closed(z);
+  const NumericContinuumModel numeric(std::make_shared<dist::ParetoDensity>(z),
+                                      std::make_shared<utility::Rigid>(1.0));
+  for (const double c : {2.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(closed.best_effort(c), numeric.best_effort(c), 1e-7)
+        << "C=" << c;
+    EXPECT_NEAR(closed.reservation(c), numeric.reservation(c), 1e-7)
+        << "C=" << c;
+  }
+}
+
+TEST(AlgebraicRigid, ExactLinearGap) {
+  // Δ(C) = C((z−1)^{1/(z−2)} − 1); for z = 3 this is exactly C.
+  const AlgebraicRigidContinuum model(3.0);
+  for (const double c : {2.0, 10.0, 100.0, 1e4}) {
+    EXPECT_NEAR(model.bandwidth_gap(c), c, c * 1e-12) << "C=" << c;
+  }
+}
+
+TEST(AlgebraicRigid, GapDefinitionHolds) {
+  const AlgebraicRigidContinuum model(2.5);
+  for (const double c : {3.0, 30.0, 300.0}) {
+    const double delta = model.bandwidth_gap(c);
+    EXPECT_NEAR(model.best_effort(c + delta), model.reservation(c), 1e-12);
+  }
+}
+
+TEST(AlgebraicAdaptive, ClosedFormMatchesQuadrature) {
+  const double z = 3.0, a = 0.5;
+  const AlgebraicAdaptiveContinuum closed(z, a);
+  const NumericContinuumModel numeric(
+      std::make_shared<dist::ParetoDensity>(z),
+      std::make_shared<utility::PiecewiseLinear>(a));
+  for (const double c : {2.0, 5.0, 20.0, 100.0, 500.0}) {
+    EXPECT_NEAR(closed.best_effort(c), numeric.best_effort(c), 1e-6)
+        << "C=" << c;
+    EXPECT_NEAR(closed.reservation(c), numeric.reservation(c), 1e-6)
+        << "C=" << c;
+  }
+}
+
+TEST(AlgebraicAdaptive, GapStillLinearButSmaller) {
+  // Adaptivity reduces the slope but Δ remains ∝ C (the paper's key
+  // algebraic-case message).
+  const AlgebraicAdaptiveContinuum adaptive(3.0, 0.5);
+  const AlgebraicRigidContinuum rigid(3.0);
+  const double slope_adaptive = adaptive.bandwidth_gap(1e4) / 1e4;
+  const double slope_rigid = rigid.bandwidth_gap(1e4) / 1e4;
+  EXPECT_GT(slope_adaptive, 0.0);
+  EXPECT_LT(slope_adaptive, slope_rigid);
+  // Exact: slope = (1 + a(1−a^{z−2})/(1−a))^{1/(z−2)} − 1 = 0.5^... :
+  const double expected =
+      std::pow(1.0 + 0.5 * (1.0 - 0.5) / 0.5, 1.0) - 1.0;  // z=3: g−1
+  EXPECT_NEAR(slope_adaptive, expected, 1e-9);
+}
+
+TEST(AlgebraicTailUtility, ClosedFormMatchesQuadrature) {
+  const double z = 3.5, r = 1.0;
+  const AlgebraicTailUtilityContinuum closed(z, r);
+  const NumericContinuumModel numeric(
+      std::make_shared<dist::ParetoDensity>(z),
+      std::make_shared<utility::AlgebraicTail>(r));
+  for (const double c : {3.0, 10.0, 50.0, 200.0}) {
+    EXPECT_NEAR(closed.best_effort(c), numeric.best_effort(c), 1e-6)
+        << "C=" << c;
+    EXPECT_NEAR(closed.reservation(c), numeric.reservation(c), 1e-6)
+        << "C=" << c;
+  }
+}
+
+TEST(AlgebraicTailUtility, GapRegimesFromPaper) {
+  // §3.3: r > z−2 → Δ ~ C; z−3 < r < z−2 → sublinear increase;
+  // r < z−3 → Δ asymptotically decreases.
+  const double z = 4.0;
+  {
+    const AlgebraicTailUtilityContinuum fast(z, 3.0);  // r > z−2 = 2
+    const double g1 = fast.bandwidth_gap(1'000.0);
+    const double g2 = fast.bandwidth_gap(2'000.0);
+    EXPECT_NEAR(g2 / g1, 2.0, 0.2);  // linear
+  }
+  {
+    const AlgebraicTailUtilityContinuum mid(z, 1.5);  // z−3 < r < z−2
+    const double g1 = mid.bandwidth_gap(1'000.0);
+    const double g2 = mid.bandwidth_gap(2'000.0);
+    EXPECT_GT(g2, g1);              // still increasing
+    EXPECT_LT(g2 / g1, 1.9);        // but sublinearly
+  }
+  {
+    const AlgebraicTailUtilityContinuum slow(z, 0.5);  // r < z−3
+    const double g1 = slow.bandwidth_gap(1'000.0);
+    const double g2 = slow.bandwidth_gap(4'000.0);
+    EXPECT_LT(g2, g1);  // asymptotically decreasing
+  }
+}
+
+TEST(ContinuumModels, ReservationDominanceEverywhere) {
+  const ExponentialRigidContinuum er(kBeta);
+  const ExponentialAdaptiveContinuum ea(kBeta, 0.5);
+  const AlgebraicRigidContinuum ar(3.0);
+  const AlgebraicAdaptiveContinuum aa(3.0, 0.5);
+  for (const double c : {1.0, 10.0, 100.0, 1000.0}) {
+    for (const ContinuumModel* m :
+         {static_cast<const ContinuumModel*>(&er),
+          static_cast<const ContinuumModel*>(&ea),
+          static_cast<const ContinuumModel*>(&ar),
+          static_cast<const ContinuumModel*>(&aa)}) {
+      EXPECT_GE(m->reservation(c) + 1e-12, m->best_effort(c))
+          << m->name() << " C=" << c;
+    }
+  }
+}
+
+TEST(ContinuumModels, ParameterValidation) {
+  EXPECT_THROW(ExponentialRigidContinuum(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialAdaptiveContinuum(kBeta, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ExponentialAdaptiveContinuum(kBeta, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(AlgebraicRigidContinuum(2.0), std::invalid_argument);
+  EXPECT_THROW(AlgebraicAdaptiveContinuum(3.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(AlgebraicTailUtilityContinuum(3.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::core

@@ -1,0 +1,168 @@
+// Direct checks of the quantitative claims quoted in the paper's text
+// (§3.3, §4). Shape, ordering, and approximate magnitudes — not exact
+// matches, since the paper reports figures read from plots.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  std::shared_ptr<const dist::DiscreteLoad> poisson_ =
+      std::make_shared<dist::PoissonLoad>(100.0);
+  std::shared_ptr<const dist::DiscreteLoad> exponential_ =
+      std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(100.0));
+  std::shared_ptr<const dist::DiscreteLoad> algebraic_ =
+      std::make_shared<dist::AlgebraicLoad>(
+          dist::AlgebraicLoad::with_mean(3.0, 100.0));
+  std::shared_ptr<const utility::UtilityFunction> rigid_ =
+      std::make_shared<utility::Rigid>(1.0);
+  std::shared_ptr<const utility::UtilityFunction> adaptive_ =
+      std::make_shared<utility::AdaptiveExp>();
+};
+
+// §3.3 / Fig 2b: "the performance gap δ(C) reaches a peak of 0.8 and
+// the bandwidth gap Δ(C) reaches a peak of 80" (Poisson, rigid).
+TEST_F(PaperClaims, PoissonRigidPeakGaps) {
+  const VariableLoadModel model(poisson_, rigid_);
+  double peak_delta = 0.0, peak_gap = 0.0;
+  for (double c = 2.0; c <= 150.0; c += 2.0) {
+    peak_delta = std::max(peak_delta, model.performance_gap(c));
+    peak_gap = std::max(peak_gap, model.bandwidth_gap(c));
+  }
+  EXPECT_NEAR(peak_delta, 0.8, 0.05);
+  EXPECT_NEAR(peak_gap, 80.0, 8.0);
+}
+
+// §3.3: "for the Poisson distribution, δ(C) is less than 10⁻¹⁵ at the
+// same capacities [2k̄ and 4k̄]".
+TEST_F(PaperClaims, PoissonRigidGapVanishesSuperexponentially) {
+  const VariableLoadModel model(poisson_, rigid_);
+  EXPECT_LT(model.performance_gap(200.0), 1e-12);
+  EXPECT_LT(model.performance_gap(400.0), 1e-12);
+}
+
+// §3.3: "at capacities of 2k̄ and 4k̄ with rigid applications, δ(C) is
+// approximately .27 and .07" (exponential).
+TEST_F(PaperClaims, ExponentialRigidQuotedGaps) {
+  const VariableLoadModel model(exponential_, rigid_);
+  EXPECT_NEAR(model.performance_gap(200.0), 0.27, 0.02);
+  EXPECT_NEAR(model.performance_gap(400.0), 0.07, 0.01);
+}
+
+// §3.3: exponential + rigid: "the bandwidth gap Δ(C) is monotonically
+// increasing throughout the entire domain" (logarithmic growth).
+TEST_F(PaperClaims, ExponentialRigidGapMonotone) {
+  const VariableLoadModel model(exponential_, rigid_);
+  double prev = 0.0;
+  for (double c = 50.0; c <= 800.0; c += 50.0) {
+    const double gap = model.bandwidth_gap(c);
+    EXPECT_GT(gap, prev - 1e-6) << "C=" << c;
+    prev = gap;
+  }
+}
+
+// §3.3: exponential + adaptive: "δ(C) has a value less than .01 when
+// capacity equals 2k̄, and less than .001 when capacity equals 4k̄";
+// "after hitting a peak of 9, the bandwidth gap Δ(C) decreases".
+TEST_F(PaperClaims, ExponentialAdaptiveQuotedGaps) {
+  const VariableLoadModel model(exponential_, adaptive_);
+  EXPECT_LT(model.performance_gap(200.0), 0.01);
+  EXPECT_LT(model.performance_gap(400.0), 0.001);
+  double peak = 0.0, peak_c = 0.0;
+  for (double c = 10.0; c <= 400.0; c += 10.0) {
+    const double gap = model.bandwidth_gap(c);
+    if (gap > peak) {
+      peak = gap;
+      peak_c = c;
+    }
+  }
+  EXPECT_NEAR(peak, 9.0, 1.5);
+  // ...and it decreases past the peak.
+  EXPECT_LT(model.bandwidth_gap(400.0), peak);
+  EXPECT_LT(peak_c, 200.0);
+}
+
+// §3.3: exponential + adaptive: peak performance gap is ~10x smaller
+// than rigid ("the peak of the performance gap δ(C) is reduced by a
+// factor of 10").
+TEST_F(PaperClaims, AdaptivityShrinksExponentialPeakTenfold) {
+  const VariableLoadModel rigid(exponential_, rigid_);
+  const VariableLoadModel adaptive(exponential_, adaptive_);
+  double peak_rigid = 0.0, peak_adaptive = 0.0;
+  for (double c = 5.0; c <= 400.0; c += 5.0) {
+    peak_rigid = std::max(peak_rigid, rigid.performance_gap(c));
+    peak_adaptive = std::max(peak_adaptive, adaptive.performance_gap(c));
+  }
+  EXPECT_NEAR(peak_rigid / peak_adaptive, 10.0, 4.0);
+}
+
+// §3.3 / Fig 4: algebraic + rigid: "the gap ... remains substantial
+// over a wide range" (values ≈ .20 at 2k̄); "the bandwidth gap Δ(C)
+// increases linearly throughout the entire domain" with slope ≈ 1 for
+// z = 3.
+TEST_F(PaperClaims, AlgebraicRigidLinearGap) {
+  const VariableLoadModel model(algebraic_, rigid_);
+  EXPECT_NEAR(model.performance_gap(200.0), 0.20, 0.05);
+  const double g400 = model.bandwidth_gap(400.0);
+  const double g800 = model.bandwidth_gap(800.0);
+  const double slope = (g800 - g400) / 400.0;
+  EXPECT_NEAR(slope, 1.0, 0.15);
+}
+
+// §3.3: algebraic + adaptive: Δ(C) still increases but with slope
+// "decreased by a factor of over 20".
+TEST_F(PaperClaims, AlgebraicAdaptiveSlopeReduced20x) {
+  const VariableLoadModel rigid(algebraic_, rigid_);
+  const VariableLoadModel adaptive(algebraic_, adaptive_);
+  const double slope_rigid =
+      (rigid.bandwidth_gap(800.0) - rigid.bandwidth_gap(400.0)) / 400.0;
+  const double slope_adaptive =
+      (adaptive.bandwidth_gap(800.0) - adaptive.bandwidth_gap(400.0)) / 400.0;
+  EXPECT_GT(slope_adaptive, 0.0);
+  EXPECT_GT(slope_rigid / slope_adaptive, 20.0);
+}
+
+// §2 (fixed-load review): the adaptive V(k) declines gently past
+// k_max while the rigid V(k) crashes to zero — the reason adaptive
+// applications tolerate best-effort overload.
+TEST_F(PaperClaims, AdaptiveOverloadIsGentle) {
+  const double c = 100.0;
+  const utility::Rigid rigid(1.0);
+  const utility::AdaptiveExp adaptive;
+  // 20% overload: rigid total utility collapses to zero; the adaptive
+  // total declines only a few percent from its peak V(k_max).
+  const double v_rigid = 120.0 * rigid.value(c / 120.0);
+  const double v_adaptive = 120.0 * adaptive.value(c / 120.0);
+  const double v_peak = 100.0 * adaptive.value(1.0);
+  EXPECT_EQ(v_rigid, 0.0);
+  EXPECT_GT(v_adaptive, 0.9 * v_peak);
+}
+
+// §6: the six-case ordering of who-needs-reservations: algebraic >
+// exponential > Poisson in long-run gap size, and rigid > adaptive.
+TEST_F(PaperClaims, GapOrderingAcrossLoadTails) {
+  const double c = 300.0;
+  const VariableLoadModel pr(poisson_, rigid_);
+  const VariableLoadModel er(exponential_, rigid_);
+  const VariableLoadModel ar(algebraic_, rigid_);
+  EXPECT_LT(pr.performance_gap(c), er.performance_gap(c));
+  EXPECT_LT(er.performance_gap(c), ar.performance_gap(c));
+  const VariableLoadModel ea(exponential_, adaptive_);
+  const VariableLoadModel aa(algebraic_, adaptive_);
+  EXPECT_LT(ea.performance_gap(c), er.performance_gap(c));
+  EXPECT_LT(aa.performance_gap(c), ar.performance_gap(c));
+}
+
+}  // namespace
+}  // namespace bevr::core

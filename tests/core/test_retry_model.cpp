@@ -1,0 +1,167 @@
+#include "bevr/core/retry.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+using dist::AlgebraicLoad;
+using dist::DiscreteLoad;
+using dist::ExponentialLoad;
+using dist::PoissonLoad;
+
+RetryModel::LoadFactory poisson_family() {
+  return [](double mean) -> std::shared_ptr<const DiscreteLoad> {
+    return std::make_shared<PoissonLoad>(mean);
+  };
+}
+
+RetryModel::LoadFactory exponential_family() {
+  return [](double mean) -> std::shared_ptr<const DiscreteLoad> {
+    return std::make_shared<ExponentialLoad>(
+        ExponentialLoad::with_mean(mean));
+  };
+}
+
+RetryModel::LoadFactory algebraic_family(double z) {
+  return [z](double mean) -> std::shared_ptr<const DiscreteLoad> {
+    return std::make_shared<AlgebraicLoad>(AlgebraicLoad::with_mean(z, mean));
+  };
+}
+
+TEST(RetryModel, ConstructionChecks) {
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  EXPECT_THROW(RetryModel(nullptr, 100.0, pi, 0.1), std::invalid_argument);
+  EXPECT_THROW(RetryModel(poisson_family(), 0.0, pi, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(RetryModel(poisson_family(), 100.0, nullptr, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(RetryModel(poisson_family(), 100.0, pi, -0.1),
+               std::invalid_argument);
+}
+
+TEST(RetryModel, NoBlockingMeansNoInflation) {
+  // At huge capacity Poisson(100) has essentially zero blocking.
+  const RetryModel model(poisson_family(), 100.0,
+                         std::make_shared<utility::Rigid>(1.0), 0.1);
+  const auto solution = model.solve(400.0);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_NEAR(solution.inflated_mean, 100.0, 0.2);
+  EXPECT_NEAR(solution.retries, 0.0, 2e-3);
+  EXPECT_NEAR(solution.utility, 1.0, 1e-6);
+}
+
+TEST(RetryModel, ConservationLawHoldsAtFixedPoint) {
+  // L̂·(1−θ) = L at the solution.
+  const RetryModel model(exponential_family(), 100.0,
+                         std::make_shared<utility::Rigid>(1.0), 0.1);
+  for (const double c : {150.0, 200.0, 400.0}) {
+    const auto solution = model.solve(c);
+    ASSERT_TRUE(solution.feasible) << "C=" << c;
+    EXPECT_NEAR(solution.inflated_mean * (1.0 - solution.blocking), 100.0,
+                1e-5)
+        << "C=" << c;
+  }
+}
+
+TEST(RetryModel, InfeasibleBelowBaseLoad) {
+  // With C well below k̄ the reservation system cannot carry the
+  // arrival mass no matter how much retrying inflates the offered load.
+  const RetryModel model(exponential_family(), 100.0,
+                         std::make_shared<utility::Rigid>(1.0), 0.1);
+  const auto solution = model.solve(50.0);
+  EXPECT_FALSE(solution.feasible);
+  EXPECT_TRUE(std::isinf(model.reservation(50.0)));
+  EXPECT_LT(model.reservation(50.0), 0.0);
+}
+
+TEST(RetryModel, LargeCapacityUtilityIsOneMinusAlphaTheta) {
+  // Paper §5.2: for large C, R̃(C) ≈ 1 − α·θ (the only disutility is
+  // the retry penalty).
+  const double alpha = 0.1;
+  const RetryModel model(exponential_family(), 100.0,
+                         std::make_shared<utility::Rigid>(1.0), alpha);
+  const double c = 600.0;
+  const auto solution = model.solve(c);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_NEAR(solution.utility, 1.0 - alpha * solution.blocking, 5e-3);
+}
+
+TEST(RetryModel, RetriesRaiseUtilityVersusBlockingWhenPenaltySmall) {
+  // With a small α, getting in late beats never getting in: R̃ ≥ R.
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const RetryModel with_retries(exponential_family(), 100.0, pi, 0.01);
+  const VariableLoadModel without(
+      exponential_family()(100.0), pi);
+  for (const double c : {150.0, 250.0, 400.0}) {
+    EXPECT_GT(with_retries.reservation(c), without.reservation(c))
+        << "C=" << c;
+  }
+}
+
+TEST(RetryModel, LargePenaltyMakesRetryingWorseThanBlocking) {
+  // With α = 1 every retry costs a full flow's utility: R̃ < R basic.
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const RetryModel harsh(exponential_family(), 100.0, pi, 1.0);
+  const VariableLoadModel basic(exponential_family()(100.0), pi);
+  const double c = 150.0;
+  EXPECT_LT(harsh.reservation(c), basic.reservation(c) + 1e-9);
+}
+
+TEST(RetryModel, PaperQuotedAlgebraicAdaptiveGap) {
+  // §5.2: algebraic + adaptive with α = 0.1: δ(4k̄) ≈ .027 with
+  // retries versus ≈ .0025 without — a ~10x amplification at large C.
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const RetryModel with_retries(algebraic_family(3.0), 100.0, pi, 0.1);
+  const VariableLoadModel without(algebraic_family(3.0)(100.0), pi);
+  const double c = 400.0;
+  const double gap_with = with_retries.performance_gap(c);
+  const double gap_without = without.performance_gap(c);
+  // Shape claim: retries amplify the large-C gap by roughly an order
+  // of magnitude. (The paper reads .027 vs .0025 off its own plots;
+  // our fixed point yields ~.09 vs ~.007 — same direction and ratio.
+  // EXPERIMENTS.md records both.)
+  EXPECT_GT(gap_with, 3.0 * gap_without);
+  EXPECT_GT(gap_with, 0.02);
+  EXPECT_LT(gap_with, 0.15);
+  EXPECT_LT(gap_without, 0.012);
+}
+
+TEST(RetryModel, BandwidthGapDefinition) {
+  const RetryModel model(exponential_family(), 100.0,
+                         std::make_shared<utility::AdaptiveExp>(), 0.1);
+  const double c = 200.0;
+  const double delta = model.bandwidth_gap(c);
+  EXPECT_NEAR(model.best_effort(c + delta), model.reservation(c), 1e-6);
+}
+
+TEST(RetryModel, BestEffortUnaffectedByRetries) {
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const RetryModel model(exponential_family(), 100.0, pi, 0.1);
+  const VariableLoadModel basic(exponential_family()(100.0), pi);
+  for (const double c : {50.0, 150.0, 300.0}) {
+    EXPECT_DOUBLE_EQ(model.best_effort(c), basic.best_effort(c));
+  }
+}
+
+TEST(RetryModel, PoissonMinimallyAffected) {
+  // §5.2: "the Poisson and exponential cases show minimal effects of
+  // retrying" — blocking is tiny once C > k̄ + a few σ.
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const RetryModel model(poisson_family(), 100.0, pi, 0.1);
+  const VariableLoadModel basic(poisson_family()(100.0), pi);
+  const double c = 200.0;
+  EXPECT_NEAR(model.reservation(c), basic.reservation(c), 1e-4);
+}
+
+}  // namespace
+}  // namespace bevr::core

@@ -1,0 +1,201 @@
+#include "bevr/core/sampling.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+using dist::AlgebraicLoad;
+using dist::ExponentialLoad;
+using dist::PoissonLoad;
+
+std::shared_ptr<const dist::DiscreteLoad> exp100() {
+  return std::make_shared<ExponentialLoad>(ExponentialLoad::with_mean(100.0));
+}
+
+TEST(SamplingModel, ConstructionChecks) {
+  EXPECT_THROW(SamplingModel(nullptr, std::make_shared<utility::Rigid>(1.0), 2),
+               std::invalid_argument);
+  EXPECT_THROW(SamplingModel(exp100(), nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(
+      SamplingModel(exp100(), std::make_shared<utility::Rigid>(1.0), 0),
+      std::invalid_argument);
+}
+
+// The key regression: S = 1 sampling is EXACTLY the basic variable-load
+// model (the flow-perspective average Σ Q(k)π(C/k) equals the paper's
+// (1/k̄)Σ P(k)·k·π(C/k)).
+TEST(SamplingModel, SEquals1ReducesToBasicModel) {
+  for (const auto& pi :
+       {std::shared_ptr<const utility::UtilityFunction>(
+            std::make_shared<utility::Rigid>(1.0)),
+        std::shared_ptr<const utility::UtilityFunction>(
+            std::make_shared<utility::AdaptiveExp>())}) {
+    const SamplingModel sampling(exp100(), pi, 1);
+    const VariableLoadModel basic(exp100(), pi);
+    for (const double c : {40.0, 100.0, 250.0}) {
+      EXPECT_NEAR(sampling.best_effort(c), basic.best_effort(c), 1e-9)
+          << pi->name() << " C=" << c;
+      EXPECT_NEAR(sampling.reservation(c), basic.reservation(c), 1e-9)
+          << pi->name() << " C=" << c;
+    }
+  }
+}
+
+TEST(SamplingModel, RigidBestEffortIsCdfPower) {
+  // For rigid b̂=1, B_S(C) = F_Q(⌊C⌋)^S exactly.
+  const auto load = exp100();
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const dist::SizeBiasedLoad q(load);
+  for (const int s : {1, 2, 5}) {
+    const SamplingModel model(load, pi, s);
+    for (const double c : {80.0, 150.0, 300.0}) {
+      const double f = q.cdf(static_cast<std::int64_t>(std::floor(c)));
+      EXPECT_NEAR(model.best_effort(c), std::pow(f, s), 1e-10)
+          << "S=" << s << " C=" << c;
+    }
+  }
+}
+
+TEST(SamplingModel, MoreSamplesHurtBestEffortMore) {
+  // Max-of-S load grows with S, so best-effort utility decreases in S,
+  // while reservations are shielded by the k_max cap: the gap widens
+  // (the paper's §5.1 message).
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const double c = 150.0;
+  double prev_b = 2.0;
+  double prev_gap = -1.0;
+  for (const int s : {1, 2, 5, 10}) {
+    const SamplingModel model(exp100(), pi, s);
+    const double b = model.best_effort(c);
+    const double gap = model.performance_gap(c);
+    EXPECT_LT(b, prev_b) << "S=" << s;
+    EXPECT_GT(gap, prev_gap) << "S=" << s;
+    prev_b = b;
+    prev_gap = gap;
+  }
+}
+
+TEST(SamplingModel, ReservationDominance) {
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  for (const int s : {1, 2, 5}) {
+    const SamplingModel model(exp100(), pi, s);
+    for (const double c : {50.0, 100.0, 200.0, 400.0}) {
+      EXPECT_GE(model.reservation(c) + 1e-12, model.best_effort(c))
+          << "S=" << s << " C=" << c;
+    }
+  }
+}
+
+TEST(SamplingModel, ReservationCapsWorstCase) {
+  // Under reservations an admitted flow never sees load above k_max:
+  // for rigid utility R_S is exactly the acceptance probability and
+  // does not degrade with S beyond the first sample.
+  const auto load = exp100();
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const double c = 150.0;
+  const SamplingModel s1(load, pi, 1);
+  const SamplingModel s10(load, pi, 10);
+  EXPECT_NEAR(s1.reservation(c), s10.reservation(c), 1e-9);
+}
+
+TEST(SamplingModel, GapDefinitionHolds) {
+  const SamplingModel model(exp100(),
+                            std::make_shared<utility::AdaptiveExp>(), 3);
+  const double c = 120.0;
+  const double delta = model.bandwidth_gap(c);
+  EXPECT_NEAR(model.best_effort(c + delta), model.reservation(c), 1e-6);
+}
+
+TEST(SamplingModel, ElasticUtilityNeverBlocks) {
+  const SamplingModel model(exp100(), std::make_shared<utility::Elastic>(), 4);
+  const double c = 100.0;
+  EXPECT_DOUBLE_EQ(model.reservation(c), model.best_effort(c));
+}
+
+TEST(SamplingModel, Footnote9ElasticBenefitsWithExplicitCap) {
+  // Paper footnote 9: with sampling, even elastic applications can be
+  // better off under reservations — but the standard k_max is infinite,
+  // so a finite admission limit must be imposed by policy.
+  SamplingModel model(exp100(), std::make_shared<utility::Elastic>(), 8);
+  const double c = 100.0;
+  const double without_cap = model.reservation(c);
+  EXPECT_DOUBLE_EQ(without_cap, model.best_effort(c));  // no cap, no gain
+  model.set_admission_limit(120);
+  EXPECT_GT(model.reservation(c), model.best_effort(c));
+  // Restore the rule; the override validates its argument.
+  EXPECT_THROW(model.set_admission_limit(0), std::invalid_argument);
+  model.set_admission_limit(std::nullopt);
+  EXPECT_DOUBLE_EQ(model.reservation(c), model.best_effort(c));
+}
+
+TEST(SamplingModel, OverrideMatchesRuleWhenEqual) {
+  // Setting the override to exactly k_max(C) reproduces the rule.
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  SamplingModel overridden(exp100(), pi, 3);
+  const SamplingModel standard(exp100(), pi, 3);
+  const double c = 140.0;
+  overridden.set_admission_limit(*standard.k_max(c));
+  EXPECT_NEAR(overridden.reservation(c), standard.reservation(c), 1e-12);
+}
+
+TEST(SamplingModel, PaperQuotedExponentialAdaptiveGap) {
+  // §5.1: with sampling, exponential + adaptive shows δ ≈ 0.21 around
+  // C ≈ k̄ (versus < .01 in the basic model at 2k̄). The text reads
+  // "value of .21 at capacity ~k̄ in the sampling model"; we check the
+  // gap at C ≈ k̄ with a generous band and, critically, the ~20x
+  // amplification versus S = 1.
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const SamplingModel s10(exp100(), pi, 10);
+  const SamplingModel s1(exp100(), pi, 1);
+  const double gap10 = s10.performance_gap(100.0);
+  const double gap1 = s1.performance_gap(100.0);
+  EXPECT_GT(gap10, 0.1);
+  EXPECT_LT(gap10, 0.4);
+  EXPECT_GT(gap10, 4.0 * gap1);
+}
+
+TEST(SamplingModel, PoissonNearlyUnaffected) {
+  // §5.1: "multiple samplings has little effect on the Poisson case"
+  // (low variance → the max of S samples is close to a single sample).
+  const auto load = std::make_shared<PoissonLoad>(100.0);
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const SamplingModel s1(load, pi, 1);
+  const SamplingModel s5(load, pi, 5);
+  const double c = 150.0;
+  const double poisson_effect = s1.best_effort(c) - s5.best_effort(c);
+  EXPECT_LT(poisson_effect, 0.08);
+  // ...and much smaller than the same perturbation under the
+  // heavy-variance exponential load.
+  const SamplingModel e1(exp100(), pi, 1);
+  const SamplingModel e5(exp100(), pi, 5);
+  EXPECT_GT(e1.best_effort(c) - e5.best_effort(c), 1.5 * poisson_effect);
+}
+
+TEST(SamplingModel, AlgebraicAsymptoticRatioGrowsWithS) {
+  // §5.1 continuum: (C+Δ)/C → (S(z−1))^{1/(z−2)}; check the discrete
+  // model's measured ratio is ordered in S and exceeds the basic one.
+  const auto load =
+      std::make_shared<AlgebraicLoad>(AlgebraicLoad::with_mean(3.0, 100.0));
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const double c = 800.0;
+  const SamplingModel s1(load, pi, 1);
+  const SamplingModel s2(load, pi, 2);
+  const double r1 = (c + s1.bandwidth_gap(c)) / c;
+  const double r2 = (c + s2.bandwidth_gap(c)) / c;
+  EXPECT_GT(r2, r1);
+  EXPECT_GT(r2, 1.5);
+}
+
+}  // namespace
+}  // namespace bevr::core

@@ -1,0 +1,156 @@
+#include "bevr/core/welfare.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/continuum.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+TEST(MaximizeWelfare, QuadraticUtilityHasAnalyticOptimum) {
+  // V(C) = 10C − C²/2: optimum at C = 10 − p.
+  auto v = [](double c) { return 10.0 * c - 0.5 * c * c; };
+  const auto point = maximize_welfare(v, 2.0, 10.0);
+  EXPECT_NEAR(point.capacity, 8.0, 1e-4);
+  EXPECT_NEAR(point.welfare, v(8.0) - 2.0 * 8.0, 1e-6);
+}
+
+TEST(MaximizeWelfare, ExpensiveBandwidthMeansBuildNothing) {
+  auto v = [](double c) { return std::min(c, 1.0); };  // utility caps at 1
+  const auto point = maximize_welfare(v, 2.0, 1.0);    // price > marginal
+  EXPECT_EQ(point.capacity, 0.0);
+  EXPECT_EQ(point.welfare, 0.0);
+}
+
+TEST(MaximizeWelfare, ParameterValidation) {
+  auto v = [](double c) { return c; };
+  EXPECT_THROW((void)maximize_welfare(v, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)maximize_welfare(v, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MaximizeWelfare, MatchesContinuumClosedFormExponentialRigid) {
+  // The generic optimiser must reproduce the Lambert-W closed form.
+  const ExponentialRigidContinuum model(0.01);
+  auto v = [&model](double c) { return model.total_best_effort(c); };
+  for (const double p : {0.05, 0.1, 0.2, 0.3}) {
+    const auto point = maximize_welfare(v, p, 100.0, 2048);
+    EXPECT_NEAR(point.welfare, model.welfare_best_effort(p),
+                1e-3 * (1.0 + model.welfare_best_effort(p)))
+        << "p=" << p;
+    if (model.capacity_best_effort(p) > 0.0) {
+      EXPECT_NEAR(point.capacity, model.capacity_best_effort(p),
+                  0.02 * model.capacity_best_effort(p) + 0.5)
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(MaximizeWelfare, MatchesContinuumClosedFormExponentialReservation) {
+  const ExponentialRigidContinuum model(0.01);
+  auto v = [&model](double c) { return model.total_reservation(c); };
+  for (const double p : {0.01, 0.1, 0.5}) {
+    const auto point = maximize_welfare(v, p, 100.0, 2048);
+    EXPECT_NEAR(point.welfare, model.welfare_reservation(p),
+                1e-3 * (1.0 + model.welfare_reservation(p)))
+        << "p=" << p;
+  }
+}
+
+TEST(EqualizingPriceRatio, ClosedFormAlgebraicRigid) {
+  // γ(p) = (z−1)^{1/(z−2)} = 2 at z = 3, independent of p.
+  const AlgebraicRigidContinuum model(3.0);
+  auto wb = [&model](double p) { return model.welfare_best_effort(p); };
+  auto wr = [&model](double p) { return model.welfare_reservation(p); };
+  for (const double p : {0.001, 0.01, 0.1}) {
+    const double gamma = equalizing_price_ratio(wb, wr, p);
+    EXPECT_NEAR(gamma, 2.0, 1e-6) << "p=" << p;
+    EXPECT_NEAR(model.equalizing_price_ratio(p), 2.0, 1e-9);
+  }
+}
+
+TEST(EqualizingPriceRatio, ExponentialConvergesToOne) {
+  // Paper §4: for exponential loads γ(p) → 1 as p → 0.
+  const ExponentialRigidContinuum model(0.01);
+  const double g_hi = model.equalizing_price_ratio(0.2);
+  const double g_md = model.equalizing_price_ratio(1e-4);
+  const double g_lo = model.equalizing_price_ratio(1e-10);
+  EXPECT_GT(g_hi, g_md);
+  EXPECT_GT(g_md, g_lo);
+  EXPECT_GT(g_lo, 1.0);
+  // Convergence is logarithmic (paper: γ ≈ 1 + ln(−ln p)/(−ln p)): at
+  // p = 1e-10 the approximation predicts ≈ 1.14.
+  const double l = std::log(1e10);
+  EXPECT_NEAR(g_lo, 1.0 + std::log(l) / l, 0.03);
+}
+
+TEST(EqualizingPriceRatio, GammaIsAtLeastOne) {
+  const ExponentialRigidContinuum model(0.01);
+  auto wb = [&model](double p) { return model.welfare_best_effort(p); };
+  auto wr = [&model](double p) { return model.welfare_reservation(p); };
+  for (const double p : {1e-6, 1e-3, 0.1, 0.3}) {
+    EXPECT_GE(equalizing_price_ratio(wb, wr, p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(EqualizingPriceRatio, DefinitionHolds) {
+  // W_R(γ·p) = W_B(p) by construction.
+  const ExponentialAdaptiveContinuum model(0.01, 0.5);
+  const double p = 0.05;
+  const double gamma = model.equalizing_price_ratio(p);
+  EXPECT_NEAR(model.welfare_reservation(gamma * p),
+              model.welfare_best_effort(p),
+              1e-8 * (1.0 + model.welfare_best_effort(p)));
+}
+
+TEST(WelfareAnalysis, DiscretePoissonRigidRatioInPaperRange) {
+  // Paper §4: Poisson + rigid, γ(p) between roughly 1.1 and 1.2 over
+  // most of the price range.
+  const auto load = std::make_shared<dist::PoissonLoad>(100.0);
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const auto model = std::make_shared<VariableLoadModel>(load, pi);
+  const WelfareAnalysis analysis(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); }, 100.0);
+  const double gamma = analysis.price_ratio(0.1);
+  EXPECT_GT(gamma, 1.05);
+  EXPECT_LT(gamma, 1.30);
+}
+
+TEST(WelfareAnalysis, DiscretePoissonAdaptiveRatioNearOne) {
+  // Paper §4: Poisson + adaptive, the two architectures are nearly
+  // equivalent — γ(p) ≈ 1 for all but the highest prices.
+  const auto load = std::make_shared<dist::PoissonLoad>(100.0);
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const auto model = std::make_shared<VariableLoadModel>(load, pi);
+  const WelfareAnalysis analysis(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); }, 100.0);
+  const double gamma = analysis.price_ratio(0.01);
+  EXPECT_GE(gamma, 1.0);
+  EXPECT_LT(gamma, 1.05);
+}
+
+TEST(WelfareAnalysis, ProvisioningDecreasesWithPrice) {
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const auto model = std::make_shared<VariableLoadModel>(load, pi);
+  const WelfareAnalysis analysis(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); }, 100.0);
+  const auto cheap = analysis.reservation(0.01);
+  const auto costly = analysis.reservation(0.3);
+  EXPECT_GT(cheap.capacity, costly.capacity);
+  EXPECT_GT(cheap.welfare, costly.welfare);
+}
+
+}  // namespace
+}  // namespace bevr::core

@@ -1,0 +1,131 @@
+// Property sweeps over the welfare model (§4): economic sanity that
+// must hold for every load family, utility family and price.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+std::shared_ptr<VariableLoadModel> make_model(const std::string& load_kind,
+                                              const std::string& util_kind) {
+  std::shared_ptr<const dist::DiscreteLoad> load;
+  if (load_kind == "poisson") {
+    load = std::make_shared<dist::PoissonLoad>(100.0);
+  } else if (load_kind == "exponential") {
+    load = std::make_shared<dist::ExponentialLoad>(
+        dist::ExponentialLoad::with_mean(100.0));
+  } else {
+    load = std::make_shared<dist::AlgebraicLoad>(
+        dist::AlgebraicLoad::with_mean(3.0, 100.0));
+  }
+  std::shared_ptr<const utility::UtilityFunction> pi;
+  if (util_kind == "rigid") {
+    pi = std::make_shared<utility::Rigid>(1.0);
+  } else {
+    pi = std::make_shared<utility::AdaptiveExp>();
+  }
+  // Cheaper evaluation for the sweep (heavy-tailed welfare optima are
+  // far out in C).
+  VariableLoadModel::Options options;
+  options.tail_eps = 1e-10;
+  options.direct_budget = 16'384;
+  return std::make_shared<VariableLoadModel>(load, pi, options);
+}
+
+WelfareAnalysis make_analysis(std::shared_ptr<VariableLoadModel> model) {
+  return WelfareAnalysis(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); },
+      model->mean_load());
+}
+
+using SweepParam = std::tuple<std::string, std::string, double>;
+
+class WelfareSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  [[nodiscard]] std::shared_ptr<VariableLoadModel> model() const {
+    return make_model(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+  [[nodiscard]] double price() const { return std::get<2>(GetParam()); }
+};
+
+// Reservations can imitate best effort (admit everyone they can) and
+// can only improve on it: W_R(p) ≥ W_B(p) for every price.
+TEST_P(WelfareSweep, ReservationWelfareDominates) {
+  const auto analysis = make_analysis(model());
+  EXPECT_GE(analysis.reservation(price()).welfare + 1e-6,
+            analysis.best_effort(price()).welfare);
+}
+
+// Welfare is nonincreasing in the bandwidth price.
+TEST_P(WelfareSweep, WelfareDecreasesWithPrice) {
+  const auto analysis = make_analysis(model());
+  const double p = price();
+  EXPECT_GE(analysis.best_effort(p).welfare + 1e-6,
+            analysis.best_effort(1.5 * p).welfare);
+  EXPECT_GE(analysis.reservation(p).welfare + 1e-6,
+            analysis.reservation(1.5 * p).welfare);
+}
+
+// The chosen capacity shrinks (weakly) as bandwidth gets dearer.
+TEST_P(WelfareSweep, ProvisioningDecreasesWithPrice) {
+  const auto analysis = make_analysis(model());
+  const double p = price();
+  EXPECT_GE(analysis.reservation(p).capacity + 1.5,
+            analysis.reservation(2.0 * p).capacity);
+}
+
+// γ(p) ≥ 1 everywhere and the defining relation W_R(γp) = W_B(p) holds.
+TEST_P(WelfareSweep, PriceRatioIsConsistent) {
+  const auto m = model();
+  const auto analysis = make_analysis(m);
+  const double p = price();
+  const double gamma = analysis.price_ratio(p);
+  ASSERT_GE(gamma, 1.0);
+  if (std::isfinite(gamma) && gamma > 1.0) {
+    const double wb = analysis.best_effort(p).welfare;
+    const double wr = analysis.reservation(gamma * p).welfare;
+    EXPECT_NEAR(wr, wb, 5e-3 * (1.0 + wb));
+  }
+}
+
+// The reported optimum really is a local maximum of V(C) − pC.
+TEST_P(WelfareSweep, ReportedOptimumIsLocallyOptimal) {
+  const auto m = model();
+  const auto point = make_analysis(m).best_effort(price());
+  if (point.capacity <= 0.0) return;  // degenerate: build nothing
+  auto welfare_at = [&](double c) {
+    return m->total_best_effort(c) - price() * c;
+  };
+  const double at = welfare_at(point.capacity);
+  EXPECT_GE(at + 1e-6, welfare_at(point.capacity * 0.97));
+  EXPECT_GE(at + 1e-6, welfare_at(point.capacity * 1.03));
+  EXPECT_NEAR(at, point.welfare, 1e-9 * (1.0 + std::abs(at)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WelfareSweep,
+    ::testing::Combine(::testing::Values("poisson", "exponential",
+                                         "algebraic"),
+                       ::testing::Values("rigid", "adaptive"),
+                       ::testing::Values(0.01, 0.08, 0.3)),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      const int cents =
+          static_cast<int>(std::round(std::get<2>(param_info.param) * 100));
+      return std::get<0>(param_info.param) + "_" +
+             std::get<1>(param_info.param) + "_p" + std::to_string(cents);
+    });
+
+}  // namespace
+}  // namespace bevr::core

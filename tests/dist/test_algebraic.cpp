@@ -1,0 +1,115 @@
+#include "bevr/dist/algebraic.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::dist {
+namespace {
+
+TEST(AlgebraicLoad, Construction) {
+  EXPECT_THROW(AlgebraicLoad(2.0, 1.0), std::invalid_argument);   // z too small
+  EXPECT_THROW(AlgebraicLoad(3.0, -1.0), std::invalid_argument);  // bad lambda
+  const AlgebraicLoad load(3.0, 0.0);
+  EXPECT_EQ(load.min_support(), 1);
+}
+
+TEST(AlgebraicLoad, PmfNormalises) {
+  const AlgebraicLoad load(3.0, 10.0);
+  double total = 0.0;
+  for (std::int64_t k = 1; k <= 2'000'000; ++k) total += load.pmf(k);
+  // Remaining tail ~ (λ+K)^{-2}: add the closed-form tail for the check.
+  total += load.tail_above(2'000'000);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(load.pmf(0), 0.0);
+}
+
+TEST(AlgebraicLoad, TailMatchesDirectSum) {
+  const AlgebraicLoad load(3.0, 5.0);
+  const std::int64_t k0 = 50;
+  double direct = 0.0;
+  for (std::int64_t j = k0 + 1; j <= 5'000'000; ++j) direct += load.pmf(j);
+  // The enumerated part misses ~(λ+5e6)^{-2}; compare at 1e-9.
+  EXPECT_NEAR(load.tail_above(k0), direct, 1e-8);
+}
+
+TEST(AlgebraicLoad, MeanParameterisationHitsPaperValue) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  EXPECT_NEAR(load.mean(), 100.0, 1e-8);
+  EXPECT_GT(load.lambda(), 0.0);
+}
+
+TEST(AlgebraicLoad, MeanMatchesDirectSum) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  double direct = 0.0;
+  for (std::int64_t k = 1; k <= 3'000'000; ++k) {
+    direct += static_cast<double>(k) * load.pmf(k);
+  }
+  direct += load.partial_mean_above(3'000'000);
+  EXPECT_NEAR(direct, 100.0, 1e-6);
+}
+
+TEST(AlgebraicLoad, PartialMeanMatchesDirectSum) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  const std::int64_t k0 = 500;
+  double direct = 0.0;
+  for (std::int64_t j = k0 + 1; j <= 5'000'000; ++j) {
+    direct += static_cast<double>(j) * load.pmf(j);
+  }
+  direct += load.partial_mean_above(5'000'000);
+  EXPECT_NEAR(load.partial_mean_above(k0), direct, 1e-7);
+}
+
+TEST(AlgebraicLoad, SecondMomentInfiniteForZ3) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  EXPECT_TRUE(std::isinf(load.second_moment()));
+}
+
+TEST(AlgebraicLoad, SecondMomentFiniteForZ4) {
+  const auto load = AlgebraicLoad::with_mean(4.0, 100.0);
+  const double m2 = load.second_moment();
+  EXPECT_TRUE(std::isfinite(m2));
+  double direct = 0.0;
+  for (std::int64_t k = 1; k <= 3'000'000; ++k) {
+    const double kd = static_cast<double>(k);
+    direct += kd * kd * load.pmf(k);
+  }
+  EXPECT_NEAR(m2, direct, m2 * 5e-4);  // direct sum truncates a k^{-2} tail
+}
+
+TEST(AlgebraicLoad, PowerLawTailExponent) {
+  // tail(k) ~ k^{1-z}: the log-log slope between decades should be ≈ 1-z.
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  const double t1 = load.tail_above(10'000);
+  const double t2 = load.tail_above(100'000);
+  const double slope = std::log10(t2 / t1);
+  EXPECT_NEAR(slope, 1.0 - 3.0, 0.05);
+}
+
+TEST(AlgebraicLoad, WithMeanRejectsUnreachableMean) {
+  // The λ=0 mean is ζ(2)/ζ(3) ≈ 1.368; below it no λ exists.
+  EXPECT_THROW((void)AlgebraicLoad::with_mean(3.0, 1.0),
+               std::invalid_argument);
+}
+
+class AlgebraicZSweep : public ::testing::TestWithParam<double> {};
+
+// Property: mean parameterisation round-trips for every z, and the
+// tail stays heavier for smaller z (closer to the paper's z→2⁺ limit).
+TEST_P(AlgebraicZSweep, MeanRoundTripAndTailOrdering) {
+  const double z = GetParam();
+  const auto load = AlgebraicLoad::with_mean(z, 100.0);
+  EXPECT_NEAR(load.mean(), 100.0, 1e-7);
+  if (z > 2.5) {
+    const auto heavier = AlgebraicLoad::with_mean(z - 0.3, 100.0);
+    EXPECT_GT(heavier.tail_above(1000), load.tail_above(1000));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, AlgebraicZSweep,
+                         ::testing::Values(2.2, 2.5, 3.0, 3.5, 4.0, 6.0));
+
+}  // namespace
+}  // namespace bevr::dist

@@ -1,0 +1,95 @@
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/exponential_density.h"
+#include "bevr/dist/pareto_density.h"
+#include "bevr/numerics/quadrature.h"
+
+namespace bevr::dist {
+namespace {
+
+TEST(ExponentialDensity, Construction) {
+  EXPECT_THROW(ExponentialDensity(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDensity::with_mean(-1.0), std::invalid_argument);
+  const auto d = ExponentialDensity::with_mean(100.0);
+  EXPECT_DOUBLE_EQ(d.beta(), 0.01);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+}
+
+TEST(ExponentialDensity, DensityIntegratesToOne) {
+  const ExponentialDensity d(0.01);
+  const auto total = numerics::integrate_to_infinity(
+      [&d](double k) { return d.density(k); }, 0.0);
+  EXPECT_NEAR(total.value, 1.0, 1e-9);
+}
+
+TEST(ExponentialDensity, TailAndPartialMeanClosedForms) {
+  const ExponentialDensity d(0.01);
+  for (const double k : {0.0, 10.0, 100.0, 500.0}) {
+    const auto tail = numerics::integrate_to_infinity(
+        [&d](double x) { return d.density(x); }, k);
+    EXPECT_NEAR(d.tail_above(k), tail.value, 1e-9) << "k=" << k;
+    const auto pm = numerics::integrate(
+        [&d](double x) { return x * d.density(x); }, 0.0, k);
+    EXPECT_NEAR(d.partial_mean_below(k), pm.value, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(ExponentialDensity, PartialMeanConvergesToMean) {
+  const ExponentialDensity d(0.01);
+  EXPECT_NEAR(d.partial_mean_below(5000.0), d.mean(), 1e-8);
+}
+
+TEST(ParetoDensity, Construction) {
+  EXPECT_THROW(ParetoDensity(2.0), std::invalid_argument);
+  EXPECT_THROW(ParetoDensity(1.0), std::invalid_argument);
+  const ParetoDensity d(3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);  // (z−1)/(z−2)
+  EXPECT_DOUBLE_EQ(d.min_support(), 1.0);
+}
+
+TEST(ParetoDensity, DensityIntegratesToOne) {
+  const ParetoDensity d(3.0);
+  const auto total = numerics::integrate_to_infinity(
+      [&d](double k) { return d.density(k); }, 1.0);
+  EXPECT_NEAR(total.value, 1.0, 1e-9);
+  EXPECT_EQ(d.density(0.5), 0.0);
+}
+
+TEST(ParetoDensity, TailClosedForm) {
+  const ParetoDensity d(3.0);
+  EXPECT_DOUBLE_EQ(d.tail_above(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail_above(10.0), 0.01);  // k^{1−z} = 10^{-2}
+  EXPECT_DOUBLE_EQ(d.tail_above(0.2), 1.0);
+}
+
+TEST(ParetoDensity, PartialMeanClosedForm) {
+  const ParetoDensity d(3.0);
+  for (const double k : {1.0, 2.0, 10.0, 100.0}) {
+    const auto pm = numerics::integrate(
+        [&d](double x) { return x * d.density(x); }, 1.0, k);
+    EXPECT_NEAR(d.partial_mean_below(k), pm.value, 1e-10) << "k=" << k;
+  }
+  EXPECT_EQ(d.partial_mean_below(1.0), 0.0);
+}
+
+class ParetoZSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoZSweep, MeanMatchesQuadrature) {
+  const double z = GetParam();
+  const ParetoDensity d(z);
+  const auto mean = numerics::integrate_to_infinity(
+      [&d](double k) { return k * d.density(k); }, 1.0);
+  // The k^{1-z} integrand converges slowly for z near 2; scale the
+  // tolerance with the quadrature's own error estimate.
+  const double tol = (z < 2.5 ? 3e-3 : 1e-6) * d.mean();
+  EXPECT_NEAR(d.mean(), mean.value, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, ParetoZSweep,
+                         ::testing::Values(2.2, 2.5, 3.0, 4.0, 5.0));
+
+}  // namespace
+}  // namespace bevr::dist

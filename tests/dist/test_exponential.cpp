@@ -1,0 +1,99 @@
+#include "bevr/dist/exponential.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::dist {
+namespace {
+
+TEST(ExponentialLoad, Construction) {
+  EXPECT_THROW(ExponentialLoad(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialLoad(-0.5), std::invalid_argument);
+  EXPECT_THROW(ExponentialLoad::with_mean(0.0), std::invalid_argument);
+}
+
+TEST(ExponentialLoad, PaperParameterisation) {
+  // Paper: P(k) = (1−e^{−β})e^{−βk}, mean = 1/(e^β − 1) = 100.
+  const auto load = ExponentialLoad::with_mean(100.0);
+  EXPECT_NEAR(load.mean(), 100.0, 1e-10);
+  EXPECT_NEAR(load.beta(), std::log1p(0.01), 1e-15);
+}
+
+TEST(ExponentialLoad, PmfNormalisesAndMatchesForm) {
+  const ExponentialLoad load(0.01);
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= 5000; ++k) total += load.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  EXPECT_NEAR(load.pmf(0), 1.0 - std::exp(-0.01), 1e-15);
+  EXPECT_NEAR(load.pmf(10), (1.0 - std::exp(-0.01)) * std::exp(-0.1), 1e-15);
+  EXPECT_EQ(load.pmf(-3), 0.0);
+}
+
+TEST(ExponentialLoad, GeometricTailClosedForm) {
+  const ExponentialLoad load(0.01);
+  for (const std::int64_t k : {0LL, 10LL, 100LL, 1000LL}) {
+    EXPECT_NEAR(load.tail_above(k),
+                std::exp(-0.01 * static_cast<double>(k + 1)), 1e-14);
+  }
+  EXPECT_EQ(load.tail_above(-1), 1.0);
+}
+
+TEST(ExponentialLoad, MomentsMatchDirectSums) {
+  const auto load = ExponentialLoad::with_mean(100.0);
+  double mean = 0.0, second = 0.0;
+  for (std::int64_t k = 0; k <= 20'000; ++k) {
+    const double kd = static_cast<double>(k);
+    mean += kd * load.pmf(k);
+    second += kd * kd * load.pmf(k);
+  }
+  EXPECT_NEAR(load.mean(), mean, 1e-7);
+  EXPECT_NEAR(load.second_moment(), second, second * 1e-10);
+}
+
+TEST(ExponentialLoad, PartialMeanMatchesDirectSum) {
+  const auto load = ExponentialLoad::with_mean(100.0);
+  for (const std::int64_t k : {-1LL, 0LL, 50LL, 100LL, 400LL}) {
+    double direct = 0.0;
+    for (std::int64_t j = std::max<std::int64_t>(k + 1, 0); j <= 20'000; ++j) {
+      direct += static_cast<double>(j) * load.pmf(j);
+    }
+    EXPECT_NEAR(load.partial_mean_above(k), direct, 1e-7) << "k=" << k;
+  }
+}
+
+TEST(ExponentialLoad, HeavierTailThanPoissonAtSameMean) {
+  // The paper's key contrast: at k̄=100, P[K > 2k̄] is large for the
+  // exponential load but essentially zero for Poisson.
+  const auto load = ExponentialLoad::with_mean(100.0);
+  EXPECT_GT(load.tail_above(200), 0.1);
+  EXPECT_LT(load.tail_above(200), 0.2);  // e^{-2} ≈ 0.135
+}
+
+TEST(ExponentialLoad, TruncationPoint) {
+  const auto load = ExponentialLoad::with_mean(100.0);
+  const auto k = load.truncation_point(1e-12);
+  EXPECT_LE(load.tail_above(k), 1e-12);
+  EXPECT_GT(load.tail_above(k - 1), 1e-12);
+  // Analytic: k ≈ 12·ln(10)/β ≈ 2775.
+  EXPECT_NEAR(static_cast<double>(k), 12.0 * std::log(10.0) / load.beta(),
+              5.0);
+}
+
+class ExponentialMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanSweep, WithMeanRoundTrips) {
+  const double mean = GetParam();
+  const auto load = ExponentialLoad::with_mean(mean);
+  EXPECT_NEAR(load.mean(), mean, mean * 1e-12);
+  // pmf_continuous agrees with pmf on the grid.
+  EXPECT_NEAR(load.pmf_continuous(7.0), load.pmf(7), 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanSweep,
+                         ::testing::Values(0.5, 1.0, 10.0, 100.0, 1000.0,
+                                           12345.6));
+
+}  // namespace
+}  // namespace bevr::dist

@@ -1,0 +1,102 @@
+#include "bevr/dist/mixture_load.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+
+namespace bevr::dist {
+namespace {
+
+MixtureLoad day_night() {
+  // Day: heavy Poisson(150); night: light Poisson(50); 50/50 time split.
+  return MixtureLoad({{std::make_shared<PoissonLoad>(150.0), 1.0},
+                      {std::make_shared<PoissonLoad>(50.0), 1.0}});
+}
+
+TEST(MixtureLoad, Validation) {
+  EXPECT_THROW(MixtureLoad({}), std::invalid_argument);
+  EXPECT_THROW(MixtureLoad({{nullptr, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(
+      MixtureLoad({{std::make_shared<PoissonLoad>(10.0), 0.0}}),
+      std::invalid_argument);
+}
+
+TEST(MixtureLoad, PmfIsWeightedSumAndNormalises) {
+  const auto mix = day_night();
+  const PoissonLoad day(150.0), night(50.0);
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= 400; ++k) {
+    EXPECT_NEAR(mix.pmf(k), 0.5 * day.pmf(k) + 0.5 * night.pmf(k), 1e-15);
+    total += mix.pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MixtureLoad, MeanAndMomentsCombine) {
+  const auto mix = day_night();
+  EXPECT_DOUBLE_EQ(mix.mean(), 100.0);
+  // E[K²] = 0.5(150² + 150) + 0.5(50² + 50) = 12600.
+  EXPECT_DOUBLE_EQ(mix.second_moment(), 12'600.0);
+}
+
+TEST(MixtureLoad, BimodalityShowsUp) {
+  // Unlike Poisson(100), the day/night mixture has modes near 50 and
+  // 150 and a trough near 100.
+  const auto mix = day_night();
+  EXPECT_GT(mix.pmf(50), mix.pmf(100));
+  EXPECT_GT(mix.pmf(150), mix.pmf(100));
+}
+
+TEST(MixtureLoad, TailAndCdfConsistent) {
+  const auto mix = day_night();
+  for (const std::int64_t k : {40LL, 100LL, 160LL}) {
+    EXPECT_NEAR(mix.cdf(k) + mix.tail_above(k), 1.0, 1e-12);
+  }
+}
+
+TEST(MixtureLoad, PartialMeanMatchesDirectSum) {
+  const auto mix = day_night();
+  const std::int64_t k0 = 120;
+  double direct = 0.0;
+  for (std::int64_t j = k0 + 1; j <= 500; ++j) {
+    direct += static_cast<double>(j) * mix.pmf(j);
+  }
+  EXPECT_NEAR(mix.partial_mean_above(k0), direct, 1e-9);
+}
+
+TEST(MixtureLoad, HeaviestRegimeDominatesTheTail) {
+  // Poisson + algebraic mixture: the algebraic regime owns the tail
+  // regardless of its (small) weight — the nonstationarity point of §5.
+  const auto heavy = std::make_shared<AlgebraicLoad>(
+      AlgebraicLoad::with_mean(3.0, 100.0));
+  const MixtureLoad mix({{std::make_shared<PoissonLoad>(100.0), 9.0},
+                         {heavy, 1.0}});
+  const std::int64_t far = 2000;
+  EXPECT_NEAR(mix.tail_above(far), 0.1 * heavy->tail_above(far),
+              0.01 * 0.1 * heavy->tail_above(far));
+}
+
+TEST(MixtureLoad, SecondMomentInfinityPropagates) {
+  const MixtureLoad mix({{std::make_shared<PoissonLoad>(100.0), 1.0},
+                         {std::make_shared<AlgebraicLoad>(
+                              AlgebraicLoad::with_mean(3.0, 100.0)),
+                          1.0}});
+  EXPECT_TRUE(std::isinf(mix.second_moment()));
+}
+
+TEST(MixtureLoad, MinSupportIsSmallest) {
+  const MixtureLoad mix({{std::make_shared<AlgebraicLoad>(
+                              AlgebraicLoad::with_mean(3.0, 100.0)),
+                          1.0},
+                         {std::make_shared<PoissonLoad>(10.0), 1.0}});
+  EXPECT_EQ(mix.min_support(), 0);  // Poisson starts at 0
+}
+
+}  // namespace
+}  // namespace bevr::dist

@@ -1,0 +1,99 @@
+#include "bevr/dist/poisson.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::dist {
+namespace {
+
+TEST(PoissonLoad, Construction) {
+  EXPECT_THROW(PoissonLoad(0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonLoad(-1.0), std::invalid_argument);
+  const PoissonLoad load(100.0);
+  EXPECT_DOUBLE_EQ(load.mean(), 100.0);
+  EXPECT_EQ(load.min_support(), 0);
+}
+
+TEST(PoissonLoad, PmfNormalises) {
+  const PoissonLoad load(100.0);
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= 500; ++k) total += load.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(load.pmf(-1), 0.0);
+}
+
+TEST(PoissonLoad, MomentsMatchTheory) {
+  const PoissonLoad load(100.0);
+  EXPECT_DOUBLE_EQ(load.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(load.second_moment(), 100.0 * 101.0);  // ν² + ν
+}
+
+TEST(PoissonLoad, TailMatchesDirectSum) {
+  const PoissonLoad load(100.0);
+  for (const std::int64_t k : {50LL, 90LL, 100LL, 110LL, 150LL}) {
+    double direct = 0.0;
+    for (std::int64_t j = k + 1; j <= 600; ++j) direct += load.pmf(j);
+    EXPECT_NEAR(load.tail_above(k), direct, 1e-13) << "k=" << k;
+  }
+}
+
+TEST(PoissonLoad, PartialMeanIdentity) {
+  // Σ_{j>k} j·P(j) = ν·P[K > k−1].
+  const PoissonLoad load(100.0);
+  for (const std::int64_t k : {0LL, 80LL, 100LL, 130LL}) {
+    double direct = 0.0;
+    for (std::int64_t j = k + 1; j <= 600; ++j) {
+      direct += static_cast<double>(j) * load.pmf(j);
+    }
+    EXPECT_NEAR(load.partial_mean_above(k), direct, 1e-10) << "k=" << k;
+  }
+  EXPECT_NEAR(load.partial_mean_above(-1), 100.0, 1e-10);
+}
+
+TEST(PoissonLoad, CdfAndTailAreComplementary) {
+  const PoissonLoad load(100.0);
+  EXPECT_NEAR(load.cdf(100) + load.tail_above(100), 1.0, 1e-14);
+}
+
+TEST(PoissonLoad, TruncationPointBoundsTail) {
+  const PoissonLoad load(100.0);
+  const auto k = load.truncation_point(1e-12);
+  EXPECT_LE(load.tail_above(k), 1e-12);
+  EXPECT_GT(load.tail_above(k - 1), 1e-12);
+}
+
+TEST(PoissonLoad, ContinuousPmfInterpolates) {
+  const PoissonLoad load(100.0);
+  for (const std::int64_t k : {1LL, 50LL, 100LL, 200LL}) {
+    EXPECT_NEAR(load.pmf_continuous(static_cast<double>(k)), load.pmf(k),
+                1e-15 + load.pmf(k) * 1e-12);
+  }
+  EXPECT_EQ(load.pmf_continuous(-0.5), 0.0);
+}
+
+TEST(PoissonLoad, WithMeanFactory) {
+  const auto load = PoissonLoad::with_mean(42.0);
+  EXPECT_DOUBLE_EQ(load.mean(), 42.0);
+}
+
+// Property sweep: mass concentrates around the mean (the paper's
+// "load is fairly tightly controlled" characterisation).
+class PoissonConcentration : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonConcentration, ThreeSigmaMass) {
+  const double nu = GetParam();
+  const PoissonLoad load(nu);
+  const double sigma = std::sqrt(nu);
+  const auto lo = static_cast<std::int64_t>(nu - 3.0 * sigma);
+  const auto hi = static_cast<std::int64_t>(nu + 3.0 * sigma);
+  const double mass = load.cdf(hi) - load.cdf(lo - 1);
+  EXPECT_GT(mass, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonConcentration,
+                         ::testing::Values(25.0, 100.0, 400.0, 1000.0));
+
+}  // namespace
+}  // namespace bevr::dist

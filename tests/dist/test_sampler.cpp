@@ -1,0 +1,90 @@
+#include "bevr/dist/sampler.h"
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+
+namespace bevr::dist {
+namespace {
+
+TEST(DiscreteSampler, RejectsBadEps) {
+  const PoissonLoad load(10.0);
+  EXPECT_THROW(DiscreteSampler(load, 0.0), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(load, 1.5), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, EmpiricalMeanMatchesPoisson) {
+  const PoissonLoad load(100.0);
+  const DiscreteSampler sampler(load);
+  std::mt19937_64 rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(sampler.sample(rng));
+  }
+  const double mean = sum / kDraws;
+  // σ/√n = 10/447 ≈ 0.022; allow 5σ.
+  EXPECT_NEAR(mean, 100.0, 0.12);
+}
+
+TEST(DiscreteSampler, EmpiricalPmfMatchesExponential) {
+  const auto load = ExponentialLoad::with_mean(10.0);
+  const DiscreteSampler sampler(load);
+  std::mt19937_64 rng(11);
+  std::vector<int> counts(200, 0);
+  constexpr int kDraws = 400'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto k = sampler.sample(rng);
+    if (k < static_cast<std::int64_t>(counts.size())) {
+      ++counts[static_cast<std::size_t>(k)];
+    }
+  }
+  // Chi-square-ish check on the first few levels.
+  for (std::int64_t k = 0; k < 20; ++k) {
+    const double expected = load.pmf(k);
+    const double observed =
+        counts[static_cast<std::size_t>(k)] / static_cast<double>(kDraws);
+    const double sigma = std::sqrt(expected * (1 - expected) / kDraws);
+    EXPECT_NEAR(observed, expected, 6.0 * sigma + 1e-6) << "k=" << k;
+  }
+}
+
+TEST(DiscreteSampler, HeavyTailProducesLargeValues) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  const DiscreteSampler sampler(load);
+  std::mt19937_64 rng(3);
+  std::int64_t max_seen = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    max_seen = std::max(max_seen, sampler.sample(rng));
+  }
+  // P[K > 2000] ≈ 1e4/2100² ≈ 2e-3: with 1e5 draws we expect hundreds
+  // of exceedances; seeing none would indicate a broken tail.
+  EXPECT_GT(max_seen, 2000);
+}
+
+TEST(DiscreteSampler, RespectsMinSupport) {
+  const auto load = AlgebraicLoad::with_mean(3.0, 100.0);
+  const DiscreteSampler sampler(load);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(sampler.sample(rng), 1);
+  }
+}
+
+TEST(DiscreteSampler, TableCoversRequestedMass) {
+  const PoissonLoad load(100.0);
+  const DiscreteSampler sampler(load, 1e-9);
+  // 1e-9 quantile of Poisson(100) is ≈ 165; table from 0.
+  EXPECT_GT(sampler.table_size(), 150u);
+  EXPECT_LT(sampler.table_size(), 400u);
+}
+
+}  // namespace
+}  // namespace bevr::dist

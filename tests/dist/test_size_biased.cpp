@@ -1,0 +1,119 @@
+#include "bevr/dist/size_biased.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+
+namespace bevr::dist {
+namespace {
+
+std::shared_ptr<const DiscreteLoad> poisson100() {
+  return std::make_shared<PoissonLoad>(100.0);
+}
+
+TEST(SizeBiasedLoad, RejectsNull) {
+  EXPECT_THROW(SizeBiasedLoad(nullptr), std::invalid_argument);
+}
+
+TEST(SizeBiasedLoad, PmfFormula) {
+  const SizeBiasedLoad q(poisson100());
+  const PoissonLoad p(100.0);
+  for (const std::int64_t k : {1LL, 50LL, 100LL, 150LL}) {
+    EXPECT_NEAR(q.pmf(k), p.pmf(k) * static_cast<double>(k) / 100.0, 1e-15);
+  }
+  EXPECT_EQ(q.pmf(0), 0.0);  // no flow lives in an empty configuration
+}
+
+TEST(SizeBiasedLoad, Normalises) {
+  const SizeBiasedLoad q(poisson100());
+  double total = 0.0;
+  for (std::int64_t k = 1; k <= 500; ++k) total += q.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SizeBiasedLoad, TailUsesPartialMean) {
+  const SizeBiasedLoad q(poisson100());
+  double direct = 0.0;
+  for (std::int64_t j = 121; j <= 500; ++j) direct += q.pmf(j);
+  EXPECT_NEAR(q.tail_above(120), direct, 1e-12);
+}
+
+TEST(SizeBiasedLoad, PoissonSizeBiasIsShiftedPoisson) {
+  // For Poisson(ν): Q(k) = pmf(k)·k/ν = pmf_{ν}(k−1): a shifted Poisson.
+  const SizeBiasedLoad q(poisson100());
+  const PoissonLoad p(100.0);
+  for (const std::int64_t k : {1LL, 42LL, 100LL, 180LL}) {
+    EXPECT_NEAR(q.pmf(k), p.pmf(k - 1), 1e-15) << "k=" << k;
+  }
+}
+
+TEST(SizeBiasedLoad, MeanIsSecondMomentOverMean) {
+  const SizeBiasedLoad q(poisson100());
+  EXPECT_NEAR(q.mean(), 100.0 * 101.0 / 100.0, 1e-10);  // = 101
+}
+
+TEST(SizeBiasedLoad, FlowSeesMoreLoadThanTimeAverage) {
+  // Size-biasing inequality: E_Q[K] ≥ E_P[K], strict unless degenerate.
+  const auto base =
+      std::make_shared<ExponentialLoad>(ExponentialLoad::with_mean(100.0));
+  const SizeBiasedLoad q(base);
+  EXPECT_GT(q.mean(), base->mean());
+}
+
+TEST(MaxOfSLoad, RejectsBadArguments) {
+  EXPECT_THROW(MaxOfSLoad(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(MaxOfSLoad(poisson100(), 0), std::invalid_argument);
+}
+
+TEST(MaxOfSLoad, SEquals1IsIdentity) {
+  const auto base = poisson100();
+  const MaxOfSLoad m(base, 1);
+  for (const std::int64_t k : {0LL, 50LL, 100LL, 200LL}) {
+    EXPECT_NEAR(m.pmf(k), base->pmf(k), 1e-13);
+    EXPECT_NEAR(m.tail_above(k), base->tail_above(k), 1e-13);
+  }
+}
+
+TEST(MaxOfSLoad, CdfIsPower) {
+  const auto base = poisson100();
+  const MaxOfSLoad m(base, 5);
+  for (const std::int64_t k : {80LL, 100LL, 120LL}) {
+    EXPECT_NEAR(m.cdf(k), std::pow(base->cdf(k), 5.0), 1e-12);
+  }
+}
+
+TEST(MaxOfSLoad, PmfNormalises) {
+  const auto base = poisson100();
+  const MaxOfSLoad m(base, 7);
+  double total = 0.0;
+  for (std::int64_t k = 0; k <= 500; ++k) total += m.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-11);
+}
+
+TEST(MaxOfSLoad, StochasticallyIncreasingInS) {
+  const auto base = poisson100();
+  const MaxOfSLoad m2(base, 2);
+  const MaxOfSLoad m8(base, 8);
+  // More samples → larger maximum: tails ordered pointwise.
+  for (const std::int64_t k : {90LL, 100LL, 110LL, 130LL}) {
+    EXPECT_GE(m8.tail_above(k), m2.tail_above(k));
+  }
+  EXPECT_GT(m8.mean(), m2.mean());
+}
+
+TEST(MaxOfSLoad, MeanMatchesMonteCarloIntuition) {
+  // Max of S Poisson(100) samples has mean ≥ 100 and grows ~σ√(2 ln S).
+  const auto base = poisson100();
+  const MaxOfSLoad m(base, 10);
+  const double mean = m.mean();
+  EXPECT_GT(mean, 110.0);
+  EXPECT_LT(mean, 130.0);
+}
+
+}  // namespace
+}  // namespace bevr::dist

@@ -1,0 +1,109 @@
+// Cross-validation between the discrete (§3.1) and continuum (§3.2)
+// variable-load models. The paper asserts the two are "completely
+// equivalent" in the large-C asymptotics; these tests quantify it.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/asymptotics.h"
+#include "bevr/core/continuum.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr {
+namespace {
+
+// The discrete geometric load with mean 100 and the continuum
+// exponential density with β = ln(1 + 1/100) share their exponential
+// tail, so the rigid-utility B and R agree closely once C ≫ 1.
+TEST(DiscreteVsContinuum, ExponentialRigidUtilitiesAgree) {
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::Rigid>(1.0));
+  const core::ExponentialRigidContinuum continuum(load->beta());
+  for (const double c : {100.0, 200.0, 400.0, 800.0}) {
+    EXPECT_NEAR(discrete.best_effort(c), continuum.best_effort(c), 0.02)
+        << "C=" << c;
+    EXPECT_NEAR(discrete.reservation(c), continuum.reservation(c), 0.02)
+        << "C=" << c;
+  }
+}
+
+TEST(DiscreteVsContinuum, ExponentialRigidGapsAgreeAsymptotically) {
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::Rigid>(1.0));
+  const core::ExponentialRigidContinuum continuum(load->beta());
+  for (const double c : {300.0, 600.0, 1200.0}) {
+    const double d = discrete.bandwidth_gap(c);
+    const double k = continuum.bandwidth_gap(c);
+    EXPECT_NEAR(d / k, 1.0, 0.10) << "C=" << c;
+  }
+}
+
+// The discrete algebraic load's performance gap decays with the same
+// power-law exponent 2 − z as the continuum's closed form.
+TEST(DiscreteVsContinuum, AlgebraicGapExponentMatches) {
+  const double z = 3.0;
+  const auto load = std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(z, 100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::Rigid>(1.0));
+  // Fit the log-log slope of delta(C) over a decade at large C (where
+  // the lambda shift is negligible: lambda ~ 100 vs C ~ 1e4).
+  const double d1 = discrete.performance_gap(8'000.0);
+  const double d2 = discrete.performance_gap(80'000.0);
+  const double slope = std::log10(d2 / d1);
+  EXPECT_NEAR(slope, 2.0 - z, 0.06);
+}
+
+// The discrete bandwidth-gap ratio converges to the continuum constant
+// (z−1)^{1/(z−2)} = 2 at z = 3 — the paper's central asymptotic claim,
+// checked end-to-end through two independent code paths.
+TEST(DiscreteVsContinuum, AlgebraicCapacityRatioConverges) {
+  const double z = 3.0;
+  const auto load = std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(z, 100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::Rigid>(1.0));
+  const double target = core::asymptotics::capacity_ratio_rigid(z);
+  const double r1 = (2'000.0 + discrete.bandwidth_gap(2'000.0)) / 2'000.0;
+  const double r2 = (16'000.0 + discrete.bandwidth_gap(16'000.0)) / 16'000.0;
+  EXPECT_NEAR(r2, target, 0.08);
+  // ...and it converges monotonically from the small-C side.
+  EXPECT_LT(std::abs(r2 - target), std::abs(r1 - target) + 1e-9);
+}
+
+// Same convergence for the adaptive continuum constant via the
+// piecewise-linear utility (the continuum model's own adaptive form).
+TEST(DiscreteVsContinuum, AlgebraicAdaptiveRatioConverges) {
+  const double z = 3.0, a = 0.5;
+  const auto load = std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(z, 100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::PiecewiseLinear>(a));
+  const double target = core::asymptotics::capacity_ratio_adaptive(z, a);
+  const double r = (16'000.0 + discrete.bandwidth_gap(16'000.0)) / 16'000.0;
+  EXPECT_NEAR(r, target, 0.08);
+}
+
+// Exponential + piecewise-adaptive: the discrete gap approaches the
+// continuum's constant limit −ln(1−a)/β.
+TEST(DiscreteVsContinuum, ExponentialAdaptiveGapLimitMatches) {
+  const double a = 0.5;
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const core::VariableLoadModel discrete(
+      load, std::make_shared<utility::PiecewiseLinear>(a));
+  const double limit =
+      core::asymptotics::exponential_adaptive_gap_limit(load->beta(), a);
+  EXPECT_NEAR(discrete.bandwidth_gap(1'500.0), limit, 0.05 * limit);
+}
+
+}  // namespace
+}  // namespace bevr

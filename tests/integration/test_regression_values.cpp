@@ -1,0 +1,96 @@
+// Golden-value regression pins: exact numbers produced by this
+// implementation at well-chosen probe points, for all six paper cases
+// plus the key special functions. These protect future refactors of
+// the numeric engine — any change that moves these beyond the stated
+// tolerances is a behaviour change, not a cleanup.
+//
+// (The values were cross-validated against closed forms, quadrature and
+// the paper's quoted figures elsewhere in the suite; here they are
+// simply frozen.)
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bevr/bevr.h"
+
+namespace bevr {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  double best_effort;   // B(150)
+  double reservation;   // R(150)
+  double gap;           // Delta(150)
+  double gap_tolerance;
+};
+
+class GoldenValues : public ::testing::Test {
+ protected:
+  [[nodiscard]] static core::VariableLoadModel model(const std::string& id) {
+    std::shared_ptr<const dist::DiscreteLoad> load;
+    if (id.substr(0, 4) == "pois") {
+      load = std::make_shared<dist::PoissonLoad>(100.0);
+    } else if (id.substr(0, 3) == "exp") {
+      load = std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(100.0));
+    } else {
+      load = std::make_shared<dist::AlgebraicLoad>(
+          dist::AlgebraicLoad::with_mean(3.0, 100.0));
+    }
+    std::shared_ptr<const utility::UtilityFunction> pi;
+    if (id.substr(id.size() - 3) == "rig") {
+      pi = std::make_shared<utility::Rigid>(1.0);
+    } else {
+      pi = std::make_shared<utility::AdaptiveExp>();
+    }
+    return core::VariableLoadModel(load, pi);
+  }
+};
+
+TEST_F(GoldenValues, SixCaseProbeAtC150) {
+  // Rigid Δ lands on the step edges of B(C) (integer capacities), so
+  // its tolerance is the root-finder's step resolution.
+  const GoldenCase cases[] = {
+      {"pois_rig", 0.999998115790, 0.999999965431, 9.0, 0.5},
+      {"pois_ada", 0.650902342385, 0.650902342531, 0.0, 0.01},
+      {"exp_rig", 0.441341668062, 0.775201228981, 135.0, 0.5},
+      {"exp_ada", 0.461644468743, 0.474115609037, 5.63260032, 1e-4},
+      {"alg_rig", 0.363857360087, 0.602412051196, 193.0, 0.5},
+      {"alg_ada", 0.374077944913, 0.391647588622, 11.50278066, 1e-4},
+  };
+  for (const auto& golden : cases) {
+    const auto m = model(golden.name);
+    EXPECT_NEAR(m.best_effort(150.0), golden.best_effort, 1e-9)
+        << golden.name;
+    EXPECT_NEAR(m.reservation(150.0), golden.reservation, 1e-9)
+        << golden.name;
+    EXPECT_NEAR(m.bandwidth_gap(150.0), golden.gap, golden.gap_tolerance)
+        << golden.name;
+  }
+}
+
+TEST_F(GoldenValues, SpecialFunctionPins) {
+  EXPECT_NEAR(numerics::hurwitz_zeta(3.0, 101.0), 4.950249991667500e-05,
+              1e-18);
+  EXPECT_NEAR(numerics::riemann_zeta(3.0), 1.2020569031595943, 1e-14);
+  EXPECT_NEAR(numerics::lambert_w0(1.0), 0.5671432904097838, 1e-14);
+  EXPECT_NEAR(numerics::erlang_b(100.0, 90), 0.14609754173593131, 1e-12);
+  // The algebraic load's mean-100 shift at z = 3.
+  const auto alg = dist::AlgebraicLoad::with_mean(3.0, 100.0);
+  EXPECT_NEAR(alg.lambda(), 98.996649955698, 1e-8);
+}
+
+TEST_F(GoldenValues, ContinuumClosedFormPins) {
+  const core::ExponentialRigidContinuum exp_rigid(0.01);
+  EXPECT_NEAR(exp_rigid.best_effort(150.0),
+              1.0 - std::exp(-1.5) * 2.5, 1e-15);
+  EXPECT_NEAR(exp_rigid.equalizing_price_ratio(0.05), 1.632127, 2e-4);
+  const core::AlgebraicRigidContinuum alg_rigid(3.0);
+  EXPECT_DOUBLE_EQ(alg_rigid.bandwidth_gap(512.0), 512.0);
+  EXPECT_DOUBLE_EQ(alg_rigid.equalizing_price_ratio(0.01), 2.0);
+  const core::AlgebraicAdaptiveContinuum alg_adaptive(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(alg_adaptive.gap_ratio_power(), 1.5);
+}
+
+}  // namespace
+}  // namespace bevr

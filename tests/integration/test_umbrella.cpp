@@ -1,0 +1,25 @@
+// Header hygiene: the umbrella header must compile standalone and the
+// namespaces it advertises must be usable together.
+#include "bevr/bevr.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  using namespace bevr;
+  const auto load = std::make_shared<dist::PoissonLoad>(50.0);
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const core::VariableLoadModel model(load, pi);
+  EXPECT_GT(model.reservation(60.0), 0.0);
+  EXPECT_GE(model.reservation(60.0), model.best_effort(60.0));
+  EXPECT_NEAR(numerics::erlang_b(1.0, 1), 0.5, 1e-12);
+  const net::FluidScheduler scheduler(10.0);
+  EXPECT_EQ(scheduler.capacity(), 10.0);
+  sim::EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+#include "bevr/net/network_sim.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/numerics/erlang.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::net {
+namespace {
+
+struct DumbbellFixture {
+  std::shared_ptr<Topology> topo = std::make_shared<Topology>();
+  NodeId a = 0, b = 0, left = 0, right = 0, c = 0, d = 0;
+
+  explicit DumbbellFixture(double bottleneck) {
+    a = topo->add_node("a");
+    b = topo->add_node("b");
+    left = topo->add_node("left");
+    right = topo->add_node("right");
+    c = topo->add_node("c");
+    d = topo->add_node("d");
+    topo->add_link(a, left, 1e6);
+    topo->add_link(b, left, 1e6);
+    topo->add_link(left, right, bottleneck);
+    topo->add_link(right, c, 1e6);
+    topo->add_link(right, d, 1e6);
+  }
+};
+
+NetworkExperimentConfig quick_config() {
+  NetworkExperimentConfig config;
+  config.horizon = 3000.0;
+  config.warmup = 200.0;
+  config.seed = 77;
+  return config;
+}
+
+TEST(NetworkExperiment, Validation) {
+  DumbbellFixture f(100.0);
+  const auto admission = std::make_shared<ParameterBasedAdmission>(1.0);
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  EXPECT_THROW(NetworkExperiment(nullptr, admission, {{f.a, f.c, 1, 1, 1}},
+                                 pi, quick_config()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      NetworkExperiment(f.topo, admission, {}, pi, quick_config()),
+      std::invalid_argument);
+  EXPECT_THROW(NetworkExperiment(f.topo, admission,
+                                 {{f.a, f.c, -1.0, 1, 1}}, pi, quick_config()),
+               std::invalid_argument);
+  // Unroutable pair (disconnected node in a fresh topology).
+  auto topo2 = std::make_shared<Topology>();
+  const auto x = topo2->add_node("x");
+  const auto y = topo2->add_node("y");
+  EXPECT_THROW(NetworkExperiment(topo2, admission, {{x, y, 1, 1, 1}}, pi,
+                                 quick_config()),
+               std::invalid_argument);
+}
+
+TEST(NetworkExperiment, SingleBottleneckMatchesErlangB) {
+  // One pair, unit reservations, bottleneck 90, offered load 100:
+  // blocking must track the Erlang-B value the single-link theory gives.
+  DumbbellFixture f(90.0);
+  const NetworkExperiment experiment(
+      f.topo, std::make_shared<ParameterBasedAdmission>(1.0),
+      {{f.a, f.c, /*arrival_rate=*/100.0, /*mean_holding=*/1.0,
+        /*reserved_rate=*/1.0}},
+      std::make_shared<utility::Rigid>(1.0), quick_config());
+  const auto report = experiment.run();
+  const double erlang = numerics::erlang_b(100.0, 90);
+  EXPECT_NEAR(report.pairs[0].blocking_probability, erlang, 0.02);
+  // Committed flows hold exactly their unit rate -> rigid utility 1:
+  // mean utility = acceptance probability.
+  EXPECT_NEAR(report.pairs[0].mean_utility,
+              1.0 - report.pairs[0].blocking_probability, 1e-12);
+  EXPECT_LE(report.peak_bottleneck_reserved, 90.0 + 1e-9);
+}
+
+TEST(NetworkExperiment, TwoPairsShareTheBottleneckFairly) {
+  // Symmetric pairs through the same bottleneck see (statistically)
+  // the same blocking, and their joint offered load drives it.
+  DumbbellFixture f(90.0);
+  const NetworkExperiment experiment(
+      f.topo, std::make_shared<ParameterBasedAdmission>(1.0),
+      {{f.a, f.c, 50.0, 1.0, 1.0}, {f.b, f.d, 50.0, 1.0, 1.0}},
+      std::make_shared<utility::Rigid>(1.0), quick_config());
+  const auto report = experiment.run();
+  const double erlang = numerics::erlang_b(100.0, 90);
+  EXPECT_NEAR(report.pairs[0].blocking_probability, erlang, 0.03);
+  EXPECT_NEAR(report.pairs[0].blocking_probability,
+              report.pairs[1].blocking_probability, 0.03);
+}
+
+TEST(NetworkExperiment, OverprovisionedBottleneckNeverBlocks) {
+  DumbbellFixture f(10'000.0);
+  const NetworkExperiment experiment(
+      f.topo, std::make_shared<ParameterBasedAdmission>(1.0),
+      {{f.a, f.c, 100.0, 1.0, 1.0}},
+      std::make_shared<utility::Rigid>(1.0), quick_config());
+  const auto report = experiment.run();
+  EXPECT_EQ(report.pairs[0].blocked, 0u);
+  EXPECT_DOUBLE_EQ(report.pairs[0].mean_utility, 1.0);
+}
+
+TEST(NetworkExperiment, BiggerReservationsBlockMore) {
+  // Flows reserving 2 units each on the same bottleneck double the
+  // effective load per flow: blocking rises sharply.
+  DumbbellFixture f(90.0);
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const auto admission = std::make_shared<ParameterBasedAdmission>(1.0);
+  const auto small = NetworkExperiment(f.topo, admission,
+                                       {{f.a, f.c, 45.0, 1.0, 1.0}}, pi,
+                                       quick_config())
+                         .run();
+  const auto large = NetworkExperiment(f.topo, admission,
+                                       {{f.a, f.c, 45.0, 1.0, 2.0}}, pi,
+                                       quick_config())
+                         .run();
+  EXPECT_LT(small.pairs[0].blocking_probability, 0.01);
+  EXPECT_GT(large.pairs[0].blocking_probability,
+            5.0 * small.pairs[0].blocking_probability);
+}
+
+TEST(NetworkExperiment, MeasurementBasedAdmissionOverbooks) {
+  // Flows declare rate 1 but only use 0.4 of it. Parameter-based
+  // admission fills the 90-unit bottleneck at 90 declared reservations;
+  // measurement-based admission (eta=0.9) sees only the 0.4 usage and
+  // books past the declared capacity — higher utilisation, less
+  // blocking (the Jamin et al. trade, ref [8]).
+  DumbbellFixture f(90.0);
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  const TrafficPair pair{f.a, f.c, /*arrival_rate=*/120.0,
+                         /*mean_holding=*/1.0, /*reserved_rate=*/1.0,
+                         /*utilization=*/0.4};
+  const auto parameter =
+      NetworkExperiment(f.topo, std::make_shared<ParameterBasedAdmission>(1.0),
+                        {pair}, pi, quick_config())
+          .run();
+  const auto measurement =
+      NetworkExperiment(f.topo,
+                        std::make_shared<MeasurementBasedAdmission>(0.9),
+                        {pair}, pi, quick_config())
+          .run();
+  EXPECT_GT(parameter.pairs[0].blocking_probability, 0.15);
+  EXPECT_LT(measurement.pairs[0].blocking_probability,
+            0.5 * parameter.pairs[0].blocking_probability);
+  // Overbooking is visible: declared reservations exceed the declared-
+  // capacity cap, while actual usage stays within the bound.
+  EXPECT_GT(measurement.peak_bottleneck_reserved, 90.0);
+  EXPECT_LE(measurement.peak_bottleneck_usage, 0.9 * 90.0 + 1.0 + 1e-9);
+}
+
+TEST(NetworkExperiment, UtilizationValidation) {
+  DumbbellFixture f(90.0);
+  const auto pi = std::make_shared<utility::Rigid>(1.0);
+  EXPECT_THROW(
+      NetworkExperiment(f.topo,
+                        std::make_shared<ParameterBasedAdmission>(1.0),
+                        {{f.a, f.c, 1.0, 1.0, 1.0, /*utilization=*/1.5}}, pi,
+                        quick_config()),
+      std::invalid_argument);
+}
+
+TEST(NetworkExperiment, UtilizationBoundShrinksCapacity) {
+  // eta = 0.5 halves the usable bottleneck: blocking at offered 100
+  // over 45 effective servers is drastic.
+  DumbbellFixture f(90.0);
+  const NetworkExperiment experiment(
+      f.topo, std::make_shared<ParameterBasedAdmission>(0.5),
+      {{f.a, f.c, 100.0, 1.0, 1.0}},
+      std::make_shared<utility::Rigid>(1.0), quick_config());
+  const auto report = experiment.run();
+  const double erlang = numerics::erlang_b(100.0, 45);
+  EXPECT_NEAR(report.pairs[0].blocking_probability, erlang, 0.03);
+  EXPECT_LE(report.peak_bottleneck_reserved, 45.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace bevr::net

@@ -1,0 +1,143 @@
+#include "bevr/net/rsvp.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace bevr::net {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<Topology> topo = std::make_shared<Topology>();
+  NodeId src = 0, mid = 0, dst = 0;
+  std::shared_ptr<RsvpAgent> agent;
+
+  explicit Fixture(double capacity = 100.0, double timeout = 30.0) {
+    src = topo->add_node("src");
+    mid = topo->add_node("mid");
+    dst = topo->add_node("dst");
+    topo->add_link(src, mid, capacity);
+    topo->add_link(mid, dst, capacity);
+    agent = std::make_shared<RsvpAgent>(
+        topo, std::make_shared<ParameterBasedAdmission>(1.0), timeout);
+  }
+};
+
+FlowSpec unit_flow(double rate = 1.0) {
+  FlowSpec spec;
+  spec.tspec.bucket_rate = rate;
+  spec.tspec.peak_rate = rate;
+  spec.rspec.rate = rate;
+  return spec;
+}
+
+TEST(RsvpAgent, PathThenResvCommits) {
+  Fixture f;
+  const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(f.agent->reserve(*session, unit_flow(5.0), 1.0),
+            ResvResult::kCommitted);
+  EXPECT_TRUE(f.agent->has_reservation(*session));
+  EXPECT_EQ(f.agent->committed_sessions(), 1u);
+  // Both hops hold the reservation.
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(0), 5.0);
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(2), 5.0);
+}
+
+TEST(RsvpAgent, NoRouteNoSession) {
+  auto topo = std::make_shared<Topology>();
+  const auto a = topo->add_node("a");
+  const auto b = topo->add_node("b");  // disconnected
+  RsvpAgent agent(topo, std::make_shared<ParameterBasedAdmission>(1.0));
+  EXPECT_FALSE(agent.open_session(a, b, 0.0).has_value());
+}
+
+TEST(RsvpAgent, AdmissionDenialIsAllOrNothing) {
+  Fixture f(/*capacity=*/10.0);
+  const auto s1 = f.agent->open_session(f.src, f.dst, 0.0);
+  const auto s2 = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_EQ(f.agent->reserve(*s1, unit_flow(8.0), 0.0),
+            ResvResult::kCommitted);
+  EXPECT_EQ(f.agent->reserve(*s2, unit_flow(8.0), 0.0),
+            ResvResult::kAdmissionDenied);
+  // The denied request held nothing anywhere.
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(0), 8.0);
+  EXPECT_FALSE(f.agent->has_reservation(*s2));
+}
+
+TEST(RsvpAgent, HomogeneousUnitFlowsReproduceKMax) {
+  // The paper's single-link admission rule: capacity 100, unit flows →
+  // exactly 100 admitted, the 101st rejected.
+  Fixture f(/*capacity=*/100.0);
+  int committed = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+    ASSERT_TRUE(session.has_value());
+    if (f.agent->reserve(*session, unit_flow(1.0), 0.0) ==
+        ResvResult::kCommitted) {
+      ++committed;
+    }
+  }
+  EXPECT_EQ(committed, 100);
+}
+
+TEST(RsvpAgent, TeardownReleasesBandwidth) {
+  Fixture f(10.0);
+  const auto s1 = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_EQ(f.agent->reserve(*s1, unit_flow(8.0), 0.0),
+            ResvResult::kCommitted);
+  f.agent->teardown(*s1, 1.0);
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(0), 0.0);
+  const auto s2 = f.agent->open_session(f.src, f.dst, 1.0);
+  EXPECT_EQ(f.agent->reserve(*s2, unit_flow(8.0), 1.0),
+            ResvResult::kCommitted);
+}
+
+TEST(RsvpAgent, SoftStateExpiresWithoutRefresh) {
+  Fixture f(100.0, /*timeout=*/10.0);
+  const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_EQ(f.agent->reserve(*session, unit_flow(5.0), 0.0),
+            ResvResult::kCommitted);
+  f.agent->expire(5.0);  // still fresh
+  EXPECT_TRUE(f.agent->has_reservation(*session));
+  f.agent->expire(11.0);  // stale: both path and resv state die
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(0), 0.0);
+  EXPECT_EQ(f.agent->committed_sessions(), 0u);
+}
+
+TEST(RsvpAgent, RefreshKeepsStateAlive) {
+  Fixture f(100.0, /*timeout=*/10.0);
+  const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_EQ(f.agent->reserve(*session, unit_flow(5.0), 0.0),
+            ResvResult::kCommitted);
+  for (double t = 5.0; t <= 50.0; t += 5.0) {
+    f.agent->refresh(*session, t);
+    f.agent->expire(t + 1.0);
+    EXPECT_TRUE(f.agent->has_reservation(*session)) << "t=" << t;
+  }
+}
+
+TEST(RsvpAgent, ReservationReplacesNotStacks) {
+  Fixture f(10.0);
+  const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+  ASSERT_EQ(f.agent->reserve(*session, unit_flow(4.0), 0.0),
+            ResvResult::kCommitted);
+  // Upgrade to 9: must succeed because the old 4 is released first.
+  EXPECT_EQ(f.agent->reserve(*session, unit_flow(9.0), 0.0),
+            ResvResult::kCommitted);
+  EXPECT_DOUBLE_EQ(f.agent->reserved_on_link(0), 9.0);
+}
+
+TEST(RsvpAgent, ReserveWithoutPathState) {
+  Fixture f(100.0, /*timeout=*/10.0);
+  const auto session = f.agent->open_session(f.src, f.dst, 0.0);
+  // Long after the path state expired:
+  EXPECT_EQ(f.agent->reserve(*session, unit_flow(1.0), 100.0),
+            ResvResult::kNoPathState);
+  EXPECT_EQ(f.agent->reserve(9999, unit_flow(1.0), 0.0),
+            ResvResult::kNoPathState);
+}
+
+}  // namespace
+}  // namespace bevr::net

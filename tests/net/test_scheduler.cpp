@@ -1,0 +1,143 @@
+#include "bevr/net/scheduler.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double total(const std::vector<Allocation>& allocations) {
+  double sum = 0.0;
+  for (const auto& a : allocations) sum += a.rate;
+  return sum;
+}
+
+TEST(FluidScheduler, EqualShareForIdenticalGreedyFlows) {
+  // The paper's C/k abstraction: k greedy best-effort flows split C
+  // evenly.
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    flows.push_back({.id = i, .reserved_rate = 0.0, .weight = 1.0,
+                     .demand = kInf});
+  }
+  const auto allocations = scheduler.allocate(flows);
+  for (const auto& a : allocations) EXPECT_NEAR(a.rate, 12.5, 1e-9);
+  EXPECT_NEAR(total(allocations), 100.0, 1e-9);
+}
+
+TEST(FluidScheduler, ReservedFlowsAreProtected) {
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 60.0, .weight = 1.0, .demand = kInf},
+      {.id = 1, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+      {.id = 2, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+  };
+  const auto allocations = scheduler.allocate(flows);
+  // Reserved flow: its 60 plus an equal share of the remaining 40.
+  EXPECT_NEAR(allocations[0].rate, 60.0 + 40.0 / 3.0, 1e-9);
+  EXPECT_NEAR(allocations[1].rate, 40.0 / 3.0, 1e-9);
+  EXPECT_NEAR(total(allocations), 100.0, 1e-9);
+}
+
+TEST(FluidScheduler, WorkConservingRedistribution) {
+  // A reserved flow that uses only half its reservation returns the
+  // rest to the best-effort pool.
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 60.0, .weight = 1.0, .demand = 30.0},
+      {.id = 1, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+  };
+  const auto allocations = scheduler.allocate(flows);
+  EXPECT_NEAR(allocations[0].rate, 30.0, 1e-9);
+  EXPECT_NEAR(allocations[1].rate, 70.0, 1e-9);
+}
+
+TEST(FluidScheduler, WeightedSplit) {
+  const FluidScheduler scheduler(90.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 0.0, .weight = 2.0, .demand = kInf},
+      {.id = 1, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+  };
+  const auto allocations = scheduler.allocate(flows);
+  EXPECT_NEAR(allocations[0].rate, 60.0, 1e-9);
+  EXPECT_NEAR(allocations[1].rate, 30.0, 1e-9);
+}
+
+TEST(FluidScheduler, WaterFillingWithSaturatedFlows) {
+  // One flow wants only 5; its unused fair share goes to the others.
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 0.0, .weight = 1.0, .demand = 5.0},
+      {.id = 1, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+      {.id = 2, .reserved_rate = 0.0, .weight = 1.0, .demand = kInf},
+  };
+  const auto allocations = scheduler.allocate(flows);
+  EXPECT_NEAR(allocations[0].rate, 5.0, 1e-9);
+  EXPECT_NEAR(allocations[1].rate, 47.5, 1e-9);
+  EXPECT_NEAR(allocations[2].rate, 47.5, 1e-9);
+}
+
+TEST(FluidScheduler, UnderloadedLinkLeavesCapacityIdle) {
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 10.0, .weight = 1.0, .demand = 10.0},
+      {.id = 1, .reserved_rate = 0.0, .weight = 1.0, .demand = 20.0},
+  };
+  const auto allocations = scheduler.allocate(flows);
+  EXPECT_NEAR(allocations[0].rate, 10.0, 1e-9);
+  EXPECT_NEAR(allocations[1].rate, 20.0, 1e-9);
+}
+
+TEST(FluidScheduler, OversubscribedReservationsThrow) {
+  const FluidScheduler scheduler(100.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = 70.0, .weight = 1.0, .demand = kInf},
+      {.id = 1, .reserved_rate = 50.0, .weight = 1.0, .demand = kInf},
+  };
+  EXPECT_THROW((void)scheduler.allocate(flows), std::invalid_argument);
+}
+
+TEST(FluidScheduler, ParameterValidation) {
+  EXPECT_THROW(FluidScheduler(0.0), std::invalid_argument);
+  const FluidScheduler scheduler(10.0);
+  std::vector<SchedulableFlow> flows = {
+      {.id = 0, .reserved_rate = -1.0, .weight = 1.0, .demand = 1.0}};
+  EXPECT_THROW((void)scheduler.allocate(flows), std::invalid_argument);
+  flows = {{.id = 0, .reserved_rate = 0.0, .weight = 0.0, .demand = 1.0}};
+  EXPECT_THROW((void)scheduler.allocate(flows), std::invalid_argument);
+}
+
+TEST(FluidScheduler, EmptyFlowsNoAllocation) {
+  const FluidScheduler scheduler(10.0);
+  EXPECT_TRUE(scheduler.allocate({}).empty());
+}
+
+TEST(FluidScheduler, NeverExceedsCapacityOrDemand) {
+  // Randomised-ish property over a few structured cases.
+  const FluidScheduler scheduler(50.0);
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<SchedulableFlow> flows;
+    for (int i = 0; i < n; ++i) {
+      flows.push_back({.id = static_cast<std::uint64_t>(i),
+                       .reserved_rate = (i % 3 == 0) ? 3.0 : 0.0,
+                       .weight = 1.0 + (i % 2),
+                       .demand = (i % 4 == 0) ? 2.5 : kInf});
+    }
+    const auto allocations = scheduler.allocate(flows);
+    EXPECT_LE(total(allocations), 50.0 + 1e-9) << "n=" << n;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      EXPECT_LE(allocations[i].rate, flows[i].demand + 1e-9);
+      EXPECT_GE(allocations[i].rate,
+                std::min(flows[i].demand, flows[i].reserved_rate) - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bevr::net

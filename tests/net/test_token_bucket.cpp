@@ -1,0 +1,59 @@
+#include "bevr/net/token_bucket.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::net {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket bucket(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(bucket.available(0.0), 10.0);
+  EXPECT_TRUE(bucket.consume(0.0, 10.0));
+  EXPECT_FALSE(bucket.consume(0.0, 0.1));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(2.0, 10.0);
+  ASSERT_TRUE(bucket.consume(0.0, 10.0));
+  EXPECT_NEAR(bucket.available(3.0), 6.0, 1e-12);
+  EXPECT_TRUE(bucket.consume(3.0, 6.0));
+  EXPECT_FALSE(bucket.consume(3.0, 1.0));
+}
+
+TEST(TokenBucket, CapsAtDepth) {
+  TokenBucket bucket(5.0, 10.0);
+  EXPECT_NEAR(bucket.available(1000.0), 10.0, 1e-12);
+}
+
+TEST(TokenBucket, EnforcesLongRunRate) {
+  // Over any interval t, a conformant source sends at most r·t + b.
+  TokenBucket bucket(1.0, 5.0);
+  double sent = 0.0;
+  for (double now = 0.0; now <= 100.0; now += 0.25) {
+    if (bucket.consume(now, 1.0)) sent += 1.0;
+  }
+  EXPECT_LE(sent, 1.0 * 100.0 + 5.0 + 1e-9);
+  EXPECT_GE(sent, 100.0 - 1.0);  // and the bucket is not over-strict
+}
+
+TEST(TokenBucket, BurstThenSustain) {
+  TokenBucket bucket(1.0, 20.0);
+  // Burst of 20 at t=0 passes; immediately after, only the rate passes.
+  EXPECT_TRUE(bucket.consume(0.0, 20.0));
+  EXPECT_FALSE(bucket.consume(0.5, 1.0));
+  EXPECT_TRUE(bucket.consume(1.5, 1.0));
+}
+
+TEST(TokenBucket, Validation) {
+  EXPECT_THROW(TokenBucket(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, -1.0), std::invalid_argument);
+  TokenBucket bucket(1.0, 1.0);
+  EXPECT_TRUE(bucket.consume(1.0, 0.0));
+  EXPECT_THROW((void)bucket.consume(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)bucket.consume(2.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::net

@@ -1,0 +1,93 @@
+#include "bevr/net/topology.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::net {
+namespace {
+
+Topology line_of_four() {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto d = topo.add_node("d");
+  topo.add_link(a, b, 10.0);
+  topo.add_link(b, c, 10.0);
+  topo.add_link(c, d, 10.0);
+  return topo;
+}
+
+TEST(Topology, NodeAndLinkBookkeeping) {
+  Topology topo;
+  const auto a = topo.add_node("alpha");
+  const auto b = topo.add_node("beta");
+  const auto l = topo.add_link(a, b, 42.0);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 2u);  // bidirectional pair
+  EXPECT_EQ(topo.link(l).from, a);
+  EXPECT_EQ(topo.link(l).to, b);
+  EXPECT_DOUBLE_EQ(topo.link(l).capacity, 42.0);
+  EXPECT_EQ(topo.node_name(a), "alpha");
+}
+
+TEST(Topology, Validation) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  EXPECT_THROW((void)topo.add_link(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)topo.add_link(a, 99, 1.0), std::out_of_range);
+  const auto b = topo.add_node("b");
+  EXPECT_THROW((void)topo.add_link(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)topo.link(57), std::out_of_range);
+  EXPECT_THROW((void)topo.node_name(-1), std::out_of_range);
+}
+
+TEST(Topology, RouteAlongLine) {
+  const auto topo = line_of_four();
+  const auto path = topo.route(0, 3);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);
+  // Links chain correctly.
+  EXPECT_EQ(topo.link((*path)[0]).from, 0);
+  EXPECT_EQ(topo.link((*path)[0]).to, 1);
+  EXPECT_EQ(topo.link((*path)[2]).to, 3);
+}
+
+TEST(Topology, RouteIsSymmetricInHops) {
+  const auto topo = line_of_four();
+  const auto forward = topo.route(0, 3);
+  const auto backward = topo.route(3, 0);
+  ASSERT_TRUE(forward && backward);
+  EXPECT_EQ(forward->size(), backward->size());
+}
+
+TEST(Topology, TrivialAndMissingRoutes) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  EXPECT_TRUE(topo.route(a, a).has_value());
+  EXPECT_TRUE(topo.route(a, a)->empty());
+  EXPECT_FALSE(topo.route(a, b).has_value());  // disconnected
+}
+
+TEST(Topology, PicksShortestPath) {
+  // Diamond: a-b-d (2 hops) vs a-c1-c2-d (3 hops).
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c1 = topo.add_node("c1");
+  const auto c2 = topo.add_node("c2");
+  const auto d = topo.add_node("d");
+  topo.add_link(a, c1, 1.0);
+  topo.add_link(c1, c2, 1.0);
+  topo.add_link(c2, d, 1.0);
+  topo.add_link(a, b, 1.0);
+  topo.add_link(b, d, 1.0);
+  const auto path = topo.route(a, d);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+}  // namespace
+}  // namespace bevr::net

@@ -1,0 +1,76 @@
+#include "bevr/numerics/erlang.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(ErlangB, ClassicTableValues) {
+  // Standard traffic-engineering table entries.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(1.0, 2), 0.2, 1e-12);
+  // E = A·B(m−1)/(m + A·B(m−1)): B(2, 2) = 0.4.
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  // Well-known planning point: 100 erlangs on 100 servers ≈ 7.57%.
+  EXPECT_NEAR(erlang_b(100.0, 100), 0.0757, 5e-4);
+}
+
+TEST(ErlangB, DirectFormulaSmallCases) {
+  // B(E, m) = (E^m/m!) / Σ_{j≤m} E^j/j!.
+  const double e = 3.7;
+  for (int m = 0; m <= 8; ++m) {
+    double numerator = 1.0, denominator = 0.0, term = 1.0;
+    for (int j = 0; j <= m; ++j) {
+      denominator += term;
+      if (j == m) numerator = term;
+      term *= e / (j + 1);
+    }
+    EXPECT_NEAR(erlang_b(e, m), numerator / denominator, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(ErlangB, MonotoneInServersAndLoad) {
+  double prev = 1.0;
+  for (int m = 0; m <= 150; ++m) {
+    const double b = erlang_b(100.0, m);
+    EXPECT_LE(b, prev + 1e-15) << "m=" << m;
+    prev = b;
+  }
+  EXPECT_LT(erlang_b(50.0, 60), erlang_b(70.0, 60));
+}
+
+TEST(ErlangB, EdgeCases) {
+  EXPECT_EQ(erlang_b(0.0, 0), 1.0);
+  EXPECT_EQ(erlang_b(0.0, 5), 0.0);
+  EXPECT_EQ(erlang_b(5.0, 0), 1.0);
+  EXPECT_THROW((void)erlang_b(-1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b(1.0, -1), std::invalid_argument);
+}
+
+TEST(ErlangB, LargeSystemStable) {
+  // 10'000 erlangs on 10'200 servers: finite, small, positive.
+  const double b = erlang_b(10'000.0, 10'200);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 0.05);
+}
+
+TEST(ErlangBServers, InvertsBlocking) {
+  for (const double target : {0.1, 0.01, 0.001}) {
+    const auto m = erlang_b_servers(100.0, target);
+    EXPECT_LE(erlang_b(100.0, m), target);
+    EXPECT_GT(erlang_b(100.0, m - 1), target);
+  }
+}
+
+TEST(ErlangBServers, KnownPlanningValue) {
+  // 100 erlangs at 1% blocking needs ~117 servers.
+  EXPECT_NEAR(static_cast<double>(erlang_b_servers(100.0, 0.01)), 117.0, 2.0);
+  EXPECT_THROW((void)erlang_b_servers(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b_servers(1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::numerics

@@ -1,0 +1,67 @@
+#include "bevr/numerics/kahan.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(KahanSum, EmptyIsZero) {
+  KahanSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+}
+
+TEST(KahanSum, InitialValue) {
+  KahanSum sum(3.5);
+  EXPECT_EQ(sum.value(), 3.5);
+  sum.add(0.5);
+  EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+}
+
+TEST(KahanSum, RecoversTinyTermsNextToLargeOnes) {
+  // 1 + 1e-16 added 10'000 times: naive summation stays at 1.0.
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 10'000; ++i) sum.add(1e-16);
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-12, 1e-15);
+
+  double naive = 1.0;
+  for (int i = 0; i < 10'000; ++i) naive += 1e-16;
+  EXPECT_EQ(naive, 1.0);  // demonstrates the failure Kahan fixes
+}
+
+TEST(KahanSum, NeumaierHandlesLargeIncomingTerm) {
+  // Classic Neumaier test: [1, 1e100, 1, -1e100] sums to 2.
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_DOUBLE_EQ(sum.value(), 2.0);
+}
+
+TEST(KahanSum, MatchesLongDoubleOnRandomSeries) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  KahanSum sum;
+  long double reference = 0.0L;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = std::ldexp(dist(rng), dist(rng) > 0 ? 20 : -40);
+    sum.add(x);
+    reference += x;
+  }
+  EXPECT_NEAR(sum.value(), static_cast<double>(reference),
+              std::abs(static_cast<double>(reference)) * 1e-14 + 1e-12);
+}
+
+TEST(KahanSum, OperatorPlusEquals) {
+  KahanSum sum;
+  sum += 1.5;
+  sum += 2.5;
+  EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+}
+
+}  // namespace
+}  // namespace bevr::numerics

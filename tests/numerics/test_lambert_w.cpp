@@ -1,0 +1,88 @@
+#include "bevr/numerics/lambert_w.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;
+
+TEST(LambertW0, KnownValues) {
+  EXPECT_DOUBLE_EQ(lambert_w0(0.0), 0.0);
+  EXPECT_NEAR(lambert_w0(1.0), 0.5671432904097838, 1e-14);  // Omega constant
+  EXPECT_NEAR(lambert_w0(std::exp(1.0)), 1.0, 1e-14);
+  EXPECT_NEAR(lambert_w0(-kInvE), -1.0, 1e-7);  // branch point
+}
+
+TEST(LambertW0, SatisfiesDefiningEquation) {
+  for (const double x : {-0.36, -0.2, -0.05, 0.1, 0.9, 3.0, 100.0, 1e6}) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, std::abs(x) * 1e-13 + 1e-14) << "x=" << x;
+  }
+}
+
+TEST(LambertW0, ThrowsBelowBranchPoint) {
+  EXPECT_THROW((void)lambert_w0(-0.4), std::domain_error);
+  EXPECT_THROW((void)lambert_w0(std::nan("")), std::domain_error);
+}
+
+TEST(LambertWMinus1, KnownValues) {
+  // W-1(-1/e) = -1; W-1(-0.1) ≈ -3.5771520639573.
+  EXPECT_NEAR(lambert_w_minus1(-kInvE), -1.0, 1e-7);
+  EXPECT_NEAR(lambert_w_minus1(-0.1), -3.577152063957297, 1e-12);
+}
+
+TEST(LambertWMinus1, SatisfiesDefiningEquation) {
+  for (const double x : {-0.367, -0.3, -0.1, -0.01, -1e-4, -1e-8, -1e-100}) {
+    const double w = lambert_w_minus1(x);
+    EXPECT_LE(w, -1.0 + 1e-7);
+    EXPECT_NEAR(w * std::exp(w), x, std::abs(x) * 1e-12) << "x=" << x;
+  }
+}
+
+TEST(LambertWMinus1, ThrowsOutsideDomain) {
+  EXPECT_THROW((void)lambert_w_minus1(0.1), std::domain_error);
+  EXPECT_THROW((void)lambert_w_minus1(0.0), std::domain_error);
+  EXPECT_THROW((void)lambert_w_minus1(-0.4), std::domain_error);
+}
+
+TEST(LargestH, SolvesHExpMinusH) {
+  for (const double p : {0.3, 0.1, 0.01, 1e-4, 1e-8}) {
+    const double h = largest_h_of_he_minus_h(p);
+    EXPECT_GE(h, 1.0);
+    EXPECT_NEAR(h * std::exp(-h), p, p * 1e-12) << "p=" << p;
+  }
+}
+
+TEST(LargestH, BranchPointAndDomain) {
+  EXPECT_DOUBLE_EQ(largest_h_of_he_minus_h(kInvE), 1.0);
+  EXPECT_THROW((void)largest_h_of_he_minus_h(0.0), std::domain_error);
+  EXPECT_THROW((void)largest_h_of_he_minus_h(0.5), std::domain_error);
+}
+
+TEST(LargestH, IsTheLargerOfTheTwoRoots) {
+  // h e^{-h} = p has two roots for p < 1/e; the welfare model needs the
+  // larger one (the over-provisioned branch). The smaller root is
+  // -W0(-p): check ordering.
+  const double p = 0.1;
+  const double h_large = largest_h_of_he_minus_h(p);
+  const double h_small = -lambert_w0(-p);
+  EXPECT_LT(h_small, 1.0);
+  EXPECT_GT(h_large, 1.0);
+  EXPECT_NEAR(h_small * std::exp(-h_small), p, 1e-13);
+}
+
+// Asymptotic sanity used in the paper's γ(p) small-p analysis:
+// h(p) ≈ ln(1/p) + ln ln(1/p) as p → 0.
+TEST(LargestH, SmallPriceAsymptotics) {
+  const double p = 1e-12;
+  const double h = largest_h_of_he_minus_h(p);
+  const double l = std::log(1.0 / p);
+  EXPECT_NEAR(h, l + std::log(l), 0.2);
+}
+
+}  // namespace
+}  // namespace bevr::numerics

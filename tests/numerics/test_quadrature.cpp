@@ -1,0 +1,112 @@
+#include "bevr/numerics/quadrature.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(GaussKronrod15, ExactOnLowDegreePolynomials) {
+  // GK15 integrates polynomials up to degree 29 exactly (to rounding).
+  const auto result = gauss_kronrod_15(
+      [](double x) { return 5.0 * x * x * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(result.value, 32.0, 1e-12);
+}
+
+TEST(Integrate, SineOverHalfPeriod) {
+  const auto result =
+      integrate([](double x) { return std::sin(x); }, 0.0, std::numbers::pi);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 2.0, 1e-12);
+}
+
+TEST(Integrate, ReversedLimitsNegate) {
+  const auto forward = integrate([](double x) { return x * x; }, 0.0, 1.0);
+  const auto backward = integrate([](double x) { return x * x; }, 1.0, 0.0);
+  EXPECT_NEAR(forward.value, 1.0 / 3.0, 1e-13);
+  EXPECT_NEAR(backward.value, -1.0 / 3.0, 1e-13);
+}
+
+TEST(Integrate, EmptyInterval) {
+  const auto result = integrate([](double x) { return x; }, 2.0, 2.0);
+  EXPECT_EQ(result.value, 0.0);
+}
+
+TEST(Integrate, HandlesKinks) {
+  // |x - 0.3| over [0, 1]: adaptive refinement around the kink.
+  const auto result =
+      integrate([](double x) { return std::abs(x - 0.3); }, 0.0, 1.0);
+  EXPECT_NEAR(result.value, (0.09 + 0.49) / 2.0, 1e-10);
+}
+
+TEST(Integrate, HandlesStepDiscontinuity) {
+  const auto result = integrate(
+      [](double x) { return x < 0.5 ? 0.0 : 1.0; }, 0.0, 1.0, 1e-12, 1e-10);
+  EXPECT_NEAR(result.value, 0.5, 1e-8);
+}
+
+TEST(Integrate, RejectsInfiniteEndpoints) {
+  EXPECT_THROW((void)integrate([](double x) { return x; }, 0.0,
+                               std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  const auto result =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 0.0);
+  EXPECT_NEAR(result.value, 1.0, 1e-10);
+}
+
+TEST(IntegrateToInfinity, ShiftedExponential) {
+  const auto result =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 3.0);
+  EXPECT_NEAR(result.value, std::exp(-3.0), 1e-12);
+}
+
+TEST(IntegrateToInfinity, ParetoTail) {
+  // ∫_1^∞ 2 x^{-3} dx = 1.
+  const auto result =
+      integrate_to_infinity([](double x) { return 2.0 * std::pow(x, -3.0); },
+                            1.0);
+  EXPECT_NEAR(result.value, 1.0, 1e-9);
+}
+
+TEST(IntegrateToInfinity, ParetoFirstMoment) {
+  // ∫_1^∞ x·(z-1)x^{-z} dx = (z-1)/(z-2) for z = 3.
+  const auto result = integrate_to_infinity(
+      [](double x) { return x * 2.0 * std::pow(x, -3.0); }, 1.0);
+  EXPECT_NEAR(result.value, 2.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, GaussianMoment) {
+  // ∫_0^∞ x e^{-x²/2} dx = 1.
+  const auto result = integrate_to_infinity(
+      [](double x) { return x * std::exp(-0.5 * x * x); }, 0.0);
+  EXPECT_NEAR(result.value, 1.0, 1e-10);
+}
+
+// The continuum model's integrand family: P(k)·k·π(C/k). Verify the
+// quadrature reproduces the closed form the paper gives for the
+// exponential/rigid case, over a capacity sweep.
+class ContinuumIntegrandSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContinuumIntegrandSweep, MatchesClosedForm) {
+  const double capacity = GetParam();
+  const double beta = 0.01;
+  auto integrand = [beta](double k) { return beta * std::exp(-beta * k) * k; };
+  // V_B for rigid: ∫_0^C k P(k) dk = (1/β)(1 − e^{−βC}(1+βC)).
+  const auto result = integrate(integrand, 0.0, capacity, 1e-13, 1e-11);
+  const double bc = beta * capacity;
+  const double expected = (1.0 - std::exp(-bc) * (1.0 + bc)) / beta;
+  EXPECT_NEAR(result.value, expected, 1e-9 * (1.0 + expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ContinuumIntegrandSweep,
+                         ::testing::Values(1.0, 10.0, 50.0, 100.0, 200.0,
+                                           400.0, 1000.0));
+
+}  // namespace
+}  // namespace bevr::numerics

@@ -1,0 +1,124 @@
+// Robustness under extreme parameters: the numeric substrate and the
+// model stack must stay finite, bounded and sensible far outside the
+// paper's k̄ = 100 comfort zone.
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/numerics/lambert_w.h"
+#include "bevr/numerics/quadrature.h"
+#include "bevr/numerics/special.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr {
+namespace {
+
+TEST(Robustness, HugePoissonMeanStaysStable) {
+  const dist::PoissonLoad load(1e6);
+  EXPECT_NEAR(load.pmf(1'000'000), 1.0 / std::sqrt(2.0 * M_PI * 1e6), 1e-9);
+  EXPECT_NEAR(load.cdf(1'000'000), 0.5, 0.01);
+  EXPECT_GT(load.tail_above(1'003'000), 0.0);
+  EXPECT_LT(load.tail_above(1'003'000), 0.01);
+  EXPECT_NEAR(load.partial_mean_above(-1), 1e6, 1.0);
+}
+
+TEST(Robustness, TinyAndHugeExponentialMeans) {
+  const auto tiny = dist::ExponentialLoad::with_mean(1e-3);
+  EXPECT_NEAR(tiny.mean(), 1e-3, 1e-12);
+  EXPECT_NEAR(tiny.pmf(0), 1.0, 2e-3);  // nearly all mass at zero
+  const auto huge = dist::ExponentialLoad::with_mean(1e7);
+  EXPECT_NEAR(huge.mean(), 1e7, 1.0);
+  EXPECT_NEAR(huge.tail_above(static_cast<std::int64_t>(1e7)),
+              std::exp(-1.0), 1e-6);
+}
+
+TEST(Robustness, SteepAlgebraicPower) {
+  // z = 20: essentially all mass at the shift; moments must not
+  // overflow the Hurwitz-zeta evaluation.
+  const auto load = dist::AlgebraicLoad::with_mean(20.0, 100.0);
+  EXPECT_NEAR(load.mean(), 100.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(load.second_moment()));
+  EXPECT_GT(load.pmf(100), 0.0);
+}
+
+TEST(Robustness, UtilityAtExtremeBandwidths) {
+  const utility::AdaptiveExp adaptive;
+  EXPECT_EQ(adaptive.value(1e300), 1.0);
+  EXPECT_EQ(adaptive.value(0.0), 0.0);
+  EXPECT_GT(adaptive.value(1e-300), 0.0 - 1e-15);
+  const utility::AlgebraicTail tail(0.001);  // extremely slow approach
+  EXPECT_LT(tail.value(1e6), 1.0);
+  EXPECT_GT(tail.value(1e6), 0.0);
+}
+
+TEST(Robustness, ModelAtExtremeCapacities) {
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  const core::VariableLoadModel model(
+      load, std::make_shared<utility::AdaptiveExp>());
+  // Minuscule capacity: both utilities near zero, still ordered.
+  const double b_small = model.best_effort(1e-6);
+  const double r_small = model.reservation(1e-6);
+  EXPECT_GE(r_small + 1e-15, b_small);
+  EXPECT_LT(r_small, 1e-4);
+  // Astronomical capacity: both saturate at 1.
+  EXPECT_NEAR(model.best_effort(1e7), 1.0, 1e-9);
+  EXPECT_NEAR(model.reservation(1e7), 1.0, 1e-9);
+  EXPECT_NEAR(model.bandwidth_gap(1e7), 0.0, 1e-3);
+}
+
+TEST(Robustness, LambertWAtDomainEdges) {
+  EXPECT_TRUE(std::isfinite(numerics::lambert_w0(1e-300)));
+  EXPECT_NEAR(numerics::lambert_w0(1e-300), 1e-300, 1e-305);
+  EXPECT_TRUE(std::isfinite(numerics::lambert_w0(1e300)));
+  EXPECT_TRUE(std::isfinite(numerics::lambert_w_minus1(-1e-300)));
+  EXPECT_LT(numerics::lambert_w_minus1(-1e-300), -600.0);
+}
+
+TEST(Robustness, QuadratureDegenerateInputs) {
+  const auto zero = numerics::integrate([](double) { return 0.0; }, 0.0, 1.0);
+  EXPECT_EQ(zero.value, 0.0);
+  EXPECT_TRUE(zero.converged);
+  // A narrow smooth peak (sigma = 0.01): adaptive refinement resolves
+  // it to the analytic value sigma*sqrt(2*pi).
+  const double sigma = 0.01;
+  const auto peak = numerics::integrate(
+      [sigma](double x) {
+        const double u = (x - 0.5) / sigma;
+        return std::exp(-0.5 * u * u);
+      },
+      0.0, 1.0, 1e-12, 1e-10, 48);
+  EXPECT_NEAR(peak.value, sigma * std::sqrt(2.0 * M_PI), 1e-8);
+}
+
+TEST(Robustness, HurwitzZetaExtremes) {
+  // Large s: series is essentially its first term; optimal truncation
+  // of the Euler-Maclaurin corrections must keep full precision.
+  EXPECT_NEAR(numerics::hurwitz_zeta(50.0, 2.0),
+              std::pow(2.0, -50.0) * (1.0 + std::pow(2.0 / 3.0, 50.0)),
+              1e-13 * std::pow(2.0, -50.0));
+  // Huge shift: integral approximation regime.
+  EXPECT_TRUE(std::isfinite(numerics::hurwitz_zeta(2.5, 1e12)));
+  EXPECT_GT(numerics::hurwitz_zeta(2.5, 1e12), 0.0);
+}
+
+TEST(Robustness, RigidWithLargeRequirement) {
+  // b̂ = 50 on k̄ = 100: only tiny loads are served at all.
+  const auto load = std::make_shared<dist::PoissonLoad>(100.0);
+  const core::VariableLoadModel model(load,
+                                      std::make_shared<utility::Rigid>(50.0));
+  EXPECT_LT(model.best_effort(100.0), 1e-9);  // P[K ≤ 2] ≈ 0
+  EXPECT_GE(model.reservation(100.0), model.best_effort(100.0));
+  const auto kmax = model.k_max(100.0);
+  ASSERT_TRUE(kmax.has_value());
+  EXPECT_EQ(*kmax, 2);
+}
+
+}  // namespace
+}  // namespace bevr

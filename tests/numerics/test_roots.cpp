@@ -1,0 +1,111 @@
+#include "bevr/numerics/roots.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(Brent, LinearRoot) {
+  const auto result = brent([](double x) { return 2.0 * x - 3.0; }, 0.0, 5.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.5, 1e-12);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  // x e^x = 1 -> x = W(1) = Omega constant.
+  const auto result =
+      brent([](double x) { return x * std::exp(x) - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.5671432904097838, 1e-12);
+}
+
+TEST(Brent, EndpointRootExact) {
+  const auto result = brent([](double x) { return x; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.x, 0.0);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  EXPECT_THROW(
+      (void)brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+TEST(Brent, SteepAndFlatMixture) {
+  // f has a nearly flat region then a steep crossing, a classic
+  // secant-method trap; Brent must still converge.
+  auto f = [](double x) { return std::tanh(50.0 * (x - 0.7)) + x / 1000.0; };
+  const auto result = brent(f, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(f(result.x), 0.0, 1e-9);
+}
+
+TEST(Bisect, AgreesWithBrent) {
+  auto f = [](double x) { return std::cos(x) - x; };
+  const auto a = brent(f, 0.0, 1.0);
+  const auto b = bisect(f, 0.0, 1.0, {.max_iterations = 100});
+  EXPECT_NEAR(a.x, b.x, 1e-9);
+  EXPECT_NEAR(a.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ExpandBracket, FindsBracketAboveInitialInterval) {
+  auto f = [](double x) { return x - 100.0; };
+  const auto bracket = expand_bracket(f, 0.0, 1.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(bracket->lo, 100.0);
+  EXPECT_GE(bracket->hi, 100.0);
+  const auto root = brent(f, *bracket);
+  EXPECT_NEAR(root.x, 100.0, 1e-9);
+}
+
+TEST(ExpandBracket, RespectsLowerBound) {
+  // Root at -5 but the domain is restricted to x >= 0: no bracket.
+  auto f = [](double x) { return x + 5.0; };
+  const auto bracket =
+      expand_bracket(f, 0.0, 1.0, 2.0, 16, /*min_lo=*/0.0);
+  EXPECT_FALSE(bracket.has_value());
+}
+
+TEST(ExpandBracket, RejectsBadInterval) {
+  EXPECT_THROW((void)expand_bracket([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, HighPrecisionOnPolynomial) {
+  // (x-1)(x-2)(x-3) root in [2.5, 10].
+  auto f = [](double x) { return (x - 1.0) * (x - 2.0) * (x - 3.0); };
+  const auto result = brent(f, 2.5, 10.0);
+  EXPECT_NEAR(result.x, 3.0, 1e-12);
+}
+
+struct RootCase {
+  double target;
+};
+
+class BrentInverseSweep : public ::testing::TestWithParam<RootCase> {};
+
+// Property: Brent inverts a monotone function to high accuracy across a
+// sweep of targets (this is exactly how bandwidth_gap uses it).
+TEST_P(BrentInverseSweep, InvertsMonotoneFunction) {
+  const double target = GetParam().target;
+  auto f = [target](double x) { return 1.0 - std::exp(-x) - target; };
+  const auto result = brent(f, 0.0, 100.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(1.0 - std::exp(-result.x), target, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BrentInverseSweep,
+                         ::testing::Values(RootCase{0.01}, RootCase{0.1},
+                                           RootCase{0.5}, RootCase{0.9},
+                                           RootCase{0.99}, RootCase{0.9999}));
+
+}  // namespace
+}  // namespace bevr::numerics

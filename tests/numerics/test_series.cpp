@@ -1,0 +1,88 @@
+#include "bevr/numerics/series.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(SumUntilNegligible, GeometricSeries) {
+  const auto result = sum_until_negligible(
+      [](std::int64_t k) { return std::pow(0.5, static_cast<double>(k)); }, 0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 2.0, 1e-12);
+}
+
+TEST(SumUntilNegligible, BaselZeta2) {
+  // Σ 1/k² = π²/6; slow algebraic decay exercises the run-length guard.
+  const auto result = sum_until_negligible(
+      [](std::int64_t k) {
+        const double kd = static_cast<double>(k);
+        return 1.0 / (kd * kd);
+      },
+      1, {.rel_tol = 1e-10, .abs_tol = 0.0, .consecutive_small = 16,
+          .max_terms = 2'000'000});
+  EXPECT_TRUE(result.converged);
+  // Truncation error of Σ1/k² at K is ~1/K; with rel_tol 1e-10 the
+  // stop happens near K = 1e5, so expect ~1e-5 accuracy.
+  EXPECT_NEAR(result.value, 1.6449340668482264, 2e-5);
+}
+
+TEST(SumUntilNegligible, PoissonMassSumsToOne) {
+  const double nu = 100.0;
+  const auto result = sum_until_negligible(
+      [nu](std::int64_t k) {
+        return std::exp(static_cast<double>(k) * std::log(nu) - nu -
+                        std::lgamma(static_cast<double>(k) + 1.0));
+      },
+      0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(SumUntilNegligible, DoesNotStopOnLeadingZeros) {
+  // First 30 terms are zero; the run-length requirement must not stop
+  // the sum before the mass arrives.
+  const auto result = sum_until_negligible(
+      [](std::int64_t k) {
+        return k < 30 ? 0.0 : std::pow(0.5, static_cast<double>(k - 30));
+      },
+      0, {.rel_tol = 1e-14, .abs_tol = 1e-300, .consecutive_small = 64,
+          .max_terms = 100'000});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 2.0, 1e-12);
+}
+
+TEST(SumUntilNegligible, ReportsNonConvergenceAtCap) {
+  const auto result = sum_until_negligible(
+      [](std::int64_t) { return 1.0; }, 0,
+      {.rel_tol = 1e-14, .abs_tol = 0.0, .consecutive_small = 8,
+       .max_terms = 1000});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.terms, 1000);
+  EXPECT_NEAR(result.value, 1000.0, 1e-9);
+}
+
+TEST(SumUntilNegligible, RejectsBadRunLength) {
+  EXPECT_THROW((void)sum_until_negligible([](std::int64_t) { return 0.0; }, 0,
+                                          {.rel_tol = 1e-14,
+                                           .abs_tol = 0.0,
+                                           .consecutive_small = 0,
+                                           .max_terms = 10}),
+               std::invalid_argument);
+}
+
+TEST(SumRange, SimpleArithmetic) {
+  const double value = sum_range(
+      [](std::int64_t k) { return static_cast<double>(k); }, 1, 100);
+  EXPECT_DOUBLE_EQ(value, 5050.0);
+}
+
+TEST(SumRange, EmptyRangeIsZero) {
+  EXPECT_EQ(sum_range([](std::int64_t) { return 1.0; }, 5, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace bevr::numerics

@@ -1,0 +1,107 @@
+#include "bevr/numerics/special.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::numerics {
+namespace {
+
+TEST(HurwitzZeta, RiemannSpecialValues) {
+  EXPECT_NEAR(riemann_zeta(2.0), std::numbers::pi * std::numbers::pi / 6.0,
+              1e-13);
+  EXPECT_NEAR(riemann_zeta(4.0), std::pow(std::numbers::pi, 4) / 90.0, 1e-13);
+  EXPECT_NEAR(riemann_zeta(3.0), 1.2020569031595943, 1e-13);  // Apery
+}
+
+TEST(HurwitzZeta, RecurrenceIdentity) {
+  // ζ(s, q) = q^{-s} + ζ(s, q+1).
+  for (const double s : {2.1, 3.0, 4.5}) {
+    for (const double q : {0.5, 1.0, 7.3, 150.0}) {
+      EXPECT_NEAR(hurwitz_zeta(s, q),
+                  std::pow(q, -s) + hurwitz_zeta(s, q + 1.0),
+                  1e-14 * hurwitz_zeta(s, q))
+          << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+TEST(HurwitzZeta, MatchesDirectSummationForLargeS) {
+  // Fast-decaying series can be summed directly as an oracle.
+  const double s = 6.0, q = 2.5;
+  double direct = 0.0;
+  for (int k = 2000; k >= 0; --k) direct += std::pow(q + k, -s);
+  EXPECT_NEAR(hurwitz_zeta(s, q), direct, 1e-13 * direct);
+}
+
+TEST(HurwitzZeta, LargeShiftAsymptotics) {
+  // ζ(s, q) ≈ q^{1-s}/(s-1) + q^{-s}/2 for large q.
+  const double s = 3.0, q = 1e6;
+  const double expected = std::pow(q, 1.0 - s) / (s - 1.0) +
+                          0.5 * std::pow(q, -s);
+  EXPECT_NEAR(hurwitz_zeta(s, q), expected, 1e-9 * expected);
+}
+
+TEST(HurwitzZeta, DomainChecks) {
+  EXPECT_THROW((void)hurwitz_zeta(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)hurwitz_zeta(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)hurwitz_zeta(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)hurwitz_zeta(2.0, -1.0), std::invalid_argument);
+}
+
+TEST(PoissonPmf, SumsToOneAtPaperMean) {
+  const double nu = 100.0;
+  double total = 0.0;
+  for (std::int64_t k = 0; k < 400; ++k) total += poisson_pmf(k, nu);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PoissonPmf, MatchesDirectFormulaAtSmallK) {
+  const double nu = 3.0;
+  EXPECT_NEAR(poisson_pmf(0, nu), std::exp(-3.0), 1e-15);
+  EXPECT_NEAR(poisson_pmf(1, nu), 3.0 * std::exp(-3.0), 1e-15);
+  EXPECT_NEAR(poisson_pmf(2, nu), 4.5 * std::exp(-3.0), 1e-15);
+}
+
+TEST(PoissonPmf, NoOverflowAtLargeArguments) {
+  const double p = poisson_pmf(100'000, 100'000.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // Stirling: pmf at the mode ≈ 1/sqrt(2πν).
+  EXPECT_NEAR(p, 1.0 / std::sqrt(2.0 * std::numbers::pi * 1e5), 1e-8);
+}
+
+TEST(PoissonPmf, DomainChecks) {
+  EXPECT_THROW((void)poisson_log_pmf(-1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_log_pmf(0, 0.0), std::invalid_argument);
+}
+
+TEST(PoissonTail, ComplementsCdf) {
+  const double nu = 100.0;
+  double cdf = 0.0;
+  for (std::int64_t k = 0; k <= 110; ++k) cdf += poisson_pmf(k, nu);
+  EXPECT_NEAR(poisson_tail_above(110, nu), 1.0 - cdf, 1e-12);
+}
+
+TEST(PoissonTail, EdgeCases) {
+  EXPECT_EQ(poisson_tail_above(-1, 5.0), 1.0);
+  EXPECT_NEAR(poisson_tail_above(0, 5.0), 1.0 - std::exp(-5.0), 1e-14);
+  // Deep tail stays positive and tiny.
+  const double deep = poisson_tail_above(300, 100.0);
+  EXPECT_GT(deep, 0.0);
+  EXPECT_LT(deep, 1e-50);
+}
+
+TEST(Log1mExp, StableAcrossRegimes) {
+  // Compare against long-double computation in the easy regime.
+  EXPECT_NEAR(log1mexp(-1.0), std::log(1.0 - std::exp(-1.0)), 1e-15);
+  EXPECT_NEAR(log1mexp(-40.0), -std::exp(-40.0), 1e-30);
+  // Near zero: log(1-e^{-x}) ≈ log(x).
+  EXPECT_NEAR(log1mexp(-1e-10), std::log(1e-10), 1e-9);
+  EXPECT_THROW((void)log1mexp(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::numerics

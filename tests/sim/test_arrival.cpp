@@ -1,0 +1,90 @@
+#include "bevr/sim/arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/sim/metrics.h"
+
+namespace bevr::sim {
+namespace {
+
+TEST(PoissonArrivals, EmpiricalRate) {
+  PoissonArrivals arrivals(10.0);
+  Rng rng(1);
+  RunningStats gaps;
+  for (int i = 0; i < 100'000; ++i) {
+    gaps.add(arrivals.next_interarrival(rng));
+  }
+  EXPECT_NEAR(gaps.mean(), 0.1, 0.002);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(gaps.stddev(), 0.1, 0.003);
+  EXPECT_DOUBLE_EQ(arrivals.rate(), 10.0);
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+}
+
+TEST(BurstyArrivals, RateFormulaAndOverdispersion) {
+  BurstyArrivals arrivals(/*hot_rate=*/50.0, /*cold_rate=*/2.0,
+                          /*hot_p=*/0.5);
+  Rng rng(2);
+  RunningStats gaps;
+  for (int i = 0; i < 200'000; ++i) {
+    gaps.add(arrivals.next_interarrival(rng));
+  }
+  EXPECT_NEAR(gaps.mean(), 1.0 / arrivals.rate(), 0.01);
+  // Hyper-exponential gaps: coefficient of variation > 1.
+  EXPECT_GT(gaps.stddev() / gaps.mean(), 1.2);
+  EXPECT_THROW(BurstyArrivals(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(ExponentialHolding, EmpiricalMean) {
+  ExponentialHolding holding(5.0);
+  Rng rng(3);
+  RunningStats durations;
+  for (int i = 0; i < 100'000; ++i) {
+    durations.add(holding.next_duration(rng));
+  }
+  EXPECT_NEAR(durations.mean(), 5.0, 0.1);
+  EXPECT_DOUBLE_EQ(holding.mean(), 5.0);
+  EXPECT_THROW(ExponentialHolding(-1.0), std::invalid_argument);
+}
+
+TEST(BoundedParetoHolding, SamplesStayInBounds) {
+  BoundedParetoHolding holding(1.2, 1.0, 1000.0);
+  Rng rng(4);
+  for (int i = 0; i < 50'000; ++i) {
+    const double d = holding.next_duration(rng);
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 1000.0);
+  }
+}
+
+TEST(BoundedParetoHolding, EmpiricalMeanMatchesFormula) {
+  BoundedParetoHolding holding(1.5, 1.0, 100.0);
+  Rng rng(5);
+  RunningStats durations;
+  for (int i = 0; i < 500'000; ++i) {
+    durations.add(holding.next_duration(rng));
+  }
+  EXPECT_NEAR(durations.mean(), holding.mean(), 0.05 * holding.mean());
+}
+
+TEST(BoundedParetoHolding, HeavyTailProperty) {
+  // Pareto with shape 1.2: the top percentile carries a large share of
+  // total duration — unlike the exponential.
+  BoundedParetoHolding pareto(1.2, 1.0, 10'000.0);
+  ExponentialHolding expo(pareto.mean());
+  Rng rng(6);
+  double pareto_max = 0.0, expo_max = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    pareto_max = std::max(pareto_max, pareto.next_duration(rng));
+    expo_max = std::max(expo_max, expo.next_duration(rng));
+  }
+  EXPECT_GT(pareto_max, 5.0 * expo_max);
+  EXPECT_THROW(BoundedParetoHolding(1.0, 5.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::sim

@@ -1,0 +1,76 @@
+#include "bevr/sim/event_queue.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bevr::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&order] { order.push_back(3); });
+  queue.schedule(1.0, [&order] { order.push_back(1); });
+  queue.schedule(2.0, [&order] { order.push_back(2); });
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongSimultaneousEvents) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&order] { order.push_back(1); });
+  queue.schedule(1.0, [&order] { order.push_back(2); });
+  queue.schedule(1.0, [&order] { order.push_back(3); });
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) queue.schedule_in(1.0, chain);
+  };
+  queue.schedule(0.0, chain);
+  while (queue.step()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    queue.schedule(static_cast<double>(i), [&fired] { ++fired; });
+  }
+  queue.run_until(5.5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.5);
+  EXPECT_EQ(queue.pending(), 5u);
+}
+
+TEST(EventQueue, RefusesPastScheduling) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.step();
+  EXPECT_THROW(queue.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(queue.schedule(5.0, [] {}));  // "now" is allowed
+}
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.step());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace bevr::sim

@@ -1,0 +1,87 @@
+#include "bevr/sim/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace bevr::sim {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(3.14);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.14);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.14);
+  EXPECT_EQ(stats.max(), 3.14);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  // Classic Welford test: variance of {1e9+4, 1e9+7, 1e9+13, 1e9+16}.
+  RunningStats stats;
+  for (const double x : {4.0, 7.0, 13.0, 16.0}) stats.add(1e9 + x);
+  EXPECT_NEAR(stats.variance(), 30.0, 1e-6);
+}
+
+TEST(TimeWeightedOccupancy, FractionsAndMean) {
+  TimeWeightedOccupancy occ;
+  occ.record(0.0, 2);   // level 2 from t=0
+  occ.record(1.0, 5);   // level 2 held 1s; level 5 from t=1
+  occ.record(4.0, 0);   // level 5 held 3s
+  occ.record(10.0, 0);  // level 0 held 6s
+  EXPECT_DOUBLE_EQ(occ.total_time(), 10.0);
+  EXPECT_DOUBLE_EQ(occ.fraction(2), 0.1);
+  EXPECT_DOUBLE_EQ(occ.fraction(5), 0.3);
+  EXPECT_DOUBLE_EQ(occ.fraction(0), 0.6);
+  EXPECT_DOUBLE_EQ(occ.fraction(7), 0.0);
+  EXPECT_DOUBLE_EQ(occ.mean(), 2.0 * 0.1 + 5.0 * 0.3);
+}
+
+TEST(TimeWeightedOccupancy, DistributionSumsToOne) {
+  TimeWeightedOccupancy occ;
+  occ.record(0.0, 1);
+  occ.record(2.5, 3);
+  occ.record(4.0, 1);
+  occ.record(8.0, 0);
+  const auto pmf = occ.distribution();
+  double total = 0.0;
+  for (const double p : pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TimeWeightedOccupancy, ErrorHandling) {
+  TimeWeightedOccupancy occ;
+  occ.record(5.0, 1);
+  EXPECT_THROW(occ.record(4.0, 2), std::invalid_argument);  // backwards
+  EXPECT_THROW(occ.record(6.0, -1), std::invalid_argument);
+}
+
+TEST(TimeWeightedOccupancy, EmptyIsSafe) {
+  const TimeWeightedOccupancy occ;
+  EXPECT_EQ(occ.mean(), 0.0);
+  EXPECT_EQ(occ.fraction(0), 0.0);
+  EXPECT_TRUE(occ.distribution().empty());
+}
+
+}  // namespace
+}  // namespace bevr::sim

@@ -1,0 +1,168 @@
+#include "bevr/sim/simulator.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/dist/poisson.h"
+#include "bevr/sim/link.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::sim {
+namespace {
+
+TEST(Link, BestEffortAdmitsEverything) {
+  Link link(100.0, Architecture::kBestEffort, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(link.try_admit());
+  EXPECT_EQ(link.occupancy(), 1000);
+  EXPECT_DOUBLE_EQ(link.share(), 0.1);
+}
+
+TEST(Link, ReservationBlocksAtLimit) {
+  Link link(100.0, Architecture::kReservation, 3);
+  EXPECT_TRUE(link.try_admit());
+  EXPECT_TRUE(link.try_admit());
+  EXPECT_TRUE(link.try_admit());
+  EXPECT_FALSE(link.try_admit());
+  link.release();
+  EXPECT_TRUE(link.try_admit());
+  EXPECT_THROW(Link(0.0, Architecture::kBestEffort, 0), std::invalid_argument);
+}
+
+TEST(Link, ReleaseUnderflowThrows) {
+  Link link(10.0, Architecture::kBestEffort, 0);
+  EXPECT_THROW(link.release(), std::logic_error);
+}
+
+SimulationConfig base_config() {
+  SimulationConfig config;
+  config.capacity = 100.0;
+  config.horizon = 4000.0;
+  config.warmup = 200.0;
+  config.seed = 12345;
+  return config;
+}
+
+// The paper's Poisson load case: M/M/∞ occupancy is Poisson(λτ).
+TEST(FlowSimulator, MM1InfinityOccupancyIsPoisson) {
+  auto config = base_config();
+  config.architecture = Architecture::kBestEffort;
+  const double offered = 100.0;  // λ·τ = 100 = the paper's k̄
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<PoissonArrivals>(offered),
+      std::make_shared<ExponentialHolding>(1.0));
+  const auto report = simulator.run();
+  EXPECT_NEAR(report.mean_occupancy, offered, 3.0);
+  // Compare the empirical pmf with Poisson(100) at a few levels.
+  const dist::PoissonLoad poisson(offered);
+  for (const std::int64_t k : {90LL, 100LL, 110LL}) {
+    ASSERT_LT(static_cast<std::size_t>(k), report.occupancy_pmf.size());
+    EXPECT_NEAR(report.occupancy_pmf[static_cast<std::size_t>(k)],
+                poisson.pmf(k), 0.012)
+        << "k=" << k;
+  }
+}
+
+TEST(FlowSimulator, BestEffortNeverBlocks) {
+  auto config = base_config();
+  config.architecture = Architecture::kBestEffort;
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  const auto report = simulator.run();
+  EXPECT_EQ(report.flows_blocked, 0u);
+  EXPECT_EQ(report.blocking_probability, 0.0);
+  EXPECT_GT(report.flows_scored, 100'000u);
+}
+
+TEST(FlowSimulator, ReservationEnforcesAdmissionLimit) {
+  auto config = base_config();
+  config.architecture = Architecture::kReservation;
+  config.admission_limit = 80;  // under-provisioned on purpose
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  const auto report = simulator.run();
+  EXPECT_GT(report.flows_blocked, 0u);
+  // Occupancy never exceeds the limit.
+  for (std::size_t k = 81; k < report.occupancy_pmf.size(); ++k) {
+    EXPECT_EQ(report.occupancy_pmf[k], 0.0) << "k=" << k;
+  }
+  // Erlang-B-like blocking for M/M/80 with offered load 100 is
+  // substantial (loss system blocking ≈ 23%).
+  EXPECT_GT(report.blocking_probability, 0.10);
+  EXPECT_LT(report.blocking_probability, 0.35);
+}
+
+TEST(FlowSimulator, RetryPolicyRecoversBlockedFlows) {
+  auto config = base_config();
+  config.architecture = Architecture::kReservation;
+  config.admission_limit = 100;  // k_max(C): admitted shares stay >= 1
+  config.retry.enabled = true;
+  config.retry.penalty = 0.1;
+  config.retry.backoff_mean = 1.0;
+  config.retry.max_attempts = 100;
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  const auto report = simulator.run();
+  EXPECT_GT(report.flows_blocked, 0u);
+  EXPECT_GT(report.mean_retries, 0.0);
+  // Nearly every flow eventually gets in (abandonment is rare with 100
+  // attempts), so utility ≈ 1 − α·E[retries].
+  EXPECT_LT(report.flows_abandoned, report.flows_blocked / 10 + 10);
+  EXPECT_NEAR(report.mean_utility, 1.0 - 0.1 * report.mean_retries, 0.05);
+}
+
+TEST(FlowSimulator, UtilityModesAreOrdered) {
+  // For any flow, min-share utility ≤ time-average utility; snapshot
+  // sits in between on average. Check the aggregate ordering.
+  auto config = base_config();
+  config.architecture = Architecture::kBestEffort;
+  auto pi = std::make_shared<utility::AdaptiveExp>();
+  auto arrivals = std::make_shared<PoissonArrivals>(100.0);
+  auto holding = std::make_shared<ExponentialHolding>(1.0);
+
+  config.utility_mode = UtilityMode::kTimeAverage;
+  const auto avg = FlowSimulator(config, pi, arrivals, holding).run();
+  config.utility_mode = UtilityMode::kLifetimeMinimum;
+  const auto minimum = FlowSimulator(config, pi, arrivals, holding).run();
+
+  EXPECT_LT(minimum.mean_utility, avg.mean_utility);
+  EXPECT_GT(minimum.mean_utility, 0.0);
+}
+
+TEST(FlowSimulator, Determinism) {
+  auto config = base_config();
+  config.horizon = 500.0;
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  const auto a = simulator.run();
+  const auto b = simulator.run();
+  EXPECT_EQ(a.flows_scored, b.flows_scored);
+  EXPECT_DOUBLE_EQ(a.mean_utility, b.mean_utility);
+}
+
+TEST(FlowSimulator, ConfigValidation) {
+  auto config = base_config();
+  config.warmup = config.horizon + 1.0;
+  EXPECT_THROW(FlowSimulator(config, std::make_shared<utility::Rigid>(1.0),
+                             std::make_shared<PoissonArrivals>(1.0),
+                             std::make_shared<ExponentialHolding>(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(FlowSimulator(base_config(), nullptr,
+                             std::make_shared<PoissonArrivals>(1.0),
+                             std::make_shared<ExponentialHolding>(1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::sim

@@ -1,0 +1,134 @@
+// Property sweeps over the flow-level simulator: statistical
+// invariants that must hold for every seed, architecture, and utility
+// scoring mode.
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bevr/numerics/erlang.h"
+#include "bevr/sim/simulator.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::sim {
+namespace {
+
+SimulationConfig sweep_config(std::uint64_t seed) {
+  SimulationConfig config;
+  config.capacity = 100.0;
+  config.horizon = 3000.0;
+  config.warmup = 150.0;
+  config.seed = seed;
+  return config;
+}
+
+SimulationReport run(SimulationConfig config, UtilityMode mode,
+                     Architecture architecture, std::int64_t limit) {
+  config.utility_mode = mode;
+  config.architecture = architecture;
+  config.admission_limit = limit;
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  return simulator.run();
+}
+
+class SimSeedSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, UtilityMode>> {
+};
+
+// Occupancy conservation: time-average occupancy equals the carried
+// load, λ·(1 − blocking)·τ (Little's law for the loss system).
+TEST_P(SimSeedSweep, LittlesLawHolds) {
+  const auto [seed, mode] = GetParam();
+  const auto report =
+      run(sweep_config(seed), mode, Architecture::kReservation, 100);
+  const double carried = 100.0 * (1.0 - report.blocking_probability);
+  EXPECT_NEAR(report.mean_occupancy, carried, 0.03 * carried);
+}
+
+// The occupancy pmf is a distribution.
+TEST_P(SimSeedSweep, OccupancyPmfNormalises) {
+  const auto [seed, mode] = GetParam();
+  const auto report =
+      run(sweep_config(seed), mode, Architecture::kBestEffort, 0);
+  double total = 0.0;
+  for (const double p : report.occupancy_pmf) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// Utilities are valid probabilities-of-performance: within [0, 1]
+// without retries.
+TEST_P(SimSeedSweep, MeanUtilityInRange) {
+  const auto [seed, mode] = GetParam();
+  for (const auto architecture :
+       {Architecture::kBestEffort, Architecture::kReservation}) {
+    const auto report = run(sweep_config(seed), mode, architecture, 100);
+    EXPECT_GE(report.mean_utility, 0.0);
+    EXPECT_LE(report.mean_utility, 1.0);
+    EXPECT_GT(report.flows_scored, 100'000u);
+  }
+}
+
+// Lifetime-minimum scoring can never beat snapshot scoring in the
+// aggregate (min over the lifetime ≤ any snapshot).
+TEST_P(SimSeedSweep, MinimumModeIsPessimistic) {
+  const auto [seed, mode] = GetParam();
+  (void)mode;
+  const auto snapshot = run(sweep_config(seed),
+                            UtilityMode::kSnapshotAtAdmission,
+                            Architecture::kBestEffort, 0);
+  const auto minimum = run(sweep_config(seed), UtilityMode::kLifetimeMinimum,
+                           Architecture::kBestEffort, 0);
+  EXPECT_LE(minimum.mean_utility, snapshot.mean_utility + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SimSeedSweep,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u),
+                       ::testing::Values(UtilityMode::kSnapshotAtAdmission,
+                                         UtilityMode::kTimeAverage)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, UtilityMode>>&
+           param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) ==
+                      UtilityMode::kSnapshotAtAdmission
+                  ? "_snapshot"
+                  : "_timeavg");
+    });
+
+// Blocking decreases monotonically in the admission limit and tracks
+// Erlang-B across a range of limits.
+TEST(SimulatorProperties, BlockingMonotoneInLimit) {
+  double previous = 1.0;
+  for (const std::int64_t limit : {70LL, 85LL, 100LL, 115LL, 130LL}) {
+    const auto report =
+        run(sweep_config(3), UtilityMode::kSnapshotAtAdmission,
+            Architecture::kReservation, limit);
+    EXPECT_LT(report.blocking_probability, previous + 0.01)
+        << "limit=" << limit;
+    EXPECT_NEAR(report.blocking_probability,
+                numerics::erlang_b(100.0, limit), 0.025)
+        << "limit=" << limit;
+    previous = report.blocking_probability;
+  }
+}
+
+// Different seeds agree on the aggregate within Monte-Carlo noise —
+// guards against seed-dependent bias in the event loop.
+TEST(SimulatorProperties, SeedsAgreeOnAggregates) {
+  const auto a = run(sweep_config(11), UtilityMode::kSnapshotAtAdmission,
+                     Architecture::kBestEffort, 0);
+  const auto b = run(sweep_config(1213), UtilityMode::kSnapshotAtAdmission,
+                     Architecture::kBestEffort, 0);
+  EXPECT_NEAR(a.mean_utility, b.mean_utility, 0.01);
+  EXPECT_NEAR(a.mean_occupancy, b.mean_occupancy, 2.0);
+}
+
+}  // namespace
+}  // namespace bevr::sim

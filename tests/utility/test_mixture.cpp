@@ -1,0 +1,108 @@
+#include "bevr/utility/mixture.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/fixed_load.h"
+
+namespace bevr::utility {
+namespace {
+
+MixtureUtility half_rigid_half_adaptive() {
+  return MixtureUtility({{std::make_shared<Rigid>(1.0), 1.0, 1.0},
+                         {std::make_shared<AdaptiveExp>(), 1.0, 1.0}});
+}
+
+TEST(MixtureUtility, Validation) {
+  EXPECT_THROW(MixtureUtility({}), std::invalid_argument);
+  EXPECT_THROW(MixtureUtility({{nullptr, 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(
+      MixtureUtility({{std::make_shared<Rigid>(1.0), 0.0, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      MixtureUtility({{std::make_shared<Rigid>(1.0), 1.0, -1.0}}),
+      std::invalid_argument);
+}
+
+TEST(MixtureUtility, WeightsNormalise) {
+  // Weights 3:1 are the same mixture as 0.75:0.25.
+  const MixtureUtility a({{std::make_shared<Rigid>(1.0), 3.0, 1.0},
+                          {std::make_shared<AdaptiveExp>(), 1.0, 1.0}});
+  const MixtureUtility b({{std::make_shared<Rigid>(1.0), 0.75, 1.0},
+                          {std::make_shared<AdaptiveExp>(), 0.25, 1.0}});
+  for (const double band : {0.3, 0.9, 1.5, 4.0}) {
+    EXPECT_NEAR(a.value(band), b.value(band), 1e-15);
+  }
+}
+
+TEST(MixtureUtility, ValueIsWeightedAverage) {
+  const auto mix = half_rigid_half_adaptive();
+  const Rigid rigid(1.0);
+  const AdaptiveExp adaptive;
+  for (const double b : {0.0, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(mix.value(b), 0.5 * rigid.value(b) + 0.5 * adaptive.value(b),
+                1e-15);
+  }
+}
+
+TEST(MixtureUtility, ScaleShiftsTheDemand) {
+  // A class with scale 2 behaves like rigid flows needing b̂ = 2.
+  const MixtureUtility mix({{std::make_shared<Rigid>(1.0), 1.0, 2.0}});
+  EXPECT_EQ(mix.value(1.9), 0.0);
+  EXPECT_EQ(mix.value(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(mix.zero_below(), 2.0);
+}
+
+TEST(MixtureUtility, SatisfiesUtilityContract) {
+  const auto mix = half_rigid_half_adaptive();
+  EXPECT_EQ(mix.value(0.0), 0.0);
+  double prev = -1.0;
+  for (double b = 0.0; b <= 20.0; b += 0.05) {
+    const double v = mix.value(b);
+    EXPECT_GE(v, prev - 1e-15);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_GT(mix.value(1e5), 0.999);
+  EXPECT_TRUE(mix.inelastic());
+  EXPECT_FALSE(mix.unimodal_total_utility());
+  EXPECT_THROW((void)mix.value(-0.1), std::invalid_argument);
+}
+
+TEST(MixtureUtility, ZeroBelowIsTheMinimumDeadZone) {
+  // Rigid(1) and Rigid(2)@scale 1: utility is zero below 1, not 2.
+  const MixtureUtility mix({{std::make_shared<Rigid>(1.0), 1.0, 1.0},
+                            {std::make_shared<Rigid>(2.0), 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(mix.zero_below(), 1.0);
+  EXPECT_EQ(mix.value(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(mix.value(1.5), 0.5);
+}
+
+TEST(MixtureUtility, KMaxHandlesMultimodalTotals) {
+  // Rigid(1) + Rigid(2) mixture: V(k) has candidate peaks near C/2 and
+  // C. V(C) = C·0.5 and V(C/2) = (C/2)·1.0: a tie broken by the +1
+  // admitted flow... the scan must land on a genuine maximiser.
+  const MixtureUtility mix({{std::make_shared<Rigid>(1.0), 1.0, 1.0},
+                            {std::make_shared<Rigid>(2.0), 1.0, 1.0}});
+  const double capacity = 100.0;
+  const auto kmax = core::k_max(mix, capacity);
+  ASSERT_TRUE(kmax.has_value());
+  const double at = core::total_utility(mix, capacity, *kmax);
+  for (std::int64_t k = 1; k <= 300; ++k) {
+    EXPECT_GE(at + 1e-12, core::total_utility(mix, capacity, k))
+        << "k=" << k;
+  }
+}
+
+TEST(MixtureUtility, ElasticOnlyMixtureIsElastic) {
+  const MixtureUtility mix({{std::make_shared<Elastic>(), 1.0, 1.0},
+                            {std::make_shared<Elastic>(), 1.0, 3.0}});
+  EXPECT_FALSE(mix.inelastic());
+  EXPECT_DOUBLE_EQ(mix.zero_below(), 0.0);
+}
+
+}  // namespace
+}  // namespace bevr::utility

@@ -1,0 +1,166 @@
+#include "bevr/utility/utility.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bevr::utility {
+namespace {
+
+std::vector<std::shared_ptr<const UtilityFunction>> all_utilities() {
+  return {
+      std::make_shared<Elastic>(),
+      std::make_shared<Rigid>(1.0),
+      std::make_shared<Rigid>(2.5),
+      std::make_shared<AdaptiveExp>(),
+      std::make_shared<PiecewiseLinear>(0.3),
+      std::make_shared<PiecewiseLinear>(0.8),
+      std::make_shared<AlgebraicTail>(1.0),
+      std::make_shared<AlgebraicTail>(3.0),
+  };
+}
+
+// Paper contract (§2): π(0) = 0, π nondecreasing, π(∞) = 1, range [0,1].
+TEST(UtilityContract, ZeroAtOriginForAll) {
+  for (const auto& pi : all_utilities()) {
+    EXPECT_EQ(pi->value(0.0), 0.0) << pi->name();
+  }
+}
+
+TEST(UtilityContract, NondecreasingForAll) {
+  for (const auto& pi : all_utilities()) {
+    double prev = -1.0;
+    for (double b = 0.0; b <= 50.0; b += 0.01) {
+      const double v = pi->value(b);
+      EXPECT_GE(v, prev - 1e-15) << pi->name() << " at b=" << b;
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(UtilityContract, ApproachesOneForAll) {
+  for (const auto& pi : all_utilities()) {
+    EXPECT_GT(pi->value(1e6), 0.999) << pi->name();
+  }
+}
+
+TEST(UtilityContract, NegativeBandwidthThrows) {
+  for (const auto& pi : all_utilities()) {
+    EXPECT_THROW((void)pi->value(-0.1), std::invalid_argument) << pi->name();
+  }
+}
+
+TEST(UtilityContract, ZeroBelowIsHonoured) {
+  for (const auto& pi : all_utilities()) {
+    const double b0 = pi->zero_below();
+    if (b0 > 0.0) {
+      EXPECT_EQ(pi->value(0.5 * b0), 0.0) << pi->name();
+      EXPECT_EQ(pi->value(0.99 * b0), 0.0) << pi->name();
+    }
+  }
+}
+
+TEST(Elastic, ConcaveEverywhere) {
+  // Discrete second difference negative throughout.
+  const Elastic pi;
+  for (double b = 0.01; b < 20.0; b += 0.05) {
+    const double d2 =
+        pi.value(b + 0.01) - 2.0 * pi.value(b) + pi.value(b - 0.01);
+    EXPECT_LT(d2, 0.0) << "b=" << b;
+  }
+  EXPECT_FALSE(pi.inelastic());
+}
+
+TEST(Rigid, StepAtRequirement) {
+  const Rigid pi(1.0);
+  EXPECT_EQ(pi.value(0.999999), 0.0);
+  EXPECT_EQ(pi.value(1.0), 1.0);  // Eq. 1: π(b) = 1 for b ≥ b̂
+  EXPECT_EQ(pi.value(5.0), 1.0);
+  EXPECT_TRUE(pi.inelastic());
+  EXPECT_THROW(Rigid(0.0), std::invalid_argument);
+}
+
+TEST(AdaptiveExp, MatchesEquation2) {
+  // π(b) = 1 − exp(−b²/(κ+b)).
+  const AdaptiveExp pi;
+  const double kappa = AdaptiveExp::kPaperKappa;
+  for (const double b : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(pi.value(b), 1.0 - std::exp(-b * b / (kappa + b)), 1e-15);
+  }
+}
+
+TEST(AdaptiveExp, SmallAndLargeBandwidthAsymptotics) {
+  // Paper: π(b) ≈ b²/κ for small b and ≈ 1 − e^{−b} for large b.
+  const AdaptiveExp pi;
+  const double kappa = AdaptiveExp::kPaperKappa;
+  // Exactly: π(b) ≈ b²/(κ+b) for small b; b²/κ only to leading order.
+  EXPECT_NEAR(pi.value(0.01), 0.01 * 0.01 / (kappa + 0.01), 5e-8);
+  EXPECT_NEAR(pi.value(0.01), 0.01 * 0.01 / kappa, 5e-6);
+  EXPECT_NEAR(pi.value(30.0), 1.0 - std::exp(-30.0), 1e-11);
+}
+
+TEST(AdaptiveExp, ConvexNearOriginConcaveLater) {
+  // The convex neighbourhood of the origin is what makes admission
+  // control worthwhile (paper §2).
+  const AdaptiveExp pi;
+  auto second_diff = [&pi](double b) {
+    return pi.value(b + 1e-3) - 2.0 * pi.value(b) + pi.value(b - 1e-3);
+  };
+  EXPECT_GT(second_diff(0.05), 0.0);  // convex near 0
+  EXPECT_LT(second_diff(3.0), 0.0);   // concave at high bandwidth
+}
+
+TEST(AdaptiveExp, PaperKappaValue) {
+  EXPECT_NEAR(AdaptiveExp::kPaperKappa, 0.62086, 1e-12);
+  EXPECT_THROW(AdaptiveExp(-1.0), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, MatchesContinuumDefinition) {
+  const PiecewiseLinear pi(0.4);
+  EXPECT_EQ(pi.value(0.2), 0.0);
+  EXPECT_EQ(pi.value(0.4), 0.0);
+  EXPECT_NEAR(pi.value(0.7), (0.7 - 0.4) / 0.6, 1e-15);
+  EXPECT_EQ(pi.value(1.0), 1.0);
+  EXPECT_EQ(pi.value(4.0), 1.0);
+}
+
+TEST(PiecewiseLinear, RigidDegenerateCase) {
+  // a = 1 reduces to Rigid(1) (paper §3.2).
+  const PiecewiseLinear pi(1.0);
+  const Rigid rigid(1.0);
+  for (const double b : {0.0, 0.5, 0.99, 1.0, 2.0}) {
+    EXPECT_EQ(pi.value(b), rigid.value(b)) << "b=" << b;
+  }
+}
+
+TEST(PiecewiseLinear, FloorValidation) {
+  EXPECT_THROW(PiecewiseLinear(-0.1), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear(1.1), std::invalid_argument);
+  EXPECT_FALSE(PiecewiseLinear(0.0).inelastic());
+  EXPECT_TRUE(PiecewiseLinear(0.5).inelastic());
+}
+
+TEST(AlgebraicTail, MatchesFootnoteForm) {
+  const AlgebraicTail pi(2.0);
+  EXPECT_EQ(pi.value(0.5), 0.0);
+  EXPECT_EQ(pi.value(1.0), 0.0);
+  EXPECT_NEAR(pi.value(2.0), 1.0 - 0.25, 1e-15);
+  EXPECT_NEAR(pi.value(10.0), 1.0 - 0.01, 1e-15);
+  EXPECT_THROW(AlgebraicTail(0.0), std::invalid_argument);
+}
+
+TEST(AlgebraicTail, SlowerApproachThanAdaptiveExp) {
+  // The §3.3 footnote's point: 1 − π decays algebraically, so at large
+  // b the adaptive-exp utility is far closer to 1.
+  const AlgebraicTail slow(1.0);
+  const AdaptiveExp fast;
+  EXPECT_GT(1.0 - slow.value(50.0), 100.0 * (1.0 - fast.value(50.0)));
+}
+
+}  // namespace
+}  // namespace bevr::utility
