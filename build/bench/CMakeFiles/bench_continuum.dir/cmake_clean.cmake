@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuum.dir/bench_continuum.cpp.o"
+  "CMakeFiles/bench_continuum.dir/bench_continuum.cpp.o.d"
+  "bench_continuum"
+  "bench_continuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_continuum.
+# This may be replaced when dependencies are built.

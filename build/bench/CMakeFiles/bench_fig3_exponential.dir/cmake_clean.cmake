@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_exponential.dir/bench_fig3_exponential.cpp.o"
+  "CMakeFiles/bench_fig3_exponential.dir/bench_fig3_exponential.cpp.o.d"
+  "bench_fig3_exponential"
+  "bench_fig3_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_algebraic.dir/bench_fig4_algebraic.cpp.o"
+  "CMakeFiles/bench_fig4_algebraic.dir/bench_fig4_algebraic.cpp.o.d"
+  "bench_fig4_algebraic"
+  "bench_fig4_algebraic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_algebraic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet_delay.dir/bench_packet_delay.cpp.o"
+  "CMakeFiles/bench_packet_delay.dir/bench_packet_delay.cpp.o.d"
+  "bench_packet_delay"
+  "bench_packet_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_claims.dir/bench_text_claims.cpp.o"
+  "CMakeFiles/bench_text_claims.dir/bench_text_claims.cpp.o.d"
+  "bench_text_claims"
+  "bench_text_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_welfare_claims.dir/bench_welfare_claims.cpp.o"
+  "CMakeFiles/bench_welfare_claims.dir/bench_welfare_claims.cpp.o.d"
+  "bench_welfare_claims"
+  "bench_welfare_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_welfare_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

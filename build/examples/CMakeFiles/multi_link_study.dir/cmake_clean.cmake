@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_link_study.dir/multi_link_study.cpp.o"
+  "CMakeFiles/multi_link_study.dir/multi_link_study.cpp.o.d"
+  "multi_link_study"
+  "multi_link_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_link_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/provisioning_advisor.cpp" "examples/CMakeFiles/provisioning_advisor.dir/provisioning_advisor.cpp.o" "gcc" "examples/CMakeFiles/provisioning_advisor.dir/provisioning_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

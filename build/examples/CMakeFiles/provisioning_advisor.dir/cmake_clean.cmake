@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_advisor.dir/provisioning_advisor.cpp.o"
+  "CMakeFiles/provisioning_advisor.dir/provisioning_advisor.cpp.o.d"
+  "provisioning_advisor"
+  "provisioning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsvp_demo.dir/rsvp_demo.cpp.o"
+  "CMakeFiles/rsvp_demo.dir/rsvp_demo.cpp.o.d"
+  "rsvp_demo"
+  "rsvp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsvp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

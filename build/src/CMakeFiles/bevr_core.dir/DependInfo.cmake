@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/core/asymptotics.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/asymptotics.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/asymptotics.cpp.o.d"
+  "/root/repo/src/bevr/core/continuum.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/continuum.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/continuum.cpp.o.d"
+  "/root/repo/src/bevr/core/fixed_load.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/fixed_load.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/fixed_load.cpp.o.d"
+  "/root/repo/src/bevr/core/retry.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/retry.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/retry.cpp.o.d"
+  "/root/repo/src/bevr/core/risk_averse.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/risk_averse.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/risk_averse.cpp.o.d"
+  "/root/repo/src/bevr/core/sampling.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/sampling.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/sampling.cpp.o.d"
+  "/root/repo/src/bevr/core/variable_load.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/variable_load.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/variable_load.cpp.o.d"
+  "/root/repo/src/bevr/core/welfare.cpp" "src/CMakeFiles/bevr_core.dir/bevr/core/welfare.cpp.o" "gcc" "src/CMakeFiles/bevr_core.dir/bevr/core/welfare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_core.dir/bevr/core/asymptotics.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/asymptotics.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/continuum.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/continuum.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/fixed_load.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/fixed_load.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/retry.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/retry.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/risk_averse.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/risk_averse.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/sampling.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/sampling.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/variable_load.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/variable_load.cpp.o.d"
+  "CMakeFiles/bevr_core.dir/bevr/core/welfare.cpp.o"
+  "CMakeFiles/bevr_core.dir/bevr/core/welfare.cpp.o.d"
+  "libbevr_core.a"
+  "libbevr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/dist/algebraic.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/algebraic.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/algebraic.cpp.o.d"
+  "/root/repo/src/bevr/dist/discrete.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/discrete.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/discrete.cpp.o.d"
+  "/root/repo/src/bevr/dist/exponential.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/exponential.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/exponential.cpp.o.d"
+  "/root/repo/src/bevr/dist/exponential_density.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/exponential_density.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/exponential_density.cpp.o.d"
+  "/root/repo/src/bevr/dist/mixture_load.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/mixture_load.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/mixture_load.cpp.o.d"
+  "/root/repo/src/bevr/dist/pareto_density.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/pareto_density.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/pareto_density.cpp.o.d"
+  "/root/repo/src/bevr/dist/poisson.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/poisson.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/poisson.cpp.o.d"
+  "/root/repo/src/bevr/dist/sampler.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/sampler.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/sampler.cpp.o.d"
+  "/root/repo/src/bevr/dist/size_biased.cpp" "src/CMakeFiles/bevr_dist.dir/bevr/dist/size_biased.cpp.o" "gcc" "src/CMakeFiles/bevr_dist.dir/bevr/dist/size_biased.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_dist.dir/bevr/dist/algebraic.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/algebraic.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/discrete.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/discrete.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/exponential.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/exponential.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/exponential_density.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/exponential_density.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/mixture_load.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/mixture_load.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/pareto_density.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/pareto_density.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/poisson.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/poisson.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/sampler.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/sampler.cpp.o.d"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/size_biased.cpp.o"
+  "CMakeFiles/bevr_dist.dir/bevr/dist/size_biased.cpp.o.d"
+  "libbevr_dist.a"
+  "libbevr_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

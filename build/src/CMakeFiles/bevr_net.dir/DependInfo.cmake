@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/net/admission.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/admission.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/admission.cpp.o.d"
+  "/root/repo/src/bevr/net/network_sim.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/network_sim.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/network_sim.cpp.o.d"
+  "/root/repo/src/bevr/net/packet_link.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/packet_link.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/packet_link.cpp.o.d"
+  "/root/repo/src/bevr/net/packet_sched.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/packet_sched.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/packet_sched.cpp.o.d"
+  "/root/repo/src/bevr/net/rsvp.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/rsvp.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/rsvp.cpp.o.d"
+  "/root/repo/src/bevr/net/scheduler.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/scheduler.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/scheduler.cpp.o.d"
+  "/root/repo/src/bevr/net/token_bucket.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/token_bucket.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/token_bucket.cpp.o.d"
+  "/root/repo/src/bevr/net/topology.cpp" "src/CMakeFiles/bevr_net.dir/bevr/net/topology.cpp.o" "gcc" "src/CMakeFiles/bevr_net.dir/bevr/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_net.dir/bevr/net/admission.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/admission.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/network_sim.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/network_sim.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/packet_link.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/packet_link.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/packet_sched.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/packet_sched.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/rsvp.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/rsvp.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/scheduler.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/scheduler.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/token_bucket.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/token_bucket.cpp.o.d"
+  "CMakeFiles/bevr_net.dir/bevr/net/topology.cpp.o"
+  "CMakeFiles/bevr_net.dir/bevr/net/topology.cpp.o.d"
+  "libbevr_net.a"
+  "libbevr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

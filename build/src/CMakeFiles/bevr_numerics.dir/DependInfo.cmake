@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/numerics/erlang.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/erlang.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/erlang.cpp.o.d"
+  "/root/repo/src/bevr/numerics/lambert_w.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/lambert_w.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/lambert_w.cpp.o.d"
+  "/root/repo/src/bevr/numerics/optimize.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/optimize.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/optimize.cpp.o.d"
+  "/root/repo/src/bevr/numerics/quadrature.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/quadrature.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/quadrature.cpp.o.d"
+  "/root/repo/src/bevr/numerics/roots.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/roots.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/roots.cpp.o.d"
+  "/root/repo/src/bevr/numerics/series.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/series.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/series.cpp.o.d"
+  "/root/repo/src/bevr/numerics/special.cpp" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/special.cpp.o" "gcc" "src/CMakeFiles/bevr_numerics.dir/bevr/numerics/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

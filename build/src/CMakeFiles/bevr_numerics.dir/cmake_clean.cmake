@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/erlang.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/erlang.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/lambert_w.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/lambert_w.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/optimize.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/optimize.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/quadrature.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/quadrature.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/roots.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/roots.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/series.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/series.cpp.o.d"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/special.cpp.o"
+  "CMakeFiles/bevr_numerics.dir/bevr/numerics/special.cpp.o.d"
+  "libbevr_numerics.a"
+  "libbevr_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

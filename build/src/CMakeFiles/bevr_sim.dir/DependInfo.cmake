@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/sim/arrival.cpp" "src/CMakeFiles/bevr_sim.dir/bevr/sim/arrival.cpp.o" "gcc" "src/CMakeFiles/bevr_sim.dir/bevr/sim/arrival.cpp.o.d"
+  "/root/repo/src/bevr/sim/link.cpp" "src/CMakeFiles/bevr_sim.dir/bevr/sim/link.cpp.o" "gcc" "src/CMakeFiles/bevr_sim.dir/bevr/sim/link.cpp.o.d"
+  "/root/repo/src/bevr/sim/metrics.cpp" "src/CMakeFiles/bevr_sim.dir/bevr/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/bevr_sim.dir/bevr/sim/metrics.cpp.o.d"
+  "/root/repo/src/bevr/sim/simulator.cpp" "src/CMakeFiles/bevr_sim.dir/bevr/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/bevr_sim.dir/bevr/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

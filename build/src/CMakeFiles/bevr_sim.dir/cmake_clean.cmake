@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_sim.dir/bevr/sim/arrival.cpp.o"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/arrival.cpp.o.d"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/link.cpp.o"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/link.cpp.o.d"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/metrics.cpp.o"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/metrics.cpp.o.d"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/simulator.cpp.o"
+  "CMakeFiles/bevr_sim.dir/bevr/sim/simulator.cpp.o.d"
+  "libbevr_sim.a"
+  "libbevr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

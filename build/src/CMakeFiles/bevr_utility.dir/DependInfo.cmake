@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bevr/utility/mixture.cpp" "src/CMakeFiles/bevr_utility.dir/bevr/utility/mixture.cpp.o" "gcc" "src/CMakeFiles/bevr_utility.dir/bevr/utility/mixture.cpp.o.d"
+  "/root/repo/src/bevr/utility/utility.cpp" "src/CMakeFiles/bevr_utility.dir/bevr/utility/utility.cpp.o" "gcc" "src/CMakeFiles/bevr_utility.dir/bevr/utility/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

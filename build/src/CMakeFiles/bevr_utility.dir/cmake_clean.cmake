@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_utility.dir/bevr/utility/mixture.cpp.o"
+  "CMakeFiles/bevr_utility.dir/bevr/utility/mixture.cpp.o.d"
+  "CMakeFiles/bevr_utility.dir/bevr/utility/utility.cpp.o"
+  "CMakeFiles/bevr_utility.dir/bevr/utility/utility.cpp.o.d"
+  "libbevr_utility.a"
+  "libbevr_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

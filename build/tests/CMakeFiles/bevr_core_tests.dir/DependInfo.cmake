@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_asymptotics.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_asymptotics.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_asymptotics.cpp.o.d"
+  "/root/repo/tests/core/test_continuum_model.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_continuum_model.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_continuum_model.cpp.o.d"
+  "/root/repo/tests/core/test_extensions.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_extensions.cpp.o.d"
+  "/root/repo/tests/core/test_fixed_load.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_fixed_load.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_fixed_load.cpp.o.d"
+  "/root/repo/tests/core/test_paper_claims.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/core/test_retry_model.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_retry_model.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_retry_model.cpp.o.d"
+  "/root/repo/tests/core/test_sampling_model.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_sampling_model.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_sampling_model.cpp.o.d"
+  "/root/repo/tests/core/test_variable_load.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_variable_load.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_variable_load.cpp.o.d"
+  "/root/repo/tests/core/test_welfare.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_welfare.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_welfare.cpp.o.d"
+  "/root/repo/tests/core/test_welfare_properties.cpp" "tests/CMakeFiles/bevr_core_tests.dir/core/test_welfare_properties.cpp.o" "gcc" "tests/CMakeFiles/bevr_core_tests.dir/core/test_welfare_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_core_tests.dir/core/test_asymptotics.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_asymptotics.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_continuum_model.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_continuum_model.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_extensions.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_extensions.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_fixed_load.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_fixed_load.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_paper_claims.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_paper_claims.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_retry_model.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_retry_model.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_sampling_model.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_sampling_model.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_variable_load.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_variable_load.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_welfare.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_welfare.cpp.o.d"
+  "CMakeFiles/bevr_core_tests.dir/core/test_welfare_properties.cpp.o"
+  "CMakeFiles/bevr_core_tests.dir/core/test_welfare_properties.cpp.o.d"
+  "bevr_core_tests"
+  "bevr_core_tests.pdb"
+  "bevr_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

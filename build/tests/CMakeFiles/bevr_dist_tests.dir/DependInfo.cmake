@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/test_algebraic.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_algebraic.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_algebraic.cpp.o.d"
+  "/root/repo/tests/dist/test_continuum_densities.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_continuum_densities.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_continuum_densities.cpp.o.d"
+  "/root/repo/tests/dist/test_exponential.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_exponential.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_exponential.cpp.o.d"
+  "/root/repo/tests/dist/test_mixture_load.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_mixture_load.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_mixture_load.cpp.o.d"
+  "/root/repo/tests/dist/test_poisson.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_poisson.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_poisson.cpp.o.d"
+  "/root/repo/tests/dist/test_sampler.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_sampler.cpp.o.d"
+  "/root/repo/tests/dist/test_size_biased.cpp" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_size_biased.cpp.o" "gcc" "tests/CMakeFiles/bevr_dist_tests.dir/dist/test_size_biased.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

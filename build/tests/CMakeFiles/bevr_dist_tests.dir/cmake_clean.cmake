@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_algebraic.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_algebraic.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_continuum_densities.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_continuum_densities.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_exponential.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_exponential.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_mixture_load.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_mixture_load.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_poisson.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_poisson.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_sampler.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_sampler.cpp.o.d"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_size_biased.cpp.o"
+  "CMakeFiles/bevr_dist_tests.dir/dist/test_size_biased.cpp.o.d"
+  "bevr_dist_tests"
+  "bevr_dist_tests.pdb"
+  "bevr_dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_discrete_vs_continuum.cpp" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_discrete_vs_continuum.cpp.o" "gcc" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_discrete_vs_continuum.cpp.o.d"
+  "/root/repo/tests/integration/test_net_substrate.cpp" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_net_substrate.cpp.o" "gcc" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_net_substrate.cpp.o.d"
+  "/root/repo/tests/integration/test_regression_values.cpp" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_regression_values.cpp.o" "gcc" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_regression_values.cpp.o.d"
+  "/root/repo/tests/integration/test_sim_vs_model.cpp" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_sim_vs_model.cpp.o" "gcc" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_sim_vs_model.cpp.o.d"
+  "/root/repo/tests/integration/test_umbrella.cpp" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/bevr_integration_tests.dir/integration/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_discrete_vs_continuum.cpp.o"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_discrete_vs_continuum.cpp.o.d"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_net_substrate.cpp.o"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_net_substrate.cpp.o.d"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_regression_values.cpp.o"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_regression_values.cpp.o.d"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_sim_vs_model.cpp.o"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_sim_vs_model.cpp.o.d"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_umbrella.cpp.o"
+  "CMakeFiles/bevr_integration_tests.dir/integration/test_umbrella.cpp.o.d"
+  "bevr_integration_tests"
+  "bevr_integration_tests.pdb"
+  "bevr_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_admission.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_admission.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_admission.cpp.o.d"
+  "/root/repo/tests/net/test_network_sim.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_network_sim.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_network_sim.cpp.o.d"
+  "/root/repo/tests/net/test_packet_sched.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_packet_sched.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_packet_sched.cpp.o.d"
+  "/root/repo/tests/net/test_rsvp.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_rsvp.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_rsvp.cpp.o.d"
+  "/root/repo/tests/net/test_scheduler.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_scheduler.cpp.o.d"
+  "/root/repo/tests/net/test_token_bucket.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_token_bucket.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_token_bucket.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/bevr_net_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/bevr_net_tests.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_net_tests.dir/net/test_admission.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_admission.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_network_sim.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_network_sim.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_packet_sched.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_packet_sched.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_rsvp.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_rsvp.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_scheduler.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_scheduler.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_token_bucket.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_token_bucket.cpp.o.d"
+  "CMakeFiles/bevr_net_tests.dir/net/test_topology.cpp.o"
+  "CMakeFiles/bevr_net_tests.dir/net/test_topology.cpp.o.d"
+  "bevr_net_tests"
+  "bevr_net_tests.pdb"
+  "bevr_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

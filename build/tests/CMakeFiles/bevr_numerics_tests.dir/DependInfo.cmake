@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numerics/test_erlang.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_erlang.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_erlang.cpp.o.d"
+  "/root/repo/tests/numerics/test_kahan.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_kahan.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_kahan.cpp.o.d"
+  "/root/repo/tests/numerics/test_lambert_w.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_lambert_w.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_lambert_w.cpp.o.d"
+  "/root/repo/tests/numerics/test_optimize.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_optimize.cpp.o.d"
+  "/root/repo/tests/numerics/test_quadrature.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_quadrature.cpp.o.d"
+  "/root/repo/tests/numerics/test_robustness.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_robustness.cpp.o.d"
+  "/root/repo/tests/numerics/test_roots.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_roots.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_roots.cpp.o.d"
+  "/root/repo/tests/numerics/test_series.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_series.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_series.cpp.o.d"
+  "/root/repo/tests/numerics/test_special.cpp" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_special.cpp.o" "gcc" "tests/CMakeFiles/bevr_numerics_tests.dir/numerics/test_special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bevr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bevr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

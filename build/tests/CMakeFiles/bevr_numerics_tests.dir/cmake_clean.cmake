@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_erlang.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_erlang.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_kahan.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_kahan.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_lambert_w.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_lambert_w.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_optimize.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_optimize.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_quadrature.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_quadrature.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_robustness.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_robustness.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_roots.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_roots.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_series.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_series.cpp.o.d"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_special.cpp.o"
+  "CMakeFiles/bevr_numerics_tests.dir/numerics/test_special.cpp.o.d"
+  "bevr_numerics_tests"
+  "bevr_numerics_tests.pdb"
+  "bevr_numerics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_numerics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

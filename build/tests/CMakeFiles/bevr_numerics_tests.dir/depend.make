@@ -1,0 +1,2 @@
+# Empty dependencies file for bevr_numerics_tests.
+# This may be replaced when dependencies are built.

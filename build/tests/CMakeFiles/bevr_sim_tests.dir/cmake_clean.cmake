@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_arrival.cpp.o"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_arrival.cpp.o.d"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_simulator_properties.cpp.o"
+  "CMakeFiles/bevr_sim_tests.dir/sim/test_simulator_properties.cpp.o.d"
+  "bevr_sim_tests"
+  "bevr_sim_tests.pdb"
+  "bevr_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

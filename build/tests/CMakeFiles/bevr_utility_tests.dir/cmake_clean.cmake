@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevr_utility_tests.dir/utility/test_mixture.cpp.o"
+  "CMakeFiles/bevr_utility_tests.dir/utility/test_mixture.cpp.o.d"
+  "CMakeFiles/bevr_utility_tests.dir/utility/test_utility.cpp.o"
+  "CMakeFiles/bevr_utility_tests.dir/utility/test_utility.cpp.o.d"
+  "bevr_utility_tests"
+  "bevr_utility_tests.pdb"
+  "bevr_utility_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevr_utility_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bevr_numerics_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_dist_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_utility_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/bevr_integration_tests[1]_include.cmake")
