@@ -1,0 +1,206 @@
+// bevr_run — list, filter and execute the named paper scenarios on the
+// parallel experiment engine. Replaces the serial guts of sweep.cpp
+// for everything the registry covers (sweep remains for one-off custom
+// parameter combinations).
+//
+// Usage:
+//   bevr_run --list [filter]
+//   bevr_run <scenario|filter> [--threads N] [--seed S]
+//            [--format csv|jsonl] [--output FILE] [--no-cache] [--no-gap]
+//
+//   --list       print matching scenarios (name, model, description)
+//   --threads N  worker threads (default 1; 0 = hardware concurrency)
+//   --seed S     base seed for stochastic scenarios (default 42);
+//                results are bit-identical for a fixed seed at any N
+//   --format     csv (default) or jsonl
+//   --output     write to FILE instead of stdout
+//   --no-cache   disable memoized evaluation (same results, slower)
+//   --no-gap     skip the bandwidth-gap column (the expensive root solve)
+//
+// Examples:
+//   bevr_run --list fig3
+//   bevr_run fig3_rigid --threads 8 --format jsonl
+//   bevr_run fig4 --threads 4 --output fig4_all.csv   # runs every fig4_*
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bevr/runner/runner.h"
+
+namespace {
+
+using namespace bevr::runner;
+
+/// Strict decimal parse for flag values: digits only (no sign, no
+/// trailing junk), bounded. strtoul alone would accept "-3" and wrap
+/// it to ~4e9 — for --threads that means attempting 4 billion threads.
+bool parse_count(const char* text, unsigned long long max_value,
+                 unsigned long long& out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0' || value > max_value) return false;
+  out = value;
+  return true;
+}
+
+int usage(const char* argv0, const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "%s: %s\n", argv0, error);
+  std::fprintf(stderr,
+               "usage: %s --list [filter]\n"
+               "       %s <scenario|filter> [--threads N] [--seed S]\n"
+               "          [--format csv|jsonl] [--output FILE] [--no-cache] "
+               "[--no-gap]\n",
+               argv0, argv0);
+  return 2;
+}
+
+void list_scenarios(const std::string& filter) {
+  const auto matches = ScenarioRegistry::builtin().match(filter);
+  std::printf("%-24s %-14s %s\n", "name", "model", "description");
+  for (const ScenarioSpec* spec : matches) {
+    std::printf("%-24s %-14s %s\n", spec->name.c_str(),
+                to_string(spec->model).c_str(), spec->description.c_str());
+  }
+  std::printf("%zu scenario(s)\n", matches.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string target;
+  std::string format = "csv";
+  std::string output_path;
+  bool list_only = false;
+  bool skip_gap = false;
+  RunOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--threads") {
+      const char* value = next_value("--threads");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      unsigned long long threads = 0;
+      if (!parse_count(value, ThreadPool::kMaxThreads, threads)) {
+        return usage(argv[0], "--threads must be an integer in [0, 256]");
+      }
+      options.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--seed") {
+      const char* value = next_value("--seed");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      unsigned long long seed = 0;
+      if (!parse_count(value, std::numeric_limits<std::uint64_t>::max(),
+                       seed)) {
+        return usage(argv[0], "--seed must be a nonnegative integer");
+      }
+      options.base_seed = seed;
+    } else if (arg == "--format") {
+      const char* value = next_value("--format");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      format = value;
+      if (format != "csv" && format != "jsonl") {
+        return usage(argv[0], "--format must be csv or jsonl");
+      }
+    } else if (arg == "--output") {
+      const char* value = next_value("--output");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      output_path = value;
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--no-gap") {
+      skip_gap = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0], ("unknown option '" + arg + "'").c_str());
+    } else if (target.empty()) {
+      target = arg;
+    } else {
+      return usage(argv[0], "more than one scenario/filter given");
+    }
+  }
+
+  if (list_only) {
+    list_scenarios(target);
+    return 0;
+  }
+  if (target.empty()) {
+    return usage(argv[0], "no scenario given (try --list)");
+  }
+
+  const auto& registry = ScenarioRegistry::builtin();
+  std::vector<const ScenarioSpec*> to_run;
+  if (const ScenarioSpec* exact = registry.find(target)) {
+    to_run.push_back(exact);
+  } else {
+    to_run = registry.match(target);
+  }
+  if (to_run.empty()) {
+    return usage(argv[0],
+                 ("no scenario matches '" + target + "' (try --list)").c_str());
+  }
+
+  std::ofstream file;
+  if (!output_path.empty()) {
+    file.open(output_path);
+    if (!file) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   output_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = output_path.empty() ? std::cout : file;
+
+  // One cache + one pool shared across all matched scenarios: λ-
+  // calibrations and thread start-up amortise over the whole batch.
+  if (options.use_cache && !options.cache) {
+    options.cache = std::make_shared<MemoCache>();
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+    options.pool = pool.get();
+  }
+
+  for (const ScenarioSpec* matched : to_run) {
+    ScenarioSpec spec = *matched;
+    if (skip_gap) spec.with_bandwidth_gap = false;
+    std::unique_ptr<ResultSink> sink;
+    if (format == "jsonl") {
+      sink = std::make_unique<JsonlSink>(out);
+    } else {
+      sink = std::make_unique<CsvSink>(out);
+    }
+    const RunSummary summary = run_scenario(spec, options, *sink);
+    std::fprintf(stderr,
+                 "%-24s %4zu rows  %7.2fs wall  cache %llu/%llu hits (%.0f%%)\n",
+                 spec.name.c_str(), summary.rows, summary.wall_seconds,
+                 static_cast<unsigned long long>(summary.cache.hits),
+                 static_cast<unsigned long long>(summary.cache.hits +
+                                                 summary.cache.misses),
+                 100.0 * summary.cache.hit_rate());
+  }
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bevr_run: %s\n", error.what());
+  return 1;
+}

@@ -32,6 +32,16 @@ namespace {
 
 using namespace bevr;
 
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: sweep [load] [load_param] [utility] [util_param] "
+               "[c_lo] [c_hi] [points]\n"
+               "  load:    poisson | exponential | algebraic\n"
+               "  utility: rigid | adaptive | pwl | elastic | algtail\n"
+               "  c_lo < c_hi, points >= 2\n");
+}
+
+/// nullptr on an unrecognised kind (caller prints usage and exits nonzero).
 std::shared_ptr<const dist::DiscreteLoad> make_load(const std::string& kind,
                                                     double parameter) {
   if (kind == "poisson") return std::make_shared<dist::PoissonLoad>(parameter);
@@ -43,8 +53,8 @@ std::shared_ptr<const dist::DiscreteLoad> make_load(const std::string& kind,
     return std::make_shared<dist::ExponentialLoad>(
         dist::ExponentialLoad::with_mean(parameter));
   }
-  std::fprintf(stderr, "unknown load '%s'\n", kind.c_str());
-  std::exit(1);
+  std::fprintf(stderr, "sweep: unknown load '%s'\n", kind.c_str());
+  return nullptr;
 }
 
 std::shared_ptr<const utility::UtilityFunction> make_utility(
@@ -58,8 +68,8 @@ std::shared_ptr<const utility::UtilityFunction> make_utility(
   if (kind == "algtail") {
     return std::make_shared<utility::AlgebraicTail>(parameter);
   }
-  std::fprintf(stderr, "unknown utility '%s'\n", kind.c_str());
-  std::exit(1);
+  std::fprintf(stderr, "sweep: unknown utility '%s'\n", kind.c_str());
+  return nullptr;
 }
 
 double default_utility_parameter(const std::string& kind) {
@@ -80,13 +90,29 @@ int main(int argc, char** argv) try {
   const double c_lo = argc > 5 ? std::atof(argv[5]) : 10.0;
   const double c_hi = argc > 6 ? std::atof(argv[6]) : 400.0;
   const int points = argc > 7 ? std::atoi(argv[7]) : 40;
-  if (!(c_lo > 0.0) || !(c_hi > c_lo) || points < 2) {
-    std::fprintf(stderr, "invalid sweep range\n");
-    return 1;
+  if (points <= 0) {
+    std::fprintf(stderr, "sweep: points must be > 0 (got %d)\n", points);
+    print_usage();
+    return 2;
+  }
+  if (points < 2) {
+    std::fprintf(stderr, "sweep: need at least 2 points for a range\n");
+    print_usage();
+    return 2;
+  }
+  if (!(c_lo > 0.0) || !(c_lo < c_hi)) {
+    std::fprintf(stderr, "sweep: require 0 < c_lo < c_hi (got %g..%g)\n",
+                 c_lo, c_hi);
+    print_usage();
+    return 2;
   }
 
   const auto load = make_load(load_kind, load_param);
   const auto utility = make_utility(util_kind, util_param);
+  if (load == nullptr || utility == nullptr) {
+    print_usage();
+    return 2;
+  }
   const core::VariableLoadModel model(load, utility);
 
   std::printf("# %s, %s, kbar=%g\n", load->name().c_str(),
@@ -103,8 +129,6 @@ int main(int argc, char** argv) try {
   return 0;
 } catch (const std::exception& error) {
   std::fprintf(stderr, "sweep: %s\n", error.what());
-  std::fprintf(stderr,
-               "usage: sweep [load] [load_param] [utility] [util_param] "
-               "[c_lo] [c_hi] [points]\n");
+  print_usage();
   return 1;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build+test pass, then an ASan+UBSan
+# run of the runner subsystem's tests (the code with real concurrency).
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: configure, build, ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== sanitized: ASan+UBSan runner + sim tests =="
+cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests
+./build-asan/tests/bevr_runner_tests
+./build-asan/tests/bevr_sim_tests
+
+echo "== all checks passed =="

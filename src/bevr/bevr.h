@@ -13,6 +13,11 @@
 //   bevr::net      — reservation-capable network substrate
 //                    (TSpec/RSpec, RSVP-style soft state,
 //                    admission control, GPS scheduling)
+//   bevr::runner   — parallel experiment engine: declarative
+//                    ScenarioSpecs + paper-figure registry, a
+//                    deterministic thread-pool executor with per-task
+//                    RNG sub-seeding, memoized model evaluation, and
+//                    structured CSV/JSONL result emission
 #pragma once
 
 #include "bevr/core/asymptotics.h"
@@ -50,6 +55,12 @@
 #include "bevr/numerics/roots.h"
 #include "bevr/numerics/series.h"
 #include "bevr/numerics/special.h"
+#include "bevr/runner/memo_cache.h"
+#include "bevr/runner/memoized_model.h"
+#include "bevr/runner/result_sink.h"
+#include "bevr/runner/runner.h"
+#include "bevr/runner/scenario.h"
+#include "bevr/runner/thread_pool.h"
 #include "bevr/sim/arrival.h"
 #include "bevr/sim/event_queue.h"
 #include "bevr/sim/link.h"

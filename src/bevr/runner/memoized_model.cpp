@@ -1,0 +1,91 @@
+#include "bevr/runner/memoized_model.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+
+namespace bevr::runner {
+
+namespace {
+
+// Distinct models may share one MemoCache (pooled stats); tag each
+// instance so models with different accuracy options never alias.
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MemoizedVariableLoad::MemoizedVariableLoad(
+    std::shared_ptr<const core::VariableLoadModel> model,
+    std::shared_ptr<MemoCache> cache)
+    : model_(std::move(model)),
+      cache_(std::move(cache)),
+      instance_id_(next_instance_id()) {}
+
+std::optional<std::int64_t> MemoizedVariableLoad::k_max(double capacity) const {
+  if (!cache_) return model_->k_max(capacity);
+  // Encode nullopt (elastic utility) as -1: k_max is otherwise >= 1,
+  // and any int64 in range is exactly representable after the argmax
+  // search's own bounds (< 2^53).
+  const double packed = cache_->get_or_compute2(
+      "kmax", capacity, static_cast<double>(instance_id_), [&] {
+        const auto k = model_->k_max(capacity);
+        return k ? static_cast<double>(*k) : -1.0;
+      });
+  if (packed < 0.0) return std::nullopt;
+  return static_cast<std::int64_t>(packed);
+}
+
+double MemoizedVariableLoad::best_effort(double capacity) const {
+  if (!cache_) return model_->best_effort(capacity);
+  return cache_->get_or_compute2("B", capacity,
+                                 static_cast<double>(instance_id_),
+                                 [&] { return model_->best_effort(capacity); });
+}
+
+double MemoizedVariableLoad::reservation(double capacity) const {
+  if (!cache_) return model_->reservation(capacity);
+  return cache_->get_or_compute2("R", capacity,
+                                 static_cast<double>(instance_id_),
+                                 [&] { return model_->reservation(capacity); });
+}
+
+double MemoizedVariableLoad::total_best_effort(double capacity) const {
+  if (!cache_) return model_->total_best_effort(capacity);
+  return cache_->get_or_compute2(
+      "VB", capacity, static_cast<double>(instance_id_),
+      [&] { return model_->total_best_effort(capacity); });
+}
+
+double MemoizedVariableLoad::total_reservation(double capacity) const {
+  if (!cache_) return model_->total_reservation(capacity);
+  return cache_->get_or_compute2(
+      "VR", capacity, static_cast<double>(instance_id_),
+      [&] { return model_->total_reservation(capacity); });
+}
+
+double MemoizedVariableLoad::performance_gap(double capacity) const {
+  if (!cache_) return model_->performance_gap(capacity);
+  // Same expression the model computes (max(0, R−B)) but over the
+  // memoized operands, so δ after B and R costs two cache hits.
+  return std::max(0.0, reservation(capacity) - best_effort(capacity));
+}
+
+double MemoizedVariableLoad::bandwidth_gap(double capacity) const {
+  if (!cache_) return model_->bandwidth_gap(capacity);
+  return cache_->get_or_compute2(
+      "Delta", capacity, static_cast<double>(instance_id_),
+      [&] { return model_->bandwidth_gap(capacity); });
+}
+
+double MemoizedVariableLoad::blocking_fraction(double capacity) const {
+  if (!cache_) return model_->blocking_fraction(capacity);
+  return cache_->get_or_compute2(
+      "theta", capacity, static_cast<double>(instance_id_),
+      [&] { return model_->blocking_fraction(capacity); });
+}
+
+}  // namespace bevr::runner

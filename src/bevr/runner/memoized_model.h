@@ -1,0 +1,49 @@
+// Memoizing façade over the discrete variable-load model.
+//
+// Guarantees: every accessor returns a value bitwise-equal to the
+// underlying model's (the cache stores results, never approximations),
+// and all methods are safe to call concurrently (VariableLoadModel is
+// const/stateless after construction; the cache is internally locked).
+// The big wins in practice:
+//  * k_max(C) — one integer argmax shared by B, R, δ and blocking at
+//    the same capacity, and by the Δ(C) root solve probing R(C);
+//  * total_* — the welfare maximiser's dense V(C) grids overlap
+//    heavily across neighbouring prices;
+//  * bandwidth_gap — Δ at a repeated capacity is a whole root solve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/runner/memo_cache.h"
+
+namespace bevr::runner {
+
+class MemoizedVariableLoad {
+ public:
+  /// `cache` may be shared across models for pooled statistics; pass
+  /// nullptr to disable memoization entirely (pure pass-through).
+  MemoizedVariableLoad(std::shared_ptr<const core::VariableLoadModel> model,
+                       std::shared_ptr<MemoCache> cache);
+
+  [[nodiscard]] double mean_load() const { return model_->mean_load(); }
+  [[nodiscard]] std::optional<std::int64_t> k_max(double capacity) const;
+  [[nodiscard]] double best_effort(double capacity) const;
+  [[nodiscard]] double reservation(double capacity) const;
+  [[nodiscard]] double total_best_effort(double capacity) const;
+  [[nodiscard]] double total_reservation(double capacity) const;
+  [[nodiscard]] double performance_gap(double capacity) const;
+  [[nodiscard]] double bandwidth_gap(double capacity) const;
+  [[nodiscard]] double blocking_fraction(double capacity) const;
+
+  [[nodiscard]] const core::VariableLoadModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const core::VariableLoadModel> model_;
+  std::shared_ptr<MemoCache> cache_;
+  std::uint64_t instance_id_;  ///< disambiguates models sharing a cache
+};
+
+}  // namespace bevr::runner

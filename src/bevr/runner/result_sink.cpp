@@ -1,0 +1,118 @@
+#include "bevr/runner/result_sink.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bevr::runner {
+
+namespace {
+
+// Minimal JSON string escaping (names and git describes are ASCII).
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+std::string format_value(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Shortest representation that round-trips: try increasing precision.
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return buffer;
+}
+
+void CsvSink::begin(const RunMetadata& metadata,
+                    const std::vector<std::string>& columns) {
+  out_ << "# scenario=" << metadata.scenario << " model=" << metadata.model
+       << " seed=" << metadata.base_seed << " threads=" << metadata.threads
+       << " git=" << metadata.git_describe << "\n";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << (i == 0 ? "" : ",") << columns[i];
+  }
+  out_ << "\n";
+}
+
+void CsvSink::row(const ResultRow& row) {
+  for (std::size_t i = 0; i < row.values.size(); ++i) {
+    out_ << (i == 0 ? "" : ",") << format_value(row.values[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvSink::finish(const RunSummary& summary) {
+  out_ << "# rows=" << summary.rows << " wall_s=" << format_value(summary.wall_seconds)
+       << " task_s=" << format_value(summary.task_seconds_total)
+       << " cache_hits=" << summary.cache.hits
+       << " cache_misses=" << summary.cache.misses << "\n";
+  out_.flush();
+}
+
+void JsonlSink::begin(const RunMetadata& metadata,
+                      const std::vector<std::string>& columns) {
+  scenario_ = metadata.scenario;
+  columns_ = columns;
+  out_ << "{\"type\":\"meta\",\"scenario\":\"" << json_escape(metadata.scenario)
+       << "\",\"model\":\"" << json_escape(metadata.model)
+       << "\",\"git\":\"" << json_escape(metadata.git_describe)
+       << "\",\"seed\":" << metadata.base_seed
+       << ",\"threads\":" << metadata.threads << "}\n";
+}
+
+void JsonlSink::row(const ResultRow& row) {
+  out_ << "{\"type\":\"row\",\"scenario\":\"" << json_escape(scenario_)
+       << "\",\"index\":" << row.index;
+  for (std::size_t i = 0; i < row.values.size() && i < columns_.size(); ++i) {
+    const double v = row.values[i];
+    out_ << ",\"" << json_escape(columns_[i]) << "\":";
+    // JSON has no inf/nan literals; emit them as strings.
+    if (std::isfinite(v)) {
+      out_ << format_value(v);
+    } else {
+      out_ << '"' << format_value(v) << '"';
+    }
+  }
+  out_ << "}\n";
+}
+
+void JsonlSink::finish(const RunSummary& summary) {
+  out_ << "{\"type\":\"summary\",\"scenario\":\"" << json_escape(scenario_)
+       << "\",\"rows\":" << summary.rows
+       << ",\"wall_s\":" << format_value(summary.wall_seconds)
+       << ",\"task_s\":" << format_value(summary.task_seconds_total)
+       << ",\"cache_hits\":" << summary.cache.hits
+       << ",\"cache_misses\":" << summary.cache.misses
+       << ",\"cache_hit_rate\":" << format_value(summary.cache.hit_rate())
+       << "}\n";
+  out_.flush();
+}
+
+void VectorSink::begin(const RunMetadata& metadata,
+                       const std::vector<std::string>& columns) {
+  metadata_ = metadata;
+  columns_ = columns;
+  rows_.clear();
+}
+
+void VectorSink::row(const ResultRow& row) { rows_.push_back(row); }
+
+void VectorSink::finish(const RunSummary& summary) { summary_ = summary; }
+
+}  // namespace bevr::runner

@@ -1,0 +1,289 @@
+#include "bevr/runner/runner.h"
+
+#include <atomic>
+#include <limits>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+
+#include "bevr/core/fixed_load.h"
+#include "bevr/core/welfare.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/runner/memoized_model.h"
+#include "bevr/sim/arrival.h"
+#include "bevr/sim/rng.h"
+#include "bevr/sim/simulator.h"
+
+namespace bevr::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Instantiate the spec's load, memoizing the algebraic λ-calibration
+// (a Hurwitz-zeta root solve) across scenarios sharing the cache.
+std::shared_ptr<const dist::DiscreteLoad> make_load_cached(
+    const ScenarioSpec& spec, const std::shared_ptr<MemoCache>& cache) {
+  if (spec.load != LoadFamily::kAlgebraic || !cache) return make_load(spec);
+  const double lambda = cache->get_or_compute2(
+      "alg_lambda", spec.load_param, spec.load_mean, [&] {
+        return dist::AlgebraicLoad::with_mean(spec.load_param, spec.load_mean)
+            .lambda();
+      });
+  return make_load_with_lambda(spec, lambda);
+}
+
+// One evaluated grid point; the body must touch only rows[i].
+using Plan = std::function<void(std::int64_t)>;
+
+Plan plan_fixed_load(const ScenarioSpec& spec, const std::vector<double>& grid,
+                     std::vector<ResultRow>& rows) {
+  auto pi = make_utility(spec);
+  return Plan{[&rows, &grid, pi](std::int64_t i) {
+        const double c = grid[static_cast<std::size_t>(i)];
+        const auto kmax = core::k_max(*pi, c);
+        const double v =
+            kmax ? core::total_utility(*pi, c, *kmax)
+                 : std::numeric_limits<double>::infinity();
+        const double kc = pi->inelastic() ? core::k_max_continuum(*pi, c)
+                                          : std::numeric_limits<double>::infinity();
+        rows[static_cast<std::size_t>(i)].values = {
+            c, kmax ? static_cast<double>(*kmax) : -1.0, v, kc};
+      }};
+}
+
+Plan plan_variable_load(const ScenarioSpec& spec,
+                        const std::vector<double>& grid,
+                        std::vector<ResultRow>& rows,
+                        const std::shared_ptr<MemoCache>& cache) {
+  auto model = std::make_shared<MemoizedVariableLoad>(
+      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
+                                                make_utility(spec), spec.eval),
+      cache);
+  const bool with_gap = spec.with_bandwidth_gap;
+  return Plan{[&rows, &grid, model, with_gap](std::int64_t i) {
+                const double c = grid[static_cast<std::size_t>(i)];
+                const auto kmax = model->k_max(c);
+                auto& values = rows[static_cast<std::size_t>(i)].values;
+                values = {c, model->best_effort(c), model->reservation(c),
+                          model->performance_gap(c)};
+                if (with_gap) values.push_back(model->bandwidth_gap(c));
+                values.push_back(kmax ? static_cast<double>(*kmax) : -1.0);
+                values.push_back(model->blocking_fraction(c));
+              }};
+}
+
+Plan plan_continuum(const ScenarioSpec& spec, const std::vector<double>& grid,
+                    std::vector<ResultRow>& rows) {
+  std::shared_ptr<const core::ContinuumModel> model = make_continuum_model(spec);
+  const bool with_gap = spec.with_bandwidth_gap;
+  return Plan{[&rows, &grid, model, with_gap](std::int64_t i) {
+                const double c = grid[static_cast<std::size_t>(i)];
+                auto& values = rows[static_cast<std::size_t>(i)].values;
+                values = {c, model->best_effort(c), model->reservation(c),
+                          model->performance_gap(c)};
+                if (with_gap) values.push_back(model->bandwidth_gap(c));
+              }};
+}
+
+Plan plan_welfare(const ScenarioSpec& spec, const std::vector<double>& grid,
+                  std::vector<ResultRow>& rows,
+                  const std::shared_ptr<MemoCache>& cache) {
+  auto model = std::make_shared<MemoizedVariableLoad>(
+      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
+                                                make_utility(spec), spec.eval),
+      cache);
+  auto analysis = std::make_shared<core::WelfareAnalysis>(
+      [model](double c) { return model->total_best_effort(c); },
+      [model](double c) { return model->total_reservation(c); },
+      model->mean_load());
+  return Plan{[&rows, &grid, model, analysis](std::int64_t i) {
+        const double p = grid[static_cast<std::size_t>(i)];
+        const auto be = analysis->best_effort(p);
+        const auto rs = analysis->reservation(p);
+        rows[static_cast<std::size_t>(i)].values = {
+            p,          be.capacity, rs.capacity,
+            be.welfare, rs.welfare,  analysis->price_ratio(p)};
+      }};
+}
+
+Plan plan_simulation(const ScenarioSpec& spec, const std::vector<double>& grid,
+                     std::vector<ResultRow>& rows,
+                     const std::shared_ptr<MemoCache>& cache,
+                     std::uint64_t base_seed) {
+  if (spec.load != LoadFamily::kPoisson) {
+    throw std::invalid_argument(
+        "run_scenario: simulation scenarios require a Poisson load "
+        "(M/M/inf occupancy); got '" +
+        to_string(spec.load) + "'");
+  }
+  auto pi = make_utility(spec);
+  auto model = std::make_shared<MemoizedVariableLoad>(
+      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
+                                                pi, spec.eval),
+      cache);
+  const double rate = spec.load_mean;  // holding mean 1 → occupancy mean k̄
+  const double horizon = spec.sim_horizon;
+  const double warmup = spec.sim_warmup;
+  return Plan{[&rows, &grid, pi, model, rate, horizon, warmup,
+               base_seed](std::int64_t i) {
+        const double c = grid[static_cast<std::size_t>(i)];
+        const auto kmax = model->k_max(c);
+        const std::int64_t limit = kmax.value_or(
+            static_cast<std::int64_t>(rate * 16));  // effectively no limit
+
+        // Independent sub-streams per (task, architecture): nothing
+        // depends on which worker runs the task.
+        const sim::Rng root(base_seed);
+        const auto simulate = [&](sim::Architecture arch,
+                                  std::uint64_t stream) {
+          sim::SimulationConfig config;
+          config.capacity = c;
+          config.architecture = arch;
+          config.admission_limit = limit;
+          config.horizon = horizon;
+          config.warmup = warmup;
+          config.seed = root.split(stream).seed();
+          const sim::FlowSimulator simulator(
+              config, pi, std::make_shared<sim::PoissonArrivals>(rate),
+              std::make_shared<sim::ExponentialHolding>(1.0));
+          return simulator.run();
+        };
+        const auto be = simulate(sim::Architecture::kBestEffort,
+                                 2 * static_cast<std::uint64_t>(i));
+        const auto rs = simulate(sim::Architecture::kReservation,
+                                 2 * static_cast<std::uint64_t>(i) + 1);
+        rows[static_cast<std::size_t>(i)].values = {
+            c,
+            static_cast<double>(limit),
+            be.mean_utility,
+            rs.mean_utility,
+            model->best_effort(c),
+            model->reservation(c),
+            rs.blocking_probability,
+            model->blocking_fraction(c)};
+      }};
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_columns(const ScenarioSpec& spec) {
+  switch (spec.model) {
+    case ModelKind::kFixedLoad:
+      return {"capacity", "k_max", "total_utility", "k_max_continuum"};
+    case ModelKind::kVariableLoad: {
+      std::vector<std::string> columns = {"capacity", "best_effort",
+                                          "reservation", "delta", "k_max",
+                                          "blocking"};
+      if (spec.with_bandwidth_gap) {
+        columns.insert(columns.begin() + 4, "bandwidth_gap");
+      }
+      return columns;
+    }
+    case ModelKind::kContinuum: {
+      std::vector<std::string> columns = {"capacity", "best_effort",
+                                          "reservation", "delta"};
+      if (spec.with_bandwidth_gap) columns.push_back("bandwidth_gap");
+      return columns;
+    }
+    case ModelKind::kWelfare:
+      return {"price", "capacity_best_effort", "capacity_reservation",
+              "welfare_best_effort", "welfare_reservation", "gamma"};
+    case ModelKind::kSimulation:
+      return {"capacity", "admission_limit", "sim_best_effort",
+              "sim_reservation", "model_best_effort", "model_reservation",
+              "sim_blocking", "model_blocking"};
+  }
+  throw std::invalid_argument("scenario_columns: unknown model kind");
+}
+
+std::string git_describe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[128] = {};
+  std::string out;
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
+                        ResultSink& sink) {
+  spec.validate();
+  const std::vector<double> grid = spec.grid.values();
+  std::vector<ResultRow> rows(grid.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i].index = i;
+
+  std::shared_ptr<MemoCache> cache = options.cache;
+  if (!cache && options.use_cache) cache = std::make_shared<MemoCache>();
+
+  Plan plan = [&] {
+    switch (spec.model) {
+      case ModelKind::kFixedLoad: return plan_fixed_load(spec, grid, rows);
+      case ModelKind::kVariableLoad:
+        return plan_variable_load(spec, grid, rows, cache);
+      case ModelKind::kContinuum: return plan_continuum(spec, grid, rows);
+      case ModelKind::kWelfare: return plan_welfare(spec, grid, rows, cache);
+      case ModelKind::kSimulation:
+        return plan_simulation(spec, grid, rows, cache, options.base_seed);
+    }
+    throw std::invalid_argument("run_scenario: unknown model kind");
+  }();
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  unsigned threads = 1;
+  if (pool != nullptr) {
+    threads = pool->size();
+  } else if (options.threads != 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = owned_pool.get();
+    threads = pool->size();
+  }
+
+  RunMetadata metadata;
+  metadata.scenario = spec.name;
+  metadata.model = to_string(spec.model);
+  metadata.git_describe = git_describe();
+  metadata.base_seed = options.base_seed;
+  metadata.threads = threads;
+  sink.begin(metadata, scenario_columns(spec));
+
+  std::atomic<std::uint64_t> task_nanos{0};
+  const auto run_start = Clock::now();
+  parallel_for(pool, static_cast<std::int64_t>(grid.size()),
+               [&](std::int64_t i) {
+                 const auto task_start = Clock::now();
+                 plan(i);
+                 task_nanos.fetch_add(
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - task_start)
+                             .count()),
+                     std::memory_order_relaxed);
+               });
+
+  RunSummary summary;
+  summary.rows = rows.size();
+  summary.wall_seconds = seconds_since(run_start);
+  summary.task_seconds_total =
+      static_cast<double>(task_nanos.load()) * 1e-9;
+  if (cache) summary.cache = cache->stats();
+
+  // Emission happens strictly in grid order, after the barrier: the
+  // payload cannot depend on scheduling.
+  for (const auto& row : rows) sink.row(row);
+  sink.finish(summary);
+  return summary;
+}
+
+}  // namespace bevr::runner

@@ -1,0 +1,56 @@
+// The experiment engine: executes a ScenarioSpec across a thread pool
+// with deterministic per-task sub-seeding and memoized evaluation.
+//
+// Determinism contract: the data rows delivered to the ResultSink are
+// a pure function of (spec, base_seed) — identical at any thread
+// count. Tasks are sharded by grid index; stochastic tasks (the sim
+// model) derive their RNG as Rng(base_seed).split(task_index), so no
+// task ever observes another task's draws. Rows are buffered per-index
+// during the parallel section and emitted in grid order afterwards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bevr/runner/memo_cache.h"
+#include "bevr/runner/result_sink.h"
+#include "bevr/runner/scenario.h"
+#include "bevr/runner/thread_pool.h"
+
+namespace bevr::runner {
+
+struct RunOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
+  unsigned threads = 1;
+  /// Root seed for stochastic scenarios; task i uses split(i)-derived
+  /// sub-seeds, so the same base_seed reproduces bit-identical output.
+  std::uint64_t base_seed = 42;
+  /// Memoize hot evaluations (k_max, totals, λ-calibration). Turning
+  /// this off never changes results, only wall time.
+  bool use_cache = true;
+  /// Optional shared cache: pass one cache across several scenarios to
+  /// reuse e.g. Hurwitz-zeta λ-calibrations between runs. When null
+  /// and use_cache, a fresh per-run cache is created.
+  std::shared_ptr<MemoCache> cache;
+  /// Optional external pool to amortise thread start-up across runs;
+  /// when set it overrides `threads`.
+  ThreadPool* pool = nullptr;
+};
+
+/// Column names the given spec's rows will carry, in order.
+[[nodiscard]] std::vector<std::string> scenario_columns(const ScenarioSpec& spec);
+
+/// `git describe --always --dirty` of the working tree, or "unknown".
+[[nodiscard]] std::string git_describe();
+
+/// Validate, expand and execute the scenario, streaming results into
+/// `sink` (begin → rows in grid order → finish). Returns the summary
+/// also handed to sink.finish(). Throws std::invalid_argument for
+/// non-executable specs; exceptions from model evaluation propagate
+/// after outstanding tasks drain.
+RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
+                        ResultSink& sink);
+
+}  // namespace bevr::runner

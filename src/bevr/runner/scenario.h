@@ -1,0 +1,127 @@
+// Declarative experiment scenarios and the named-scenario registry.
+//
+// A ScenarioSpec is a complete, serialisable description of one sweep:
+// load family + parameters, utility family + parameters, an evaluation
+// grid (capacities or prices), and which model evaluates it —
+// fixed-load, discrete variable-load, continuum closed forms, welfare,
+// or the flow-level simulator. The built-in registry enumerates the
+// full paper-figure suite (Figures 2/3/4, their welfare panels, the
+// continuum cross-checks, and a sim-vs-model validation) as named
+// scenarios that `bevr_run` can list, filter and execute.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bevr/core/continuum.h"
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/discrete.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::runner {
+
+enum class LoadFamily { kPoisson, kExponential, kAlgebraic };
+enum class UtilityFamily {
+  kRigid,
+  kAdaptiveExp,
+  kPiecewiseLinear,
+  kElastic,
+  kAlgebraicTail,
+};
+enum class ModelKind {
+  kFixedLoad,      ///< k_max(C) and V(k_max; C) per capacity
+  kVariableLoad,   ///< B, R, δ, Δ per capacity (paper §3.1)
+  kContinuum,      ///< closed-form/numeric continuum per capacity (§3.2)
+  kWelfare,        ///< C(p), W(p), γ(p) per price (§4)
+  kSimulation,     ///< flow-level sim vs model per capacity
+};
+
+[[nodiscard]] std::string to_string(LoadFamily family);
+[[nodiscard]] std::string to_string(UtilityFamily family);
+[[nodiscard]] std::string to_string(ModelKind kind);
+
+/// An inclusive 1-D evaluation grid.
+struct GridSpec {
+  double lo = 10.0;
+  double hi = 400.0;
+  int points = 40;
+  bool log_spaced = false;
+
+  [[nodiscard]] std::vector<double> values() const;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  ModelKind model = ModelKind::kVariableLoad;
+
+  LoadFamily load = LoadFamily::kExponential;
+  /// Algebraic: the power z (mean held at `load_mean`). Poisson /
+  /// exponential: unused (the mean is the only parameter).
+  double load_param = 0.0;
+  double load_mean = 100.0;  ///< k̄; the paper fixes 100
+
+  UtilityFamily util = UtilityFamily::kRigid;
+  /// Rigid: b̂; AdaptiveExp: κ; PiecewiseLinear: floor a;
+  /// AlgebraicTail: r; Elastic: unused.
+  double util_param = 1.0;
+
+  /// Capacity grid (fixed/variable/continuum/sim) or price grid (welfare).
+  GridSpec grid;
+
+  /// Include the root-solved bandwidth gap Δ(C) column (variable-load
+  /// and continuum sweeps; by far the most expensive column).
+  bool with_bandwidth_gap = true;
+
+  /// Evaluation accuracy knobs forwarded to VariableLoadModel.
+  core::VariableLoadModel::Options eval;
+
+  /// Simulation-only knobs (ModelKind::kSimulation).
+  double sim_horizon = 4000.0;
+  double sim_warmup = 400.0;
+
+  /// Throws std::invalid_argument with a precise message when the spec
+  /// is not executable (bad grid, unsupported model/family combo, ...).
+  void validate() const;
+};
+
+/// Instantiate the spec's load distribution / utility function.
+/// `make_load` performs the Hurwitz-zeta λ-calibration for algebraic
+/// loads, which the runner memoizes across tasks (see MemoCache).
+[[nodiscard]] std::shared_ptr<const dist::DiscreteLoad> make_load(
+    const ScenarioSpec& spec);
+[[nodiscard]] std::shared_ptr<const dist::DiscreteLoad> make_load_with_lambda(
+    const ScenarioSpec& spec, double algebraic_lambda);
+[[nodiscard]] std::shared_ptr<const utility::UtilityFunction> make_utility(
+    const ScenarioSpec& spec);
+
+/// Continuum model for the spec's (load, utility) pair, using the
+/// paper's closed forms where they exist and quadrature otherwise.
+/// Throws for combinations with no continuum analogue (Poisson loads).
+[[nodiscard]] std::unique_ptr<const core::ContinuumModel> make_continuum_model(
+    const ScenarioSpec& spec);
+
+/// Named-scenario registry. Lookup is by exact name first, then by
+/// case-sensitive substring filter (`match`).
+class ScenarioRegistry {
+ public:
+  /// Throws std::invalid_argument on duplicate names.
+  void add(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec* find(const std::string& name) const;
+  [[nodiscard]] std::vector<const ScenarioSpec*> match(
+      const std::string& filter) const;
+  [[nodiscard]] const std::vector<ScenarioSpec>& all() const { return specs_; }
+
+  /// The paper-figure suite: fig{2,3,4}_{rigid,adaptive}, their
+  /// welfare panels, fig1 fixed-load curves, continuum cross-checks,
+  /// and sim_mm_inf_validation.
+  [[nodiscard]] static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace bevr::runner

@@ -1,0 +1,110 @@
+#include "bevr/runner/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace bevr::runner {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // Grid sweeps never benefit from more lanes than this, and an
+  // unchecked count (e.g. -1 wrapped through unsigned) would exhaust
+  // the machine before the first task runs.
+  threads = std::min(threads, kMaxThreads);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // tasks are noexcept wrappers built by parallel_for
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::int64_t count,
+                  const std::function<void(std::int64_t)>& body) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->size() == 0 || count == 1) {
+    for (std::int64_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  // One chunk-worker per pool thread; each drains indices until the
+  // counter runs out. Never more outstanding tasks than workers.
+  const unsigned lanes =
+      static_cast<unsigned>(std::min<std::int64_t>(count, pool->size()));
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    pool->submit([shared, count, &body] {
+      for (;;) {
+        const std::int64_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        if (shared->failed.load(std::memory_order_relaxed)) continue;  // drain
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(shared->error_mutex);
+          if (!shared->failed.exchange(true)) {
+            shared->error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  pool->wait_idle();
+  if (shared->failed.load()) std::rethrow_exception(shared->error);
+}
+
+}  // namespace bevr::runner

@@ -1,0 +1,70 @@
+// Work-stealing-free, deterministic-friendly thread pool.
+//
+// The runner's contract is that *scheduling never affects results*:
+// parallel_for hands workers task indices from an atomic counter, and
+// every task writes only to its own index's output slot, so the final
+// result vector is identical at any thread count. The pool itself is a
+// plain condition-variable task queue — no affinity, no priorities —
+// sized for coarse-grained model-evaluation tasks (milliseconds to
+// seconds each), not micro-tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bevr::runner {
+
+class ThreadPool {
+ public:
+  /// Hard ceiling on pool size: requests above it are clamped, so a
+  /// bogus count (say -1 forced through unsigned) cannot exhaust the
+  /// machine's thread limit.
+  static constexpr unsigned kMaxThreads = 256;
+
+  /// `threads` worker threads; 0 means std::thread::hardware_concurrency
+  /// (at least 1), and anything above kMaxThreads is clamped to it. A
+  /// pool of size 1 still runs tasks on its worker, so submission order
+  /// == execution order.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::uint64_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) on the pool's workers. Indices are
+/// claimed from a shared atomic counter; each call sees every index
+/// exactly once. Blocks until all iterations finish. If any iteration
+/// throws, the first exception (by completion order) is rethrown here
+/// after the remaining iterations are drained. With a null pool or
+/// count <= 1 the loop runs inline on the calling thread.
+void parallel_for(ThreadPool* pool, std::int64_t count,
+                  const std::function<void(std::int64_t)>& body);
+
+}  // namespace bevr::runner

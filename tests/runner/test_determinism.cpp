@@ -1,0 +1,139 @@
+// The runner's headline guarantee: a scenario's emitted payload is a
+// pure function of (spec, base_seed) — identical at any thread count,
+// with or without the memo cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bevr/runner/runner.h"
+
+namespace bevr::runner {
+namespace {
+
+// Data lines of a JSONL payload ("row" records only, provenance
+// stripped), sorted so the comparison is order-insensitive as well.
+std::vector<std::string> data_lines(const std::string& payload) {
+  std::vector<std::string> lines;
+  std::istringstream stream(payload);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find("\"type\":\"row\"") != std::string::npos) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string run_jsonl(const ScenarioSpec& spec, unsigned threads,
+                      std::uint64_t seed, bool use_cache) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  RunOptions options;
+  options.threads = threads;
+  options.base_seed = seed;
+  options.use_cache = use_cache;
+  run_scenario(spec, options, sink);
+  return out.str();
+}
+
+ScenarioSpec small_variable_load() {
+  ScenarioSpec spec;
+  spec.name = "det_variable";
+  spec.model = ModelKind::kVariableLoad;
+  spec.load = LoadFamily::kExponential;
+  spec.util = UtilityFamily::kRigid;
+  spec.util_param = 1.0;
+  spec.grid = GridSpec{20.0, 300.0, 8, false};
+  return spec;
+}
+
+TEST(Determinism, VariableLoadPayloadIsThreadCountInvariant) {
+  const ScenarioSpec spec = small_variable_load();
+  const auto serial = data_lines(run_jsonl(spec, 1, 42, true));
+  const auto parallel4 = data_lines(run_jsonl(spec, 4, 42, true));
+  const auto parallel7 = data_lines(run_jsonl(spec, 7, 42, true));
+  ASSERT_EQ(serial.size(), 8u);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel7);
+}
+
+TEST(Determinism, CacheDoesNotChangeThePayload) {
+  const ScenarioSpec spec = small_variable_load();
+  EXPECT_EQ(data_lines(run_jsonl(spec, 4, 42, true)),
+            data_lines(run_jsonl(spec, 4, 42, false)));
+}
+
+TEST(Determinism, WelfarePayloadIsThreadCountInvariant) {
+  ScenarioSpec spec;
+  spec.name = "det_welfare";
+  spec.model = ModelKind::kWelfare;
+  spec.load = LoadFamily::kPoisson;
+  spec.util = UtilityFamily::kRigid;
+  spec.util_param = 1.0;
+  spec.grid = GridSpec{0.01, 0.4, 5, true};
+  EXPECT_EQ(data_lines(run_jsonl(spec, 1, 42, true)),
+            data_lines(run_jsonl(spec, 4, 42, true)));
+}
+
+TEST(Determinism, SimulationPayloadIsThreadCountInvariantForFixedSeed) {
+  ScenarioSpec spec;
+  spec.name = "det_sim";
+  spec.model = ModelKind::kSimulation;
+  spec.load = LoadFamily::kPoisson;
+  spec.load_mean = 50.0;
+  spec.util = UtilityFamily::kRigid;
+  spec.util_param = 1.0;
+  spec.grid = GridSpec{40.0, 80.0, 3, false};
+  spec.sim_horizon = 300.0;
+  spec.sim_warmup = 50.0;
+
+  const auto serial = data_lines(run_jsonl(spec, 1, 7, true));
+  const auto parallel = data_lines(run_jsonl(spec, 4, 7, true));
+  ASSERT_EQ(serial.size(), 3u);
+  // Bit-identical: per-task RNG is derived from (base_seed, index),
+  // never from which worker ran the task.
+  EXPECT_EQ(serial, parallel);
+  // ... but a different base seed really does change the draws.
+  EXPECT_NE(serial, data_lines(run_jsonl(spec, 1, 8, true)));
+}
+
+TEST(Determinism, VectorSinkMatchesJsonlRowOrder) {
+  const ScenarioSpec spec = small_variable_load();
+  VectorSink sink;
+  RunOptions options;
+  options.threads = 4;
+  run_scenario(spec, options, sink);
+  ASSERT_EQ(sink.rows().size(), 8u);
+  for (std::size_t i = 0; i < sink.rows().size(); ++i) {
+    EXPECT_EQ(sink.rows()[i].index, i);  // grid order, not completion order
+  }
+  EXPECT_EQ(sink.columns(), scenario_columns(spec));
+  EXPECT_EQ(sink.summary().rows, 8u);
+  EXPECT_GT(sink.summary().cache.hits + sink.summary().cache.misses, 0u);
+}
+
+TEST(Determinism, CsvAndJsonlAgreeOnValues) {
+  ScenarioSpec spec = small_variable_load();
+  spec.grid.points = 3;
+  std::ostringstream csv_out;
+  CsvSink csv(csv_out);
+  RunOptions options;
+  run_scenario(spec, options, csv);
+  VectorSink vec;
+  run_scenario(spec, options, vec);
+  // Spot-check: every value formatted into the CSV appears verbatim.
+  const std::string payload = csv_out.str();
+  for (const auto& row : vec.rows()) {
+    for (const double value : row.values) {
+      EXPECT_NE(payload.find(format_value(value)), std::string::npos)
+          << "missing " << format_value(value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bevr::runner

@@ -1,0 +1,154 @@
+// MemoCache + MemoizedVariableLoad: bitwise equality with uncached
+// evaluation, hit/miss accounting, and concurrent access.
+#include "bevr/runner/memo_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/runner/memoized_model.h"
+#include "bevr/runner/thread_pool.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::runner {
+namespace {
+
+TEST(MemoCache, FirstCallMissesSecondHits) {
+  MemoCache cache;
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 42.5;
+  };
+  EXPECT_EQ(cache.get_or_compute("op", 1.0, compute), 42.5);
+  EXPECT_EQ(cache.get_or_compute("op", 1.0, compute), 42.5);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MemoCache, DistinctOpsAndArgsDoNotCollide) {
+  MemoCache cache;
+  EXPECT_EQ(cache.get_or_compute("a", 1.0, [] { return 1.0; }), 1.0);
+  EXPECT_EQ(cache.get_or_compute("b", 1.0, [] { return 2.0; }), 2.0);
+  EXPECT_EQ(cache.get_or_compute("a", 2.0, [] { return 3.0; }), 3.0);
+  EXPECT_EQ(cache.get_or_compute2("a", 1.0, 5.0, [] { return 4.0; }), 4.0);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(MemoCache, DisabledCacheAlwaysComputes) {
+  MemoCache cache(/*enabled=*/false);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 7.0;
+  };
+  EXPECT_EQ(cache.get_or_compute("op", 1.0, compute), 7.0);
+  EXPECT_EQ(cache.get_or_compute("op", 1.0, compute), 7.0);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(MemoCache, ClearResetsEntriesAndCounters) {
+  MemoCache cache;
+  (void)cache.get_or_compute("op", 1.0, [] { return 1.0; });
+  (void)cache.get_or_compute("op", 1.0, [] { return 1.0; });
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  int computes = 0;
+  (void)cache.get_or_compute("op", 1.0, [&] {
+    ++computes;
+    return 1.0;
+  });
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(MemoCache, ConcurrentAccessIsConsistent) {
+  MemoCache cache;
+  ThreadPool pool(4);
+  parallel_for(&pool, 512, [&](std::int64_t i) {
+    const double key = static_cast<double>(i % 16);
+    const double value =
+        cache.get_or_compute("square", key, [&] { return key * key; });
+    ASSERT_EQ(value, key * key);
+  });
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 512u);
+  // 16 distinct keys; duplicated concurrent misses are possible but
+  // bounded by the number of racing tasks.
+  EXPECT_GE(stats.hits, 1u);
+}
+
+class MemoizedModelTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const core::VariableLoadModel> model_ =
+      std::make_shared<core::VariableLoadModel>(
+          std::make_shared<dist::ExponentialLoad>(
+              dist::ExponentialLoad::with_mean(100.0)),
+          std::make_shared<utility::Rigid>(1.0));
+};
+
+TEST_F(MemoizedModelTest, CachedValuesAreBitwiseEqualToUncached) {
+  auto cache = std::make_shared<MemoCache>();
+  const MemoizedVariableLoad memoized(model_, cache);
+  for (const double c : {12.5, 80.0, 100.0, 250.0, 640.0}) {
+    // First call populates the cache, second replays from it; both
+    // must be bitwise-identical to the raw model.
+    for (int round = 0; round < 2; ++round) {
+      EXPECT_EQ(memoized.best_effort(c), model_->best_effort(c));
+      EXPECT_EQ(memoized.reservation(c), model_->reservation(c));
+      EXPECT_EQ(memoized.total_best_effort(c), model_->total_best_effort(c));
+      EXPECT_EQ(memoized.total_reservation(c), model_->total_reservation(c));
+      EXPECT_EQ(memoized.performance_gap(c), model_->performance_gap(c));
+      EXPECT_EQ(memoized.bandwidth_gap(c), model_->bandwidth_gap(c));
+      EXPECT_EQ(memoized.blocking_fraction(c), model_->blocking_fraction(c));
+      EXPECT_EQ(memoized.k_max(c), model_->k_max(c));
+    }
+  }
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+TEST_F(MemoizedModelTest, NullCachePassesThrough) {
+  const MemoizedVariableLoad memoized(model_, nullptr);
+  EXPECT_EQ(memoized.best_effort(100.0), model_->best_effort(100.0));
+  EXPECT_EQ(memoized.k_max(100.0), model_->k_max(100.0));
+}
+
+TEST_F(MemoizedModelTest, TwoModelsSharingACacheDoNotAlias) {
+  // Same load but a different bandwidth requirement: values differ at
+  // equal capacities, and the shared cache must keep them apart.
+  auto other_model = std::make_shared<core::VariableLoadModel>(
+      std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(100.0)),
+      std::make_shared<utility::Rigid>(2.0));
+
+  auto cache = std::make_shared<MemoCache>();
+  const MemoizedVariableLoad a(model_, cache);
+  const MemoizedVariableLoad b(other_model, cache);
+  const double c = 150.0;
+  ASSERT_NE(model_->best_effort(c), other_model->best_effort(c));
+  EXPECT_EQ(a.best_effort(c), model_->best_effort(c));
+  EXPECT_EQ(b.best_effort(c), other_model->best_effort(c));
+  // Replays hit the right entries too.
+  EXPECT_EQ(a.best_effort(c), model_->best_effort(c));
+  EXPECT_EQ(b.best_effort(c), other_model->best_effort(c));
+}
+
+TEST(MemoizedElastic, KmaxNulloptRoundTripsThroughCache) {
+  auto model = std::make_shared<core::VariableLoadModel>(
+      std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(100.0)),
+      std::make_shared<utility::Elastic>());
+  auto cache = std::make_shared<MemoCache>();
+  const MemoizedVariableLoad memoized(model, cache);
+  EXPECT_EQ(memoized.k_max(100.0), std::nullopt);
+  EXPECT_EQ(memoized.k_max(100.0), std::nullopt);  // replay from cache
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace bevr::runner

@@ -1,0 +1,86 @@
+// ThreadPool / parallel_for: every index exactly once, exception
+// propagation, inline fallback, and reuse across loops.
+#include "bevr/runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bevr::runner {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  parallel_for(&pool, kCount, [&](std::int64_t i) {
+    touched[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, OversizedRequestIsClampedNotSpawned) {
+  // e.g. -1 forced through unsigned must not try to start 4e9 workers.
+  ThreadPool pool(ThreadPool::kMaxThreads + 1000);
+  EXPECT_EQ(pool.size(), ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPool, ParallelForRunsInlineWithoutPool) {
+  std::vector<int> touched(64, 0);
+  parallel_for(nullptr, 64, [&](std::int64_t i) {
+    touched[static_cast<std::size_t>(i)] += 1;
+  });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 64);
+}
+
+TEST(ThreadPool, ParallelForZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 0, [&](std::int64_t) { ++calls; });
+  parallel_for(&pool, -5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [](std::int64_t i) {
+                     if (i == 37) throw std::runtime_error("task 37 failed");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> after{0};
+  parallel_for(&pool, 10, [&](std::int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, MorePoolThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  parallel_for(&pool, 3, [&](std::int64_t i) {
+    touched[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bevr::runner
