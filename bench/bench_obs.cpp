@@ -1,0 +1,198 @@
+// bench_obs: the cost of looking.
+//
+// Measures the obs layer's hot paths with hand-rolled ns/op loops —
+//  * counter increment and histogram observe, enabled and disabled;
+//  * trace span enter/exit, enabled and disabled;
+//  * a no-op baseline loop for the noise floor —
+// then times a welfare sweep end to end with observability fully on
+// vs fully off. Two contracts are asserted (nonzero exit on failure,
+// so ctest catches a regression):
+//  1. the disabled path is within noise of the no-op baseline;
+//  2. full instrumentation costs < 25% on the sweep (target < 5%; the
+//     loose bound keeps loaded CI machines from flaking).
+// Results land in BENCH_obs.json (CWD) to start the perf trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/trace.h"
+#include "bevr/runner/runner.h"
+
+namespace {
+
+using namespace bevr;
+using Clock = std::chrono::steady_clock;
+
+/// Keep `value` alive past the optimizer without a memory round-trip.
+template <typename T>
+inline void keep(T& value) {
+  __asm__ __volatile__("" : "+r"(value));
+}
+
+constexpr std::uint64_t kOps = 4'000'000;
+
+/// ns per op of `body(i)` over kOps iterations, best of 3 repeats.
+template <typename Body>
+double measure_ns(Body&& body) {
+  double best = 1e30;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) body(i);
+    const double elapsed =
+        std::chrono::duration<double, std::nano>(Clock::now() - start)
+            .count();
+    best = std::min(best, elapsed / static_cast<double>(kOps));
+  }
+  return best;
+}
+
+runner::ScenarioSpec welfare_scenario() {
+  runner::ScenarioSpec spec;
+  spec.name = "bench_obs_welfare";
+  spec.model = runner::ModelKind::kWelfare;
+  spec.load = runner::LoadFamily::kPoisson;
+  spec.util = runner::UtilityFamily::kRigid;
+  spec.util_param = 1.0;
+  spec.grid = runner::GridSpec{0.01, 0.4, 9, true};
+  return spec;
+}
+
+/// One full welfare sweep with a fresh cache; wall seconds, best of 3.
+double sweep_seconds() {
+  const runner::ScenarioSpec spec = welfare_scenario();
+  double best = 1e30;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    runner::VectorSink sink;
+    runner::RunOptions options;
+    options.threads = 2;
+    const auto start = Clock::now();
+    (void)runner::run_scenario(spec, options, sink);
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+struct Result {
+  std::string name;
+  double ns_per_op;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_obs: instrumentation overhead");
+  std::vector<Result> results;
+  int failures = 0;
+
+  obs::MetricsRegistry registry;
+  const obs::Counter counter = registry.counter("bench/counter");
+  const obs::Histogram histogram = registry.histogram(
+      "bench/hist", obs::HistogramSpec::exponential(1.0, 2.0, 16));
+  obs::TraceCollector collector;
+
+  // Noise floor: the same loop doing only induction-variable work.
+  const double baseline = measure_ns([](std::uint64_t i) { keep(i); });
+  results.push_back({"noop_baseline", baseline});
+
+  registry.set_enabled(true);
+  results.push_back({"counter_add_enabled",
+                     measure_ns([&](std::uint64_t i) {
+                       counter.add(1);
+                       keep(i);
+                     })});
+  results.push_back({"histogram_observe_enabled",
+                     measure_ns([&](std::uint64_t i) {
+                       histogram.observe(static_cast<double>(i & 1023));
+                       keep(i);
+                     })});
+  registry.set_enabled(false);
+  const double counter_disabled = measure_ns([&](std::uint64_t i) {
+    counter.add(1);
+    keep(i);
+  });
+  results.push_back({"counter_add_disabled", counter_disabled});
+  const double observe_disabled = measure_ns([&](std::uint64_t i) {
+    histogram.observe(static_cast<double>(i & 1023));
+    keep(i);
+  });
+  results.push_back({"histogram_observe_disabled", observe_disabled});
+
+  collector.set_enabled(true);
+  results.push_back({"trace_span_enabled",
+                     measure_ns([&](std::uint64_t i) {
+                       obs::TraceSpan span("bench/span", collector);
+                       keep(i);
+                     })});
+  collector.set_enabled(false);
+  const double span_disabled = measure_ns([&](std::uint64_t i) {
+    obs::TraceSpan span("bench/span", collector);
+    keep(i);
+  });
+  results.push_back({"trace_span_disabled", span_disabled});
+
+  bench::print_columns({"metric", "ns_per_op"});
+  for (const Result& result : results) {
+    std::printf("%30s %10.2f\n", result.name.c_str(), result.ns_per_op);
+  }
+
+  // Contract 1: disabled instrumentation is noise. A relaxed bool load
+  // plus an untaken branch should vanish next to the loop itself; allow
+  // a couple of nanoseconds of jitter before calling it a regression.
+  const double slack_ns = 2.0 + baseline;
+  for (const auto& [name, ns] :
+       {std::pair<const char*, double>{"counter_add_disabled",
+                                       counter_disabled},
+        {"histogram_observe_disabled", observe_disabled},
+        {"trace_span_disabled", span_disabled}}) {
+    if (ns > slack_ns) {
+      std::printf("FAIL: %s = %.2f ns/op exceeds noise bound %.2f ns/op\n",
+                  name, ns, slack_ns);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    bench::print_note("disabled paths within noise of the no-op baseline");
+  }
+
+  // Contract 2: full instrumentation on a real sweep. Metrics are on by
+  // default; tracing is the opt-in extra — measure with both.
+  obs::MetricsRegistry::global().set_enabled(false);
+  obs::TraceCollector::global().set_enabled(false);
+  const double off_seconds = sweep_seconds();
+  obs::MetricsRegistry::global().set_enabled(true);
+  obs::TraceCollector::global().set_enabled(true);
+  const double on_seconds = sweep_seconds();
+  obs::TraceCollector::global().set_enabled(false);
+  const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
+  std::printf("\nwelfare sweep: obs off %.4fs, obs on %.4fs, ratio %.3f "
+              "(target < 1.05, bound < 1.25)\n",
+              off_seconds, on_seconds, ratio);
+  results.push_back({"welfare_sweep_off_s", off_seconds * 1e9});
+  results.push_back({"welfare_sweep_on_s", on_seconds * 1e9});
+  if (ratio >= 1.25) {
+    std::printf("FAIL: instrumented sweep ratio %.3f >= 1.25\n", ratio);
+    ++failures;
+  }
+
+  // Start of the perf trajectory: one JSON point per hot path.
+  std::ofstream json("BENCH_obs.json");
+  json << "{\"bench\":\"obs\",\"git\":\"" << runner::git_describe()
+       << "\",\"git_time\":\"" << runner::git_commit_time()
+       << "\",\"sweep_ratio\":" << ratio << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "{\"name\":\"" << results[i].name
+         << "\",\"ns_per_op\":" << results[i].ns_per_op << "}";
+  }
+  json << "]}\n";
+  bench::print_note("wrote BENCH_obs.json");
+
+  return failures == 0 ? 0 : 1;
+}

@@ -7,20 +7,31 @@
 //   bevr_run --list [filter]
 //   bevr_run <scenario|filter> [--threads N] [--seed S]
 //            [--format csv|jsonl] [--output FILE] [--no-cache] [--no-gap]
+//            [--report text|json|prom] [--metrics-out FILE]
+//            [--trace-out FILE]
 //
-//   --list       print matching scenarios (name, model, description)
-//   --threads N  worker threads (default 1; 0 = hardware concurrency)
-//   --seed S     base seed for stochastic scenarios (default 42);
-//                results are bit-identical for a fixed seed at any N
-//   --format     csv (default) or jsonl
-//   --output     write to FILE instead of stdout
-//   --no-cache   disable memoized evaluation (same results, slower)
-//   --no-gap     skip the bandwidth-gap column (the expensive root solve)
+//   --list        print matching scenarios (name, model, grid, description)
+//   --threads N   worker threads (default 1; 0 = hardware concurrency)
+//   --seed S      base seed for stochastic scenarios (default 42);
+//                 results are bit-identical for a fixed seed at any N
+//   --format      csv (default) or jsonl
+//   --output      write to FILE instead of stdout
+//   --no-cache    disable memoized evaluation (same results, slower)
+//   --no-gap      skip the bandwidth-gap column (the expensive root solve)
+//   --report F    render the end-of-run metrics report as text, json or
+//                 prom (Prometheus exposition); goes to stderr unless
+//                 --metrics-out is given
+//   --metrics-out write the metrics report to FILE (default format prom)
+//   --trace-out   record trace spans and write a Chrome/Perfetto
+//                 trace-event JSON file (open at https://ui.perfetto.dev)
+//
+// All value flags also accept the --flag=value spelling.
 //
 // Examples:
 //   bevr_run --list fig3
 //   bevr_run fig3_rigid --threads 8 --format jsonl
 //   bevr_run fig4 --threads 4 --output fig4_all.csv   # runs every fig4_*
+//   bevr_run fig2 --threads 8 --trace-out fig2.trace.json --report text
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +44,9 @@
 #include <string>
 #include <vector>
 
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/report.h"
+#include "bevr/obs/trace.h"
 #include "bevr/runner/runner.h"
 
 namespace {
@@ -62,17 +76,20 @@ int usage(const char* argv0, const char* error) {
                "usage: %s --list [filter]\n"
                "       %s <scenario|filter> [--threads N] [--seed S]\n"
                "          [--format csv|jsonl] [--output FILE] [--no-cache] "
-               "[--no-gap]\n",
+               "[--no-gap]\n"
+               "          [--report text|json|prom] [--metrics-out FILE] "
+               "[--trace-out FILE]\n",
                argv0, argv0);
   return 2;
 }
 
 void list_scenarios(const std::string& filter) {
   const auto matches = ScenarioRegistry::builtin().match(filter);
-  std::printf("%-24s %-14s %s\n", "name", "model", "description");
+  std::printf("%-24s %-14s %5s  %s\n", "name", "model", "grid", "description");
   for (const ScenarioSpec* spec : matches) {
-    std::printf("%-24s %-14s %s\n", spec->name.c_str(),
-                to_string(spec->model).c_str(), spec->description.c_str());
+    std::printf("%-24s %-14s %5d  %s\n", spec->name.c_str(),
+                to_string(spec->model).c_str(), spec->grid.points,
+                spec->description.c_str());
   }
   std::printf("%zu scenario(s)\n", matches.size());
 }
@@ -83,19 +100,38 @@ int main(int argc, char** argv) try {
   std::string target;
   std::string format = "csv";
   std::string output_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string report_name;
   bool list_only = false;
   bool skip_gap = false;
   RunOptions options;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline = true;
+      }
+    }
     const auto next_value = [&](const char* flag) -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
         return nullptr;
       }
       return argv[++i];
     };
+    if (has_inline && (arg == "--list" || arg == "--no-cache" ||
+                       arg == "--no-gap")) {
+      return usage(argv[0], (arg + " does not take a value").c_str());
+    }
     if (arg == "--list") {
       list_only = true;
     } else if (arg == "--threads") {
@@ -126,6 +162,22 @@ int main(int argc, char** argv) try {
       const char* value = next_value("--output");
       if (value == nullptr) return usage(argv[0], nullptr);
       output_path = value;
+    } else if (arg == "--metrics-out") {
+      const char* value = next_value("--metrics-out");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      metrics_path = value;
+    } else if (arg == "--trace-out") {
+      const char* value = next_value("--trace-out");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      trace_path = value;
+    } else if (arg == "--report") {
+      const char* value = next_value("--report");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      report_name = value;
+      if (report_name != "text" && report_name != "json" &&
+          report_name != "prom") {
+        return usage(argv[0], "--report must be text, json or prom");
+      }
     } else if (arg == "--no-cache") {
       options.use_cache = false;
     } else if (arg == "--no-gap") {
@@ -170,6 +222,12 @@ int main(int argc, char** argv) try {
   }
   std::ostream& out = output_path.empty() ? std::cout : file;
 
+  // Tracing is opt-in (span recording costs a few ns even when nobody
+  // reads the buffers); metrics stay on at their batched default cost.
+  if (!trace_path.empty()) {
+    bevr::obs::TraceCollector::global().set_enabled(true);
+  }
+
   // One cache + one pool shared across all matched scenarios: λ-
   // calibrations and thread start-up amortise over the whole batch.
   if (options.use_cache && !options.cache) {
@@ -198,6 +256,38 @@ int main(int argc, char** argv) try {
                  static_cast<unsigned long long>(summary.cache.hits +
                                                  summary.cache.misses),
                  100.0 * summary.cache.hit_rate());
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   trace_path.c_str());
+      return 1;
+    }
+    bevr::obs::TraceCollector::global().write_chrome_trace(trace_file);
+  }
+
+  if (!report_name.empty() || !metrics_path.empty()) {
+    // A metrics file with no explicit format gets Prometheus exposition
+    // (what a scraper expects); on stderr the human-readable text wins.
+    const bevr::obs::ReportFormat report_format =
+        bevr::obs::parse_report_format(
+            !report_name.empty() ? report_name
+                                 : (metrics_path.empty() ? "text" : "prom"));
+    const std::string report = bevr::obs::render_report(
+        bevr::obs::MetricsRegistry::global().snapshot(), report_format);
+    if (!metrics_path.empty()) {
+      std::ofstream metrics_file(metrics_path);
+      if (!metrics_file) {
+        std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                     metrics_path.c_str());
+        return 1;
+      }
+      metrics_file << report;
+    } else {
+      std::fputs(report.c_str(), stderr);
+    }
   }
   return 0;
 } catch (const std::exception& error) {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build+test pass, then an ASan+UBSan
-# run of the runner subsystem's tests (the code with real concurrency).
+# run of the runner subsystem's tests (the code with real concurrency),
+# then a TSan run of the runner + obs suites (the sharded metrics
+# registry and trace buffers are the raciest code in the tree).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -18,5 +20,11 @@ cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/
 cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests
 ./build-asan/tests/bevr_runner_tests
 ./build-asan/tests/bevr_sim_tests
+
+echo "== sanitized: TSan runner + obs tests =="
+cmake -B build-tsan -S . -DBEVR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target bevr_runner_tests bevr_obs_tests
+./build-tsan/tests/bevr_runner_tests
+./build-tsan/tests/bevr_obs_tests
 
 echo "== all checks passed =="

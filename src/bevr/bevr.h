@@ -18,6 +18,9 @@
 //                    deterministic thread-pool executor with per-task
 //                    RNG sub-seeding, memoized model evaluation, and
 //                    structured CSV/JSONL result emission
+//   bevr::obs      — observability: sharded metrics registry,
+//                    scoped trace spans (Chrome/Perfetto export),
+//                    end-of-run reports (text/JSON/Prometheus)
 #pragma once
 
 #include "bevr/core/asymptotics.h"
@@ -48,6 +51,9 @@
 #include "bevr/net/token_bucket.h"
 #include "bevr/net/topology.h"
 #include "bevr/numerics/erlang.h"
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/report.h"
+#include "bevr/obs/trace.h"
 #include "bevr/numerics/kahan.h"
 #include "bevr/numerics/lambert_w.h"
 #include "bevr/numerics/optimize.h"

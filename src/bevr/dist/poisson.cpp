@@ -48,7 +48,8 @@ double PoissonLoad::partial_mean_above(std::int64_t k) const {
 
 double PoissonLoad::pmf_continuous(double k) const {
   if (k < 0.0) return 0.0;
-  return std::exp(k * std::log(nu_) - nu_ - std::lgamma(k + 1.0));
+  return std::exp(k * std::log(nu_) - nu_ -
+                  numerics::lgamma_threadsafe(k + 1.0));
 }
 
 std::string PoissonLoad::name() const {

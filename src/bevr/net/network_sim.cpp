@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bevr/obs/metrics.h"
 #include "bevr/sim/event_queue.h"
 #include "bevr/sim/metrics.h"
 #include "bevr/sim/rng.h"
@@ -150,6 +151,20 @@ NetworkReport NetworkExperiment::run() const {
             : 0.0;
     pair_report.mean_utility = pair_state.utility.mean();
     report.pairs.push_back(pair_report);
+  }
+
+  // Observability: one batched flush per experiment (reservation
+  // grant/deny counts come from the RsvpAgent itself).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    std::uint64_t attempts = 0;
+    std::uint64_t blocked = 0;
+    for (const auto& pair_state : state) {
+      attempts += pair_state.attempts;
+      blocked += pair_state.blocked;
+    }
+    registry.counter("net/flows/attempted").add(attempts);
+    registry.counter("net/flows/blocked").add(blocked);
   }
   return report;
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bevr/obs/metrics.h"
+
 namespace bevr::net {
 
 RsvpAgent::RsvpAgent(std::shared_ptr<Topology> topology,
@@ -16,6 +18,9 @@ RsvpAgent::RsvpAgent(std::shared_ptr<Topology> topology,
   if (!(refresh_timeout > 0.0)) {
     throw std::invalid_argument("RsvpAgent: refresh_timeout must be > 0");
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs_granted_ = registry.counter("net/reservations/granted");
+  obs_denied_ = registry.counter("net/reservations/denied");
 }
 
 std::optional<SessionId> RsvpAgent::open_session(NodeId src, NodeId dst,
@@ -53,6 +58,7 @@ ResvResult RsvpAgent::reserve(SessionId session, const FlowSpec& spec,
     link_state.measured_load =
         measured != measured_load_.end() ? measured->second : 0.0;
     if (!admission_->admit(link_state, spec)) {
+      obs_denied_.inc();
       return ResvResult::kAdmissionDenied;
     }
   }
@@ -62,6 +68,7 @@ ResvResult RsvpAgent::reserve(SessionId session, const FlowSpec& spec,
   }
   state.reserved = true;
   state.spec = spec;
+  obs_granted_.inc();
   return ResvResult::kCommitted;
 }
 

@@ -22,6 +22,7 @@
 #include "bevr/net/admission.h"
 #include "bevr/net/flowspec.h"
 #include "bevr/net/topology.h"
+#include "bevr/obs/metrics.h"
 
 namespace bevr::net {
 
@@ -91,6 +92,9 @@ class RsvpAgent {
 
   std::shared_ptr<Topology> topology_;
   std::shared_ptr<const AdmissionController> admission_;
+  // Admission outcomes, process-wide (obs registry counters).
+  obs::Counter obs_granted_;
+  obs::Counter obs_denied_;
   double refresh_timeout_;
   SessionId next_session_ = 1;
   std::map<SessionId, SessionState> sessions_;

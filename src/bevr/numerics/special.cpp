@@ -9,6 +9,17 @@
 
 namespace bevr::numerics {
 
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // The reentrant variant takes the sign as an out-param instead of
+  // writing the `signgam` global.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 namespace {
 
 // B_{2j} / (2j)! for j = 1..8 (Euler–Maclaurin correction coefficients).
@@ -66,7 +77,7 @@ double poisson_log_pmf(std::int64_t k, double nu) {
   if (k < 0) throw std::invalid_argument("poisson_log_pmf: k < 0");
   if (!(nu > 0.0)) throw std::invalid_argument("poisson_log_pmf: nu <= 0");
   const double kd = static_cast<double>(k);
-  return kd * std::log(nu) - nu - std::lgamma(kd + 1.0);
+  return kd * std::log(nu) - nu - lgamma_threadsafe(kd + 1.0);
 }
 
 double poisson_pmf(std::int64_t k, double nu) {

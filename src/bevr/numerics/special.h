@@ -11,6 +11,11 @@
 
 namespace bevr::numerics {
 
+/// ln Γ(x) without the data race: glibc's lgamma writes the global
+/// `signgam`, which TSan flags once model evaluation fans out across
+/// threads. Uses the reentrant lgamma_r where available.
+[[nodiscard]] double lgamma_threadsafe(double x);
+
 /// Hurwitz zeta ζ(s, q) = Σ_{k≥0} (q+k)^{-s} for s > 1, q > 0,
 /// via Euler–Maclaurin. Accuracy ≈ 1e-14 relative.
 [[nodiscard]] double hurwitz_zeta(double s, double q);

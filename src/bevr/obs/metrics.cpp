@@ -1,0 +1,285 @@
+#include "bevr/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace bevr::obs {
+
+std::uint64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  // Process-local epoch so timestamps stay small and trace exports
+  // start near zero. Thread-safe magic-static initialisation.
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+HistogramSpec HistogramSpec::exponential(double start, double factor,
+                                         int count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count < 1 || count > 64) {
+    throw std::invalid_argument(
+        "HistogramSpec::exponential: need start > 0, factor > 1, "
+        "1 <= count <= 64");
+  }
+  HistogramSpec spec;
+  spec.bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::linear(double start, double width, int count) {
+  if (!(width > 0.0) || count < 1 || count > 64) {
+    throw std::invalid_argument(
+        "HistogramSpec::linear: need width > 0, 1 <= count <= 64");
+  }
+  HistogramSpec spec;
+  spec.bounds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    spec.bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::latency_us() {
+  return exponential(1.0, 2.0, 24);  // 1us .. ~8.4s
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper bound; report the last one.
+      return bounds.empty() ? sum / static_cast<double>(count) : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double fraction =
+        std::clamp((target - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [gauge_name, value] : gauges) {
+    if (gauge_name == name) return value;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const& {
+  for (const auto& hist : histograms) {
+    if (hist.name == name) return &hist;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {
+  for (auto& shard : shards_) {
+    shard.slots =
+        std::make_unique<std::atomic<std::uint64_t>[]>(kSlotCapacity);
+    for (std::size_t i = 0; i < kSlotCapacity; ++i) {
+      shard.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gauge : gauges_) {
+    gauge.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(true);
+  return registry;
+}
+
+std::size_t MetricsRegistry::this_thread_shard() noexcept {
+  // Round-robin assignment at first touch spreads threads evenly; a
+  // thread keeps its shard for life, so its increments stay on warm,
+  // unshared cache lines.
+  static std::atomic<std::size_t> next_thread{0};
+  thread_local const std::size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void MetricsRegistry::shard_add_double(std::uint32_t slot,
+                                       double delta) noexcept {
+  std::atomic<std::uint64_t>& cell = shards_[this_thread_shard()].slots[slot];
+  std::uint64_t observed = cell.load(std::memory_order_relaxed);
+  // CAS loop over the double bit pattern; per-shard, so effectively
+  // uncontended (only threads mapped to the same shard ever collide).
+  while (!cell.compare_exchange_weak(
+      observed,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsRegistry::merged(std::uint32_t slot) const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double MetricsRegistry::merged_double(std::uint32_t slot) const noexcept {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += std::bit_cast<double>(
+        shard.slots[slot].load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::uint32_t MetricsRegistry::allocate_slots(std::uint32_t count) {
+  if (next_slot_ + count > kSlotCapacity) {
+    throw std::length_error("MetricsRegistry: slot capacity exhausted");
+  }
+  const std::uint32_t first = next_slot_;
+  next_slot_ += count;
+  return first;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = by_name_.find(name);
+  if (found != by_name_.end()) {
+    if (found->second.kind != Kind::kCounter) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    return Counter(this, found->second.index);
+  }
+  const std::uint32_t slot = allocate_slots(1);
+  by_name_.emplace(name, Registration{Kind::kCounter, slot});
+  counters_.emplace_back(name, slot);
+  return Counter(this, slot);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = by_name_.find(name);
+  if (found != by_name_.end()) {
+    if (found->second.kind != Kind::kGauge) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    return Gauge(this, found->second.index);
+  }
+  if (next_gauge_ >= kGaugeCapacity) {
+    throw std::length_error("MetricsRegistry: gauge capacity exhausted");
+  }
+  const std::uint32_t index = next_gauge_++;
+  by_name_.emplace(name, Registration{Kind::kGauge, index});
+  gauge_names_.emplace_back(name, index);
+  return Gauge(this, index);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     const HistogramSpec& spec) {
+  if (spec.bounds.empty() ||
+      !std::is_sorted(spec.bounds.begin(), spec.bounds.end())) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram bounds must be nonempty and ascending");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = by_name_.find(name);
+  if (found != by_name_.end()) {
+    if (found->second.kind != Kind::kHistogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    for (const HistogramInfo& info : hists_) {
+      if (info.slot == found->second.index) {
+        return Histogram(this, info.slot, info.bounds->data(),
+                         static_cast<std::uint32_t>(info.bounds->size()));
+      }
+    }
+  }
+  const auto bound_count = static_cast<std::uint32_t>(spec.bounds.size());
+  // Layout: [slot .. slot+bound_count] bucket counts (last = overflow),
+  // [slot+bound_count+1] running sum as double bits.
+  const std::uint32_t slot = allocate_slots(bound_count + 2);
+  HistogramInfo info;
+  info.name = name;
+  info.slot = slot;
+  info.bounds = std::make_unique<std::vector<double>>(spec.bounds);
+  const double* bounds_data = info.bounds->data();
+  by_name_.emplace(name, Registration{Kind::kHistogram, slot});
+  hists_.push_back(std::move(info));
+  return Histogram(this, slot, bounds_data, bound_count);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, slot] : counters_) {
+    snap.counters.emplace_back(name, merged(slot));
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (const auto& [name, index] : gauge_names_) {
+    snap.gauges.emplace_back(
+        name,
+        std::bit_cast<double>(gauges_[index].load(std::memory_order_relaxed)));
+  }
+  snap.histograms.reserve(hists_.size());
+  for (const HistogramInfo& info : hists_) {
+    HistogramSnapshot hist;
+    hist.name = info.name;
+    hist.bounds = *info.bounds;
+    hist.counts.resize(info.bounds->size() + 1);
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      hist.counts[b] = merged(info.slot + static_cast<std::uint32_t>(b));
+      hist.count += hist.counts[b];
+    }
+    hist.sum = merged_double(
+        info.slot + static_cast<std::uint32_t>(info.bounds->size()) + 1);
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Histogram sum slots hold double bit patterns; zero bits == 0.0, so
+  // one blanket store covers both layouts.
+  for (Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kSlotCapacity; ++i) {
+      shard.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gauge : gauges_) {
+    gauge.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace bevr::obs

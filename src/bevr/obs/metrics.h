@@ -1,0 +1,308 @@
+// Lock-cheap metrics: named counters, gauges and fixed-bucket latency
+// histograms, sharded across threads and merged on snapshot.
+//
+// Design constraints (the runner's determinism contract and the model
+// microbenchmarks set them):
+//  * instrumentation must never perturb results — metrics are write-
+//    only side channels; nothing in the hot path reads them back;
+//  * the enabled hot path must be nanoseconds — an increment is one
+//    relaxed fetch_add on a per-thread-shard slot (threads are spread
+//    round-robin over kShards slot arrays, so there is no contended
+//    cache line in steady state and never a lock);
+//  * the disabled path must be indistinguishable from a no-op — one
+//    relaxed bool load and a predictable branch (bench_obs asserts
+//    this), and with BEVR_OBS compiled to 0 the calls vanish entirely;
+//  * registration (name → slot) is mutex-guarded and meant for setup
+//    code, not per-event paths: fetch handles once, increment often.
+//
+// Snapshots may be taken while writers are active: slots are relaxed
+// atomics, so a snapshot is a monotonic-consistent reading (a
+// histogram's sum can trail its buckets by in-flight increments).
+// Exact totals are guaranteed once writers quiesce — which is when the
+// RunReport reads them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+// Compile-time master switch. Default-on; configure with CMake option
+// BEVR_OBS=OFF (which defines BEVR_OBS=0) to compile every metric and
+// trace call down to nothing.
+#ifndef BEVR_OBS
+#define BEVR_OBS 1
+#endif
+
+namespace bevr::obs {
+
+/// Monotonic nanoseconds since a process-local epoch (first use).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Upper bucket bounds for a histogram, ascending; an implicit +Inf
+/// overflow bucket always follows the last bound.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// `count` bounds: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static HistogramSpec exponential(double start, double factor,
+                                                 int count);
+  /// `count` bounds: start, start+width, start+2*width, ...
+  [[nodiscard]] static HistogramSpec linear(double start, double width,
+                                            int count);
+  /// Default latency spec: 1us .. ~8.4s in powers of 2 (24 bounds).
+  [[nodiscard]] static HistogramSpec latency_us();
+};
+
+/// One merged histogram as read by snapshot().
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;         ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts;  ///< bounds.size()+1 (last = overflow)
+  std::uint64_t count = 0;            ///< Σ counts
+  double sum = 0.0;                   ///< Σ observed values
+
+  [[nodiscard]] double mean() const;
+  /// Quantile estimate by linear interpolation inside the bucket the
+  /// rank falls in (values assumed nonnegative; the overflow bucket
+  /// reports the last finite bound). q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Everything a registry holds, merged across shards at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Lookup helpers; 0 / nullptr when the name was never registered.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  /// Lvalue-only: the pointer aims into this snapshot, so taking it
+  /// from a temporary (`registry.snapshot().histogram(...)`) would
+  /// dangle — deleted on rvalues to make that a compile error.
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      const std::string& name) const&;
+  const HistogramSnapshot* histogram(const std::string& name) const&& =
+      delete;
+};
+
+class MetricsRegistry;
+
+/// Monotonic counter handle. Default-constructed handles are no-ops,
+/// so instrumented code never needs a null check of its own.
+class Counter {
+ public:
+  Counter() = default;
+  inline void add(std::uint64_t n) const noexcept;
+  void inc() const noexcept { add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Last-writer-wins instantaneous value. Gauges are a single cell (not
+/// sharded): `set` from any thread is globally visible, which is the
+/// semantics a "current queue depth"-style reading wants.
+class Gauge {
+ public:
+  Gauge() = default;
+  inline void set(double value) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// Fixed-bucket histogram handle. observe() is one bucket search over
+/// a small sorted array plus two sharded adds.
+class Histogram {
+ public:
+  Histogram() = default;
+  inline void observe(double value) const noexcept;
+  [[nodiscard]] inline bool live() const noexcept;
+
+  /// RAII latency probe: observes the scope's elapsed microseconds.
+  /// Reads the clock only when the histogram is live, so a timer on a
+  /// disabled registry costs one branch. Defined after the class.
+  class Timer;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::uint32_t slot,
+            const double* bounds, std::uint32_t bound_count)
+      : registry_(registry),
+        slot_(slot),
+        bounds_(bounds),
+        bound_count_(bound_count) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t slot_ = 0;            ///< first of bound_count_+2 slots
+  const double* bounds_ = nullptr;    ///< registry-owned, stable
+  std::uint32_t bound_count_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Slot arrays per shard; threads map round-robin onto shards, so up
+  /// to kShards writers proceed with zero cache-line sharing.
+  static constexpr std::size_t kShards = 32;
+  /// Total value slots (counters + histogram buckets); registration
+  /// past the capacity throws rather than silently dropping metrics.
+  static constexpr std::size_t kSlotCapacity = 4096;
+  static constexpr std::size_t kGaugeCapacity = 256;
+
+  explicit MetricsRegistry(bool enabled = true);
+
+  /// The process-wide registry every built-in instrumentation point
+  /// writes to. Enabled by default.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Handle registration: returns the existing metric when the name is
+  /// already registered (kind mismatches throw std::invalid_argument).
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] Histogram histogram(
+      const std::string& name,
+      const HistogramSpec& spec = HistogramSpec::latency_us());
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+#if BEVR_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Merge all shards into one consistent reading. Never blocks
+  /// writers (registration of *new* metrics does wait).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every value; registrations (names, handles) stay valid.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard {
+    // Heap-allocated so a registry is cheap to construct lazily; the
+    // slot array never moves, so handles can index it lock-free.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  };
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Registration {
+    Kind kind = Kind::kCounter;
+    std::uint32_t index = 0;  ///< slot (counter/histogram) or gauge index
+  };
+  struct HistogramInfo {
+    std::string name;
+    std::uint32_t slot = 0;
+    // unique_ptr: the bounds array must stay put when hists_ grows,
+    // because live Histogram handles point straight at it.
+    std::unique_ptr<std::vector<double>> bounds;
+  };
+
+  [[nodiscard]] static std::size_t this_thread_shard() noexcept;
+
+  void shard_add(std::uint32_t slot, std::uint64_t delta) noexcept {
+    shards_[this_thread_shard()].slots[slot].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void shard_add_double(std::uint32_t slot, double delta) noexcept;
+  [[nodiscard]] std::uint64_t merged(std::uint32_t slot) const noexcept;
+  [[nodiscard]] double merged_double(std::uint32_t slot) const noexcept;
+  [[nodiscard]] std::uint32_t allocate_slots(std::uint32_t count);
+
+  std::atomic<bool> enabled_;
+  std::array<Shard, kShards> shards_;
+  std::array<std::atomic<std::uint64_t>, kGaugeCapacity> gauges_;
+
+  mutable std::mutex mutex_;  ///< guards the registration tables
+  std::uint32_t next_slot_ = 0;
+  std::uint32_t next_gauge_ = 0;
+  std::unordered_map<std::string, Registration> by_name_;
+  std::vector<std::pair<std::string, std::uint32_t>> counters_;
+  std::vector<std::pair<std::string, std::uint32_t>> gauge_names_;
+  std::vector<HistogramInfo> hists_;
+};
+
+class Histogram::Timer {
+ public:
+  explicit Timer(const Histogram& histogram)
+      : histogram_(histogram), start_ns_(histogram.live() ? now_ns() : 0) {}
+  ~Timer() {
+    if (start_ns_ != 0) {
+      histogram_.observe(static_cast<double>(now_ns() - start_ns_) * 1e-3);
+    }
+  }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+ private:
+  Histogram histogram_;
+  std::uint64_t start_ns_;
+};
+
+// ---- inline hot paths -----------------------------------------------------
+
+inline void Counter::add(std::uint64_t n) const noexcept {
+#if BEVR_OBS
+  if (registry_ != nullptr && registry_->enabled()) {
+    registry_->shard_add(slot_, n);
+  }
+#else
+  (void)n;
+#endif
+}
+
+inline void Gauge::set(double value) const noexcept {
+#if BEVR_OBS
+  if (registry_ != nullptr && registry_->enabled()) {
+    registry_->gauges_[index_].store(
+        std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+  }
+#else
+  (void)value;
+#endif
+}
+
+inline bool Histogram::live() const noexcept {
+#if BEVR_OBS
+  return registry_ != nullptr && registry_->enabled();
+#else
+  return false;
+#endif
+}
+
+inline void Histogram::observe(double value) const noexcept {
+#if BEVR_OBS
+  if (!live()) return;
+  // Branchless-enough linear scan: bound counts are small (≤ 64) and
+  // latency values concentrate in the low buckets.
+  std::uint32_t bucket = 0;
+  while (bucket < bound_count_ && value > bounds_[bucket]) ++bucket;
+  registry_->shard_add(slot_ + bucket, 1);
+  registry_->shard_add_double(slot_ + bound_count_ + 1, value);
+#else
+  (void)value;
+#endif
+}
+
+}  // namespace bevr::obs

@@ -1,0 +1,177 @@
+#include "bevr/obs/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace bevr::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  // Shortest round-tripping representation, same policy as the
+  // runner's result sinks.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string render_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "== run report ==\n";
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-36s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      char line[160];
+      std::snprintf(line, sizeof line, "  %-36s %20.6g\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms:                             "
+           "   count      mean       p50       p95       p99\n";
+    for (const HistogramSnapshot& hist : snapshot.histograms) {
+      char line[200];
+      std::snprintf(line, sizeof line,
+                    "  %-36s %9llu %9.3g %9.3g %9.3g %9.3g\n",
+                    hist.name.c_str(),
+                    static_cast<unsigned long long>(hist.count), hist.mean(),
+                    hist.quantile(0.50), hist.quantile(0.95),
+                    hist.quantile(0.99));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << format_double(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(hist.name) << "\":{\"count\":" << hist.count
+        << ",\"sum\":" << format_double(hist.sum)
+        << ",\"mean\":" << format_double(hist.mean())
+        << ",\"p50\":" << format_double(hist.quantile(0.50))
+        << ",\"p95\":" << format_double(hist.quantile(0.95))
+        << ",\"p99\":" << format_double(hist.quantile(0.99)) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) out << ",";
+      const std::string le =
+          i < hist.bounds.size() ? format_double(hist.bounds[i]) : "\"+Inf\"";
+      out << "{\"le\":" << le << ",\"count\":" << hist.counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+std::string render_prom(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_metric_name(name) + "_total";
+    out << "# TYPE " << prom << " counter\n"
+        << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_metric_name(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << " " << format_double(value) << "\n";
+  }
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    const std::string prom = prom_metric_name(hist.name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      const std::string le =
+          i < hist.bounds.size() ? format_double(hist.bounds[i]) : "+Inf";
+      out << prom << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_sum " << format_double(hist.sum) << "\n"
+        << prom << "_count " << hist.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ReportFormat parse_report_format(const std::string& name) {
+  if (name == "text") return ReportFormat::kText;
+  if (name == "json") return ReportFormat::kJson;
+  if (name == "prom") return ReportFormat::kProm;
+  throw std::invalid_argument("report format must be text, json or prom; got '" +
+                              name + "'");
+}
+
+std::string prom_metric_name(const std::string& name) {
+  std::string prom = "bevr_";
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    prom += valid ? c : '_';
+  }
+  return prom;
+}
+
+std::string render_report(const MetricsSnapshot& snapshot,
+                          ReportFormat format) {
+  switch (format) {
+    case ReportFormat::kText: return render_text(snapshot);
+    case ReportFormat::kJson: return render_json(snapshot);
+    case ReportFormat::kProm: return render_prom(snapshot);
+  }
+  throw std::invalid_argument("render_report: unknown format");
+}
+
+}  // namespace bevr::obs

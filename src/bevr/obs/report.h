@@ -1,0 +1,33 @@
+// End-of-run reporting: render one MetricsSnapshot as human text, a
+// JSON object, or Prometheus text exposition (version 0.0.4).
+//
+// The same snapshot backs all three, so the numbers agree by
+// construction: text for the terminal, JSON for tooling (the
+// BENCH_*.json perf trajectory consumes it), Prometheus for scraping
+// a long-running service. Metric names use '/'-separated paths
+// internally ("runner/pool/tasks"); the Prometheus renderer maps them
+// to the exposition grammar (bevr_runner_pool_tasks_total).
+#pragma once
+
+#include <string>
+
+#include "bevr/obs/metrics.h"
+
+namespace bevr::obs {
+
+enum class ReportFormat { kText, kJson, kProm };
+
+/// Parse "text" / "json" / "prom"; throws std::invalid_argument.
+[[nodiscard]] ReportFormat parse_report_format(const std::string& name);
+
+/// A path-style metric name as a Prometheus metric name: prefixed
+/// "bevr_", every character outside [a-zA-Z0-9_:] mapped to '_'.
+[[nodiscard]] std::string prom_metric_name(const std::string& name);
+
+/// Render the snapshot in the requested format. Histograms report
+/// count/mean/p50/p95/p99 in text and JSON, and cumulative buckets
+/// (le="..." ... le="+Inf", _sum, _count) in Prometheus exposition.
+[[nodiscard]] std::string render_report(const MetricsSnapshot& snapshot,
+                                        ReportFormat format);
+
+}  // namespace bevr::obs

@@ -1,0 +1,148 @@
+#include "bevr/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bevr::obs {
+
+namespace {
+
+// Minimal JSON string escape for span names (ASCII literals).
+std::string json_escape(const char* text) {
+  std::string escaped;
+  for (const char* p = text; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped += *p;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace
+
+namespace {
+std::uint64_t next_collector_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TraceCollector::TraceCollector(std::size_t buffer_capacity)
+    : id_(next_collector_id()),
+      buffer_capacity_(buffer_capacity == 0 ? 1 : buffer_capacity) {}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+TraceCollector::Buffer& TraceCollector::this_thread_buffer() {
+  // One-entry thread-local cache: the common case is every span in a
+  // thread hitting the same collector (the global one). A different
+  // collector (tests) falls through to the registration slow path.
+  struct Cache {
+    std::uint64_t collector_id = 0;  // 0: never assigned
+    std::shared_ptr<Buffer> buffer;
+  };
+  thread_local Cache cache;
+  if (cache.collector_id == id_ && cache.buffer != nullptr) {
+    return *cache.buffer;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_shared<Buffer>(
+      buffer_capacity_, static_cast<std::uint32_t>(buffers_.size()));
+  buffers_.push_back(buffer);
+  cache.collector_id = id_;
+  cache.buffer = std::move(buffer);
+  return *cache.buffer;
+}
+
+void TraceCollector::record(const char* name, std::uint64_t begin_ns,
+                            std::uint64_t end_ns) {
+  Buffer& buffer = this_thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  TraceEvent event{name, begin_ns, end_ns, buffer.tid};
+  if (buffer.events.size() < buffer.capacity) {
+    buffer.events.push_back(event);
+    return;
+  }
+  // Ring overwrite: drop the oldest span, keep counting what was lost.
+  buffer.events[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % buffer.capacity;
+  ++buffer.dropped;
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> merged;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.end_ns > b.end_ns;  // enclosing spans first
+            });
+  return merged;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> merged = events();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buffer[64];
+  bool first = true;
+  for (const TraceEvent& event : merged) {
+    if (!first) out << ",";
+    first = false;
+    // Complete events; ts/dur in (fractional) microseconds, as the
+    // trace-event format specifies.
+    out << "{\"name\":\"" << json_escape(event.name)
+        << "\",\"cat\":\"bevr\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(buffer, sizeof buffer, "%.3f",
+                  static_cast<double>(event.begin_ns) * 1e-3);
+    out << buffer << ",\"dur\":";
+    std::snprintf(buffer, sizeof buffer, "%.3f",
+                  static_cast<double>(event.end_ns - event.begin_ns) * 1e-3);
+    out << buffer << ",\"pid\":1,\"tid\":" << event.tid + 1 << "}";
+  }
+  out << "]}\n";
+  out.flush();
+}
+
+void TraceCollector::clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+}  // namespace bevr::obs

@@ -1,0 +1,145 @@
+// Scoped trace spans with per-thread ring buffers and Chrome
+// trace-event export.
+//
+// BEVR_TRACE_SPAN("runner/task") drops an RAII probe into a scope;
+// when the global TraceCollector is enabled, the span's begin/end
+// timestamps land in the recording thread's ring buffer as one
+// complete ("ph":"X") event. Buffers are fixed-capacity rings: a run
+// that out-produces them overwrites its oldest spans and counts the
+// drops, so tracing can never grow memory without bound or stall the
+// traced code. Export renders the merged, time-sorted events as
+// Chrome trace-event JSON — loadable directly in chrome://tracing and
+// Perfetto (ui.perfetto.dev).
+//
+// Costs: a span on a disabled collector is one relaxed bool load and
+// a branch (bench_obs asserts it is noise); an enabled span is two
+// steady_clock reads plus an uncontended per-thread mutex push.
+// Span names must be string literals (or otherwise outlive the
+// collector): buffers store the pointer, never a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bevr/obs/metrics.h"  // BEVR_OBS + now_ns()
+
+namespace bevr::obs {
+
+/// One completed span, timestamps from now_ns()'s epoch.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime string
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  ///< small per-buffer thread index
+};
+
+class TraceCollector {
+ public:
+  /// `buffer_capacity`: events retained per recording thread.
+  explicit TraceCollector(std::size_t buffer_capacity = 1 << 16);
+
+  /// The process-wide collector BEVR_TRACE_SPAN records into.
+  /// Disabled by default (tracing is opt-in, e.g. bevr_run --trace-out).
+  [[nodiscard]] static TraceCollector& global();
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+#if BEVR_OBS
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Record one completed span into the calling thread's buffer.
+  void record(const char* name, std::uint64_t begin_ns,
+              std::uint64_t end_ns);
+
+  /// Merged events from every thread buffer, sorted by begin time.
+  /// Meant to run after the traced activity quiesces (each buffer is
+  /// locked only long enough to copy it out).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Spans lost to ring overwrite, total across threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}); "X" phase
+  /// complete events with microsecond timestamps.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Discard all recorded events (buffers stay registered).
+  void clear();
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t ring_capacity, std::uint32_t thread_index)
+        : capacity(ring_capacity), tid(thread_index) {
+      events.reserve(ring_capacity);
+    }
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;  ///< ring once size == capacity
+    std::size_t capacity;
+    std::size_t next = 0;      ///< ring write position
+    std::uint64_t dropped = 0;
+    std::uint32_t tid;
+  };
+
+  [[nodiscard]] Buffer& this_thread_buffer();
+
+  std::atomic<bool> enabled_{false};
+  /// Process-unique: the per-thread buffer cache keys on this rather
+  /// than the collector's address, so a new collector reusing a dead
+  /// one's storage (same stack slot in tests) can never hit a stale
+  /// cache entry.
+  std::uint64_t id_;
+  std::size_t buffer_capacity_;
+  mutable std::mutex mutex_;  ///< guards buffers_ registration
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: snapshots the clock at construction when the collector
+/// is enabled, records the complete event at destruction. Enablement
+/// is latched at entry so a span straddling a set_enabled(false) still
+/// records coherently.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     TraceCollector& collector = TraceCollector::global())
+      : collector_(collector.enabled() ? &collector : nullptr),
+        name_(name),
+        begin_ns_(collector_ != nullptr ? now_ns() : 0) {}
+
+  ~TraceSpan() {
+    if (collector_ != nullptr) collector_->record(name_, begin_ns_, now_ns());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  const char* name_;
+  std::uint64_t begin_ns_;
+};
+
+#if BEVR_OBS
+#define BEVR_OBS_CONCAT_IMPL(a, b) a##b
+#define BEVR_OBS_CONCAT(a, b) BEVR_OBS_CONCAT_IMPL(a, b)
+/// Trace the enclosing scope as one complete event named `name`
+/// (a string literal; the collector stores the pointer).
+#define BEVR_TRACE_SPAN(name) \
+  ::bevr::obs::TraceSpan BEVR_OBS_CONCAT(bevr_trace_span_, __LINE__)(name)
+#else
+#define BEVR_TRACE_SPAN(name) \
+  do {                        \
+  } while (false)
+#endif
+
+}  // namespace bevr::obs

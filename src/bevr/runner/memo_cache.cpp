@@ -17,6 +17,12 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
+MemoCache::MemoCache(bool enabled) : enabled_(enabled) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs_hits_ = registry.counter("runner/cache/hits");
+  obs_misses_ = registry.counter("runner/cache/misses");
+}
+
 std::size_t MemoCache::KeyHash::operator()(const Key& key) const {
   std::uint64_t h = std::hash<std::string>{}(key.op);
   h = mix64(h ^ std::bit_cast<std::uint64_t>(key.a));
@@ -38,6 +44,7 @@ double MemoCache::get_or_compute2(const std::string& op, double arg_a,
 double MemoCache::lookup(Key key, const std::function<double()>& compute) {
   if (!enabled_) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_misses_.inc();
     return compute();
   }
   Shard& shard = shards_[KeyHash{}(key) % kShards];
@@ -46,6 +53,7 @@ double MemoCache::lookup(Key key, const std::function<double()>& compute) {
     const auto found = shard.map.find(key);
     if (found != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_hits_.inc();
       return found->second;
     }
   }
@@ -53,6 +61,7 @@ double MemoCache::lookup(Key key, const std::function<double()>& compute) {
   // shard. A racing task may duplicate the work; both produce the same
   // pure value, so insertion order is immaterial.
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses_.inc();
   const double value = compute();
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);

@@ -20,6 +20,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "bevr/obs/metrics.h"
+
 namespace bevr::runner {
 
 /// Cumulative cache effectiveness counters.
@@ -37,7 +39,7 @@ class MemoCache {
  public:
   /// A disabled cache computes every call and counts it as a miss —
   /// handy for A/B-ing cache effect without touching call sites.
-  explicit MemoCache(bool enabled = true) : enabled_(enabled) {}
+  explicit MemoCache(bool enabled = true);
 
   /// Return the memoized value for (op, arg), computing and storing it
   /// on first sight. `op` identifies the computation (e.g. "B", "kmax");
@@ -72,8 +74,12 @@ class MemoCache {
 
   static constexpr std::size_t kShards = 16;
   std::array<Shard, kShards> shards_;
+  // Per-instance stats() view; the process-wide totals live on the
+  // obs registry counters below (runner/cache/{hits,misses}).
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  obs::Counter obs_hits_;
+  obs::Counter obs_misses_;
   bool enabled_;
 };
 

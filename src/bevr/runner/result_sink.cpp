@@ -43,7 +43,8 @@ void CsvSink::begin(const RunMetadata& metadata,
                     const std::vector<std::string>& columns) {
   out_ << "# scenario=" << metadata.scenario << " model=" << metadata.model
        << " seed=" << metadata.base_seed << " threads=" << metadata.threads
-       << " git=" << metadata.git_describe << "\n";
+       << " git=" << metadata.git_describe << " git_time=" << metadata.git_time
+       << "\n";
   for (std::size_t i = 0; i < columns.size(); ++i) {
     out_ << (i == 0 ? "" : ",") << columns[i];
   }
@@ -60,6 +61,10 @@ void CsvSink::row(const ResultRow& row) {
 void CsvSink::finish(const RunSummary& summary) {
   out_ << "# rows=" << summary.rows << " wall_s=" << format_value(summary.wall_seconds)
        << " task_s=" << format_value(summary.task_seconds_total)
+       << " expand_s=" << format_value(summary.expand_seconds)
+       << " execute_s=" << format_value(summary.execute_seconds)
+       << " emit_s=" << format_value(summary.emit_seconds)
+       << " rows_per_s=" << format_value(summary.rows_per_second())
        << " cache_hits=" << summary.cache.hits
        << " cache_misses=" << summary.cache.misses << "\n";
   out_.flush();
@@ -72,6 +77,7 @@ void JsonlSink::begin(const RunMetadata& metadata,
   out_ << "{\"type\":\"meta\",\"scenario\":\"" << json_escape(metadata.scenario)
        << "\",\"model\":\"" << json_escape(metadata.model)
        << "\",\"git\":\"" << json_escape(metadata.git_describe)
+       << "\",\"git_time\":\"" << json_escape(metadata.git_time)
        << "\",\"seed\":" << metadata.base_seed
        << ",\"threads\":" << metadata.threads << "}\n";
 }
@@ -97,6 +103,10 @@ void JsonlSink::finish(const RunSummary& summary) {
        << "\",\"rows\":" << summary.rows
        << ",\"wall_s\":" << format_value(summary.wall_seconds)
        << ",\"task_s\":" << format_value(summary.task_seconds_total)
+       << ",\"expand_s\":" << format_value(summary.expand_seconds)
+       << ",\"execute_s\":" << format_value(summary.execute_seconds)
+       << ",\"emit_s\":" << format_value(summary.emit_seconds)
+       << ",\"rows_per_s\":" << format_value(summary.rows_per_second())
        << ",\"cache_hits\":" << summary.cache.hits
        << ",\"cache_misses\":" << summary.cache.misses
        << ",\"cache_hit_rate\":" << format_value(summary.cache.hit_rate())

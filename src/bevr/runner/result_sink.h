@@ -25,6 +25,7 @@ struct RunMetadata {
   std::string scenario;
   std::string model;
   std::string git_describe;  ///< `git describe --always --dirty`, or "unknown"
+  std::string git_time;      ///< HEAD committer time, ISO 8601, or "unknown"
   std::uint64_t base_seed = 0;
   unsigned threads = 1;
 };
@@ -35,12 +36,24 @@ struct ResultRow {
   std::vector<double> values;
 };
 
-/// Post-run provenance: timing and cache effectiveness.
+/// Post-run provenance: timing and cache effectiveness. Wall time is
+/// split into the runner's three phases — expand (validate spec,
+/// build grid/plan/pool), execute (the parallel section) and emit
+/// (streaming rows to the sink).
 struct RunSummary {
   std::size_t rows = 0;
   double wall_seconds = 0.0;
   double task_seconds_total = 0.0;  ///< Σ per-task wall time (CPU-ish)
+  double expand_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double emit_seconds = 0.0;
   CacheStats cache;
+
+  /// Data-row throughput of the parallel section.
+  [[nodiscard]] double rows_per_second() const {
+    return execute_seconds > 0.0 ? static_cast<double>(rows) / execute_seconds
+                                 : 0.0;
+  }
 };
 
 class ResultSink {

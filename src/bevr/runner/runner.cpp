@@ -10,6 +10,8 @@
 #include "bevr/core/fixed_load.h"
 #include "bevr/core/welfare.h"
 #include "bevr/dist/algebraic.h"
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/trace.h"
 #include "bevr/runner/memoized_model.h"
 #include "bevr/sim/arrival.h"
 #include "bevr/sim/rng.h"
@@ -202,9 +204,15 @@ std::vector<std::string> scenario_columns(const ScenarioSpec& spec) {
   throw std::invalid_argument("scenario_columns: unknown model kind");
 }
 
-std::string git_describe() {
-  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
+namespace {
+
+// Run a shell command and return its stdout (trailing newlines
+// stripped), or "" on any failure. The command must redirect stderr
+// itself; /bin/sh complaining about a missing git would otherwise
+// reach the terminal mid-CSV.
+std::string capture_command(const char* command) {
+  FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) return "";
   char buffer[128] = {};
   std::string out;
   while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
@@ -212,76 +220,141 @@ std::string git_describe() {
   while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
     out.pop_back();
   }
-  if (status != 0 || out.empty()) return "unknown";
+  if (status != 0) return "";
   return out;
+}
+
+// Provenance strings ride in CSV '#' comments as space-separated
+// key=value pairs; anything with whitespace would corrupt the field.
+bool provenance_safe(const std::string& text) {
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',') {
+      return false;
+    }
+  }
+  return !text.empty();
+}
+
+}  // namespace
+
+std::string git_describe() {
+  const std::string out =
+      capture_command("git describe --always --dirty 2>/dev/null");
+  return provenance_safe(out) ? out : "unknown";
+}
+
+std::string git_commit_time() {
+  // %cI is strict ISO 8601: no spaces, CSV-comment safe.
+  const std::string out =
+      capture_command("git show -s --format=%cI HEAD 2>/dev/null");
+  return provenance_safe(out) ? out : "unknown";
 }
 
 RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
                         ResultSink& sink) {
-  spec.validate();
-  const std::vector<double> grid = spec.grid.values();
-  std::vector<ResultRow> rows(grid.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) rows[i].index = i;
+  // Observability handles; all no-ops when the global registry is
+  // disabled, and none of them feed back into the computed rows.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::Counter runs_counter = registry.counter("runner/runs");
+  const obs::Counter rows_counter = registry.counter("runner/rows");
+  const obs::Counter expand_us = registry.counter("runner/phase/expand_us");
+  const obs::Counter execute_us = registry.counter("runner/phase/execute_us");
+  const obs::Counter emit_us = registry.counter("runner/phase/emit_us");
+  const obs::Histogram task_us = registry.histogram("runner/task_us");
 
-  std::shared_ptr<MemoCache> cache = options.cache;
-  if (!cache && options.use_cache) cache = std::make_shared<MemoCache>();
+  const auto run_start = Clock::now();
+  RunSummary summary;
 
-  Plan plan = [&] {
-    switch (spec.model) {
-      case ModelKind::kFixedLoad: return plan_fixed_load(spec, grid, rows);
-      case ModelKind::kVariableLoad:
-        return plan_variable_load(spec, grid, rows, cache);
-      case ModelKind::kContinuum: return plan_continuum(spec, grid, rows);
-      case ModelKind::kWelfare: return plan_welfare(spec, grid, rows, cache);
-      case ModelKind::kSimulation:
-        return plan_simulation(spec, grid, rows, cache, options.base_seed);
-    }
-    throw std::invalid_argument("run_scenario: unknown model kind");
-  }();
-
+  // -- expand: validate the spec, build the grid, plan and pool ------------
+  std::vector<double> grid;
+  std::vector<ResultRow> rows;
+  std::shared_ptr<MemoCache> cache;
+  Plan plan;
   ThreadPool* pool = options.pool;
   std::unique_ptr<ThreadPool> owned_pool;
-  unsigned threads = 1;
-  if (pool != nullptr) {
-    threads = pool->size();
-  } else if (options.threads != 1) {
-    owned_pool = std::make_unique<ThreadPool>(options.threads);
-    pool = owned_pool.get();
-    threads = pool->size();
+  {
+    BEVR_TRACE_SPAN("runner/expand");
+    spec.validate();
+    grid = spec.grid.values();
+    rows.resize(grid.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i].index = i;
+
+    cache = options.cache;
+    if (!cache && options.use_cache) cache = std::make_shared<MemoCache>();
+
+    plan = [&] {
+      switch (spec.model) {
+        case ModelKind::kFixedLoad: return plan_fixed_load(spec, grid, rows);
+        case ModelKind::kVariableLoad:
+          return plan_variable_load(spec, grid, rows, cache);
+        case ModelKind::kContinuum: return plan_continuum(spec, grid, rows);
+        case ModelKind::kWelfare: return plan_welfare(spec, grid, rows, cache);
+        case ModelKind::kSimulation:
+          return plan_simulation(spec, grid, rows, cache, options.base_seed);
+      }
+      throw std::invalid_argument("run_scenario: unknown model kind");
+    }();
+
+    unsigned threads = 1;
+    if (pool != nullptr) {
+      threads = pool->size();
+    } else if (options.threads != 1) {
+      owned_pool = std::make_unique<ThreadPool>(options.threads);
+      pool = owned_pool.get();
+      threads = pool->size();
+    }
+
+    RunMetadata metadata;
+    metadata.scenario = spec.name;
+    metadata.model = to_string(spec.model);
+    metadata.git_describe = git_describe();
+    metadata.git_time = git_commit_time();
+    metadata.base_seed = options.base_seed;
+    metadata.threads = threads;
+    sink.begin(metadata, scenario_columns(spec));
   }
+  summary.expand_seconds = seconds_since(run_start);
+  expand_us.add(static_cast<std::uint64_t>(summary.expand_seconds * 1e6));
 
-  RunMetadata metadata;
-  metadata.scenario = spec.name;
-  metadata.model = to_string(spec.model);
-  metadata.git_describe = git_describe();
-  metadata.base_seed = options.base_seed;
-  metadata.threads = threads;
-  sink.begin(metadata, scenario_columns(spec));
-
+  // -- execute: the parallel section ---------------------------------------
   std::atomic<std::uint64_t> task_nanos{0};
-  const auto run_start = Clock::now();
-  parallel_for(pool, static_cast<std::int64_t>(grid.size()),
-               [&](std::int64_t i) {
-                 const auto task_start = Clock::now();
-                 plan(i);
-                 task_nanos.fetch_add(
-                     static_cast<std::uint64_t>(
-                         std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             Clock::now() - task_start)
-                             .count()),
-                     std::memory_order_relaxed);
-               });
+  const auto execute_start = Clock::now();
+  {
+    BEVR_TRACE_SPAN("runner/execute");
+    parallel_for(pool, static_cast<std::int64_t>(grid.size()),
+                 [&](std::int64_t i) {
+                   BEVR_TRACE_SPAN("runner/task");
+                   const auto task_start = Clock::now();
+                   plan(i);
+                   const auto elapsed = static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - task_start)
+                           .count());
+                   task_nanos.fetch_add(elapsed, std::memory_order_relaxed);
+                   task_us.observe(static_cast<double>(elapsed) * 1e-3);
+                 });
+  }
+  summary.execute_seconds = seconds_since(execute_start);
+  execute_us.add(static_cast<std::uint64_t>(summary.execute_seconds * 1e6));
 
-  RunSummary summary;
+  // -- emit: stream rows to the sink, strictly in grid order ---------------
+  // (after the barrier; the payload cannot depend on scheduling).
+  const auto emit_start = Clock::now();
+  {
+    BEVR_TRACE_SPAN("runner/emit");
+    for (const auto& row : rows) sink.row(row);
+  }
+  summary.emit_seconds = seconds_since(emit_start);
+  emit_us.add(static_cast<std::uint64_t>(summary.emit_seconds * 1e6));
+
   summary.rows = rows.size();
   summary.wall_seconds = seconds_since(run_start);
   summary.task_seconds_total =
       static_cast<double>(task_nanos.load()) * 1e-9;
   if (cache) summary.cache = cache->stats();
+  runs_counter.inc();
+  rows_counter.add(rows.size());
 
-  // Emission happens strictly in grid order, after the barrier: the
-  // payload cannot depend on scheduling.
-  for (const auto& row : rows) sink.row(row);
   sink.finish(summary);
   return summary;
 }

@@ -42,8 +42,15 @@ struct RunOptions {
 /// Column names the given spec's rows will carry, in order.
 [[nodiscard]] std::vector<std::string> scenario_columns(const ScenarioSpec& spec);
 
-/// `git describe --always --dirty` of the working tree, or "unknown".
+/// `git describe --always --dirty` of the working tree, or "unknown"
+/// (cleanly — stderr never leaks into provenance) when git is absent
+/// or the directory is not a repository.
 [[nodiscard]] std::string git_describe();
+
+/// HEAD's committer timestamp, strict ISO 8601 (e.g.
+/// "2026-08-05T12:00:00+00:00"), or "unknown" under the same
+/// conditions as git_describe().
+[[nodiscard]] std::string git_commit_time();
 
 /// Validate, expand and execute the scenario, streaming results into
 /// `sink` (begin → rows in grid order → finish). Returns the summary

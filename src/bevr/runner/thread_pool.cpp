@@ -10,6 +10,12 @@
 namespace bevr::runner {
 
 ThreadPool::ThreadPool(unsigned threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  tasks_executed_ = registry.counter("runner/pool/tasks");
+  queue_wait_us_ = registry.histogram("runner/pool/queue_wait_us");
+  execute_us_ = registry.histogram("runner/pool/execute_us");
+  queue_depth_ = registry.histogram("runner/pool/queue_depth",
+                                    obs::HistogramSpec::exponential(1.0, 2.0, 16));
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
@@ -34,13 +40,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const bool observed = queue_depth_.live();
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), observed ? obs::now_ns() : 0});
     ++in_flight_;
+    depth = queue_.size();
   }
   work_ready_.notify_one();
+  if (observed) queue_depth_.observe(static_cast<double>(depth));
 }
 
 void ThreadPool::wait_idle() {
@@ -50,7 +60,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -58,7 +68,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // tasks are noexcept wrappers built by parallel_for
+    // enqueue_ns == 0 marks a submission made with metrics disabled;
+    // such tasks carry no instrumentation cost on this side either.
+    if (task.enqueue_ns != 0) {
+      queue_wait_us_.observe(
+          static_cast<double>(obs::now_ns() - task.enqueue_ns) * 1e-3);
+      const obs::Histogram::Timer timer(execute_us_);
+      task.fn();  // tasks are noexcept wrappers built by parallel_for
+      tasks_executed_.inc();
+    } else {
+      task.fn();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

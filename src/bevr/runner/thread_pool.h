@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "bevr/obs/metrics.h"
+
 namespace bevr::runner {
 
 class ThreadPool {
@@ -47,10 +49,26 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
  private:
+  /// One queued task plus the observability it carries: the enqueue
+  /// timestamp is 0 when metrics were disabled at submission, so the
+  /// dequeue side pays nothing for disabled instrumentation.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
+  // Pool behaviour under load, reported via obs::MetricsRegistry:
+  // tasks executed, time spent queued, time spent executing, and the
+  // queue depth seen by each submit.
+  obs::Counter tasks_executed_;
+  obs::Histogram queue_wait_us_;
+  obs::Histogram execute_us_;
+  obs::Histogram queue_depth_;
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "bevr/obs/metrics.h"
 #include "bevr/sim/event_queue.h"
 #include "bevr/sim/rng.h"
 
@@ -206,7 +207,9 @@ SimulationReport FlowSimulator::run() const {
   runner.queue.schedule(runner.rng.exponential(1.0 / arrivals_->rate()),
                         [&runner] { runner.arrival(); });
   // Arrivals stop at the horizon; drain remaining departures/retries.
+  std::uint64_t events_processed = 0;
   while (runner.queue.step()) {
+    ++events_processed;
   }
   // Flush the occupancy histogram to the final clock.
   if (runner.queue.now() >= config_.warmup) {
@@ -226,6 +229,23 @@ SimulationReport FlowSimulator::run() const {
   report.mean_retries = runner.scored_retries.mean();
   report.mean_occupancy = runner.occupancy.mean();
   report.occupancy_pmf = runner.occupancy.distribution();
+
+  // Observability: counters accumulate in the local Runner during the
+  // event loop and flush here in one batch, so instrumentation adds
+  // nothing to the per-event hot path.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (registry.enabled()) {
+    const bool best_effort =
+        config_.architecture == Architecture::kBestEffort;
+    const std::string prefix =
+        best_effort ? "sim/best_effort" : "sim/reservation";
+    registry.counter("sim/events").add(events_processed);
+    registry.counter(prefix + "/arrivals").add(runner.first_attempt_arrivals);
+    registry.counter(prefix + "/admitted")
+        .add(runner.first_attempt_arrivals - runner.first_attempt_blocked);
+    registry.counter(prefix + "/rejected").add(runner.first_attempt_blocked);
+    registry.counter(prefix + "/abandoned").add(runner.abandoned);
+  }
   return report;
 }
 

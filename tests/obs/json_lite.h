@@ -1,0 +1,163 @@
+// Minimal recursive-descent JSON syntax checker for tests.
+//
+// Validates that a string is one well-formed JSON value (RFC 8259
+// grammar; no extensions, no trailing garbage). Deliberately tiny: the
+// obs tests only need "does the exporter emit syntactically valid
+// JSON", not a DOM — content checks are plain substring asserts.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace bevr::test_json {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  /// Offset of the first error (== size() when valid).
+  [[nodiscard]] std::size_t error_pos() const { return pos_; }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] bool eat(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool literal(const char* word) {
+    const std::size_t start = pos_;
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) {
+        pos_ = start;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool string() {
+    if (!eat('"')) return false;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (at_end()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (at_end() || std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool digits() {
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return false;
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool number() {
+    (void)eat('-');
+    if (eat('0')) {
+      // "0" may not be followed by more digits.
+      if (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        return false;
+      }
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+  [[nodiscard]] bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+  }
+
+  [[nodiscard]] bool value() {
+    if (at_end()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] inline bool valid_json(const std::string& text) {
+  return Parser(text).valid();
+}
+
+}  // namespace bevr::test_json

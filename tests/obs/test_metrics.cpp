@@ -1,0 +1,267 @@
+// MetricsRegistry: handle semantics, histogram quantile correctness
+// against known distributions, multi-thread shard merging, and the
+// disabled no-op contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bevr/obs/metrics.h"
+
+namespace bevr::obs {
+namespace {
+
+TEST(HistogramSpec, ExponentialBounds) {
+  const HistogramSpec spec = HistogramSpec::exponential(1.0, 2.0, 5);
+  EXPECT_EQ(spec.bounds, (std::vector<double>{1, 2, 4, 8, 16}));
+}
+
+TEST(HistogramSpec, LinearBounds) {
+  const HistogramSpec spec = HistogramSpec::linear(10.0, 10.0, 4);
+  EXPECT_EQ(spec.bounds, (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(HistogramSpec, RejectsBadParameters) {
+  EXPECT_THROW((void)HistogramSpec::exponential(0.0, 2.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)HistogramSpec::exponential(1.0, 1.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)HistogramSpec::exponential(1.0, 2.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)HistogramSpec::exponential(1.0, 2.0, 65),
+               std::invalid_argument);
+  EXPECT_THROW((void)HistogramSpec::linear(0.0, 0.0, 4),
+               std::invalid_argument);
+}
+
+TEST(Counter, AccumulatesAndSnapshots) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("test/hits");
+  counter.inc();
+  counter.add(41);
+  EXPECT_EQ(registry.snapshot().counter("test/hits"), 42u);
+}
+
+TEST(Counter, ReRegistrationSharesTheSlot) {
+  MetricsRegistry registry;
+  const Counter a = registry.counter("test/shared");
+  const Counter b = registry.counter("test/shared");
+  a.add(10);
+  b.add(5);
+  EXPECT_EQ(registry.snapshot().counter("test/shared"), 15u);
+}
+
+TEST(Counter, DefaultConstructedIsANoOp) {
+  const Counter counter;
+  counter.inc();  // must not crash
+  counter.add(100);
+}
+
+TEST(Gauge, LastWriterWins) {
+  MetricsRegistry registry;
+  const Gauge gauge = registry.gauge("test/depth");
+  gauge.set(3.0);
+  gauge.set(-1.5);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge("test/depth"), -1.5);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("test/name");
+  EXPECT_THROW((void)registry.gauge("test/name"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("test/name"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, DisabledWritesAreDropped) {
+  MetricsRegistry registry(/*enabled=*/false);
+  const Counter counter = registry.counter("test/hits");
+  const Histogram histogram = registry.histogram("test/lat");
+  counter.add(7);
+  histogram.observe(3.0);
+  EXPECT_FALSE(registry.enabled());
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("test/hits"), 0u);
+  ASSERT_NE(snapshot.histogram("test/lat"), nullptr);
+  EXPECT_EQ(snapshot.histogram("test/lat")->count, 0u);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("test/hits");
+  const Histogram histogram = registry.histogram("test/lat");
+  counter.add(9);
+  histogram.observe(2.0);
+  registry.reset();
+  MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("test/hits"), 0u);
+  EXPECT_EQ(snapshot.histogram("test/lat")->count, 0u);
+  // The old handles still point at live slots.
+  counter.add(3);
+  histogram.observe(1.0);
+  snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("test/hits"), 3u);
+  EXPECT_EQ(snapshot.histogram("test/lat")->count, 1u);
+}
+
+TEST(Histogram, ExactSumCountAndMean) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("test/lat", HistogramSpec::linear(1.0, 1.0, 10));
+  for (int i = 1; i <= 8; ++i) histogram.observe(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 8u);
+  EXPECT_DOUBLE_EQ(snap->sum, 36.0);
+  EXPECT_DOUBLE_EQ(snap->mean(), 4.5);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeValues) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("test/lat", HistogramSpec::linear(1.0, 1.0, 2));
+  histogram.observe(0.5);   // bucket le=1
+  histogram.observe(1.5);   // bucket le=2
+  histogram.observe(1e9);   // overflow
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/lat");
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->counts.size(), 3u);
+  EXPECT_EQ(snap->counts[0], 1u);
+  EXPECT_EQ(snap->counts[1], 1u);
+  EXPECT_EQ(snap->counts[2], 1u);
+  // Overflow has no finite bound: the quantile clamps to the last one.
+  EXPECT_DOUBLE_EQ(snap->quantile(0.999), 2.0);
+}
+
+// Quantiles against a known uniform distribution: observing every
+// integer in [1, 600] against 10-wide buckets must put the q-quantile
+// within one bucket width of the exact order statistic.
+TEST(Histogram, QuantilesMatchUniformDistribution) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("test/uniform", HistogramSpec::linear(10.0, 10.0, 64));
+  for (int i = 1; i <= 600; ++i) histogram.observe(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/uniform");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_NEAR(snap->quantile(0.50), 300.0, 10.0);
+  EXPECT_NEAR(snap->quantile(0.95), 570.0, 10.0);
+  EXPECT_NEAR(snap->quantile(0.99), 594.0, 10.0);
+  EXPECT_NEAR(snap->quantile(1.0), 600.0, 1e-9);
+}
+
+// A point mass: every observation identical. All quantiles land inside
+// the single occupied bucket.
+TEST(Histogram, QuantilesOfAPointMassStayInOneBucket) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("test/point", HistogramSpec::linear(1.0, 1.0, 16));
+  for (int i = 0; i < 100; ++i) histogram.observe(6.5);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/point");
+  ASSERT_NE(snap, nullptr);
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_GE(snap->quantile(q), 6.0);
+    EXPECT_LE(snap->quantile(q), 7.0);
+  }
+}
+
+// A bimodal distribution: 90% fast (≤ 2), 10% slow (≈ 100). p50 must
+// sit in the fast mode, p95/p99 in the slow one.
+TEST(Histogram, QuantilesSeparateABimodalDistribution) {
+  MetricsRegistry registry;
+  const Histogram histogram =
+      registry.histogram("test/bimodal", HistogramSpec::exponential(1.0, 2.0, 10));
+  for (int i = 0; i < 900; ++i) histogram.observe(1.5);
+  for (int i = 0; i < 100; ++i) histogram.observe(100.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/bimodal");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_LE(snap->quantile(0.50), 2.0);
+  EXPECT_GE(snap->quantile(0.95), 64.0);
+  EXPECT_GE(snap->quantile(0.99), 64.0);
+  EXPECT_LE(snap->quantile(0.99), 128.0);
+}
+
+TEST(Histogram, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry registry;
+  const Histogram histogram = registry.histogram("test/empty");
+  (void)histogram;
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("test/empty");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap->mean(), 0.0);
+}
+
+// Shard merging must be exact: concurrent increments from 1, 4 and 7
+// threads (the determinism harness's thread counts) sum to precisely
+// threads × per-thread work, never a lost update.
+class ShardMerge : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardMerge, ConcurrentCountsAreExact) {
+  const unsigned thread_count = GetParam();
+  constexpr std::uint64_t kPerThread = 50'000;
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("test/concurrent");
+  const Histogram histogram =
+      registry.histogram("test/lat", HistogramSpec::linear(1.0, 1.0, 8));
+  std::vector<std::thread> threads;
+  threads.reserve(thread_count);
+  for (unsigned t = 0; t < thread_count; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.observe(static_cast<double>(t % 8) + 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("test/concurrent"), kPerThread * thread_count);
+  const HistogramSnapshot* snap = snapshot.histogram("test/lat");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, kPerThread * thread_count);
+  // Every thread hit exactly one bucket kPerThread times.
+  std::uint64_t occupied = 0;
+  for (const std::uint64_t bucket_count : snap->counts) {
+    if (bucket_count != 0) {
+      EXPECT_EQ(bucket_count % kPerThread, 0u);
+      occupied += bucket_count / kPerThread;
+    }
+  }
+  EXPECT_EQ(occupied, thread_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ShardMerge,
+                         ::testing::Values(1u, 4u, 7u));
+
+TEST(MetricsRegistry, SnapshotWhileWritersRunNeverLosesGround) {
+  MetricsRegistry registry;
+  const Counter counter = registry.counter("test/live");
+  std::thread writer([&counter] {
+    for (int i = 0; i < 100'000; ++i) counter.inc();
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t seen = registry.snapshot().counter("test/live");
+    EXPECT_GE(seen, last);  // monotone under concurrent writes
+    last = seen;
+  }
+  writer.join();
+  EXPECT_EQ(registry.snapshot().counter("test/live"), 100'000u);
+}
+
+TEST(MetricsRegistry, NowNsIsMonotone) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace bevr::obs

@@ -1,0 +1,129 @@
+// Observability must be a pure side channel: the runner's emitted data
+// rows are bit-identical with metrics and tracing enabled or disabled,
+// at every thread count the determinism harness uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/trace.h"
+#include "bevr/runner/runner.h"
+
+namespace bevr::runner {
+namespace {
+
+// Same payload digest the runner determinism suite uses: "row" records
+// only (provenance stripped), order-insensitive.
+std::vector<std::string> data_lines(const std::string& payload) {
+  std::vector<std::string> lines;
+  std::istringstream stream(payload);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find("\"type\":\"row\"") != std::string::npos) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string run_jsonl(const ScenarioSpec& spec, unsigned threads) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  RunOptions options;
+  options.threads = threads;
+  options.base_seed = 42;
+  run_scenario(spec, options, sink);
+  return out.str();
+}
+
+ScenarioSpec small_scenario() {
+  ScenarioSpec spec;
+  spec.name = "obs_det";
+  spec.model = ModelKind::kVariableLoad;
+  spec.load = LoadFamily::kExponential;
+  spec.util = UtilityFamily::kRigid;
+  spec.util_param = 1.0;
+  spec.grid = GridSpec{20.0, 300.0, 8, false};
+  return spec;
+}
+
+/// Flip global obs state for one scope, restoring it on exit so the
+/// rest of the test binary sees the defaults.
+class ObsStateGuard {
+ public:
+  ObsStateGuard(bool metrics, bool trace)
+      : metrics_before_(bevr::obs::MetricsRegistry::global().enabled()),
+        trace_before_(bevr::obs::TraceCollector::global().enabled()) {
+    bevr::obs::MetricsRegistry::global().set_enabled(metrics);
+    bevr::obs::TraceCollector::global().set_enabled(trace);
+  }
+  ~ObsStateGuard() {
+    bevr::obs::MetricsRegistry::global().set_enabled(metrics_before_);
+    bevr::obs::TraceCollector::global().set_enabled(trace_before_);
+  }
+  ObsStateGuard(const ObsStateGuard&) = delete;
+  ObsStateGuard& operator=(const ObsStateGuard&) = delete;
+
+ private:
+  bool metrics_before_;
+  bool trace_before_;
+};
+
+class ObsDeterminism : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ObsDeterminism, RowsIdenticalWithObsOnAndOff) {
+  const unsigned threads = GetParam();
+  const ScenarioSpec spec = small_scenario();
+  std::vector<std::string> all_on;
+  {
+    const ObsStateGuard guard(/*metrics=*/true, /*trace=*/true);
+    all_on = data_lines(run_jsonl(spec, threads));
+  }
+  std::vector<std::string> all_off;
+  {
+    const ObsStateGuard guard(/*metrics=*/false, /*trace=*/false);
+    all_off = data_lines(run_jsonl(spec, threads));
+  }
+  std::vector<std::string> metrics_only;
+  {
+    const ObsStateGuard guard(/*metrics=*/true, /*trace=*/false);
+    metrics_only = data_lines(run_jsonl(spec, threads));
+  }
+  ASSERT_EQ(all_on.size(), 8u);
+  EXPECT_EQ(all_on, all_off);
+  EXPECT_EQ(all_on, metrics_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ObsDeterminism,
+                         ::testing::Values(1u, 4u, 7u));
+
+TEST(ObsDeterminism2, ObsStateDoesNotLeakAcrossThreadCounts) {
+  // The cross-thread-count invariance must also hold while obs is on.
+  const ObsStateGuard guard(/*metrics=*/true, /*trace=*/true);
+  const ScenarioSpec spec = small_scenario();
+  const auto serial = data_lines(run_jsonl(spec, 1));
+  const auto parallel4 = data_lines(run_jsonl(spec, 4));
+  const auto parallel7 = data_lines(run_jsonl(spec, 7));
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel7);
+  bevr::obs::TraceCollector::global().clear();
+}
+
+TEST(ObsRunMetrics, RunScenarioFeedsTheGlobalRegistry) {
+  const ObsStateGuard guard(/*metrics=*/true, /*trace=*/false);
+  bevr::obs::MetricsRegistry& registry = bevr::obs::MetricsRegistry::global();
+  const std::uint64_t runs_before = registry.snapshot().counter("runner/runs");
+  const std::uint64_t rows_before = registry.snapshot().counter("runner/rows");
+  (void)run_jsonl(small_scenario(), 4);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("runner/runs"), runs_before + 1);
+  EXPECT_EQ(snapshot.counter("runner/rows"), rows_before + 8);
+}
+
+}  // namespace
+}  // namespace bevr::runner

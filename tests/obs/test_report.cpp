@@ -1,0 +1,172 @@
+// RunReport rendering: the text / JSON / Prometheus views of one
+// snapshot must agree with each other and with the exposition grammar.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/report.h"
+#include "json_lite.h"
+
+namespace bevr::obs {
+namespace {
+
+/// A registry populated with one of each metric kind.
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry registry;
+  registry.counter("runner/pool/tasks").add(12);
+  registry.counter("sim/events").add(340);
+  registry.gauge("runner/pool/queue_depth").set(2.5);
+  const Histogram histogram = registry.histogram(
+      "runner/task_us", HistogramSpec::exponential(1.0, 2.0, 4));
+  histogram.observe(0.5);
+  histogram.observe(3.0);
+  histogram.observe(100.0);  // overflow bucket
+  return registry.snapshot();
+}
+
+TEST(ReportFormat, ParsesTheThreeNames) {
+  EXPECT_EQ(parse_report_format("text"), ReportFormat::kText);
+  EXPECT_EQ(parse_report_format("json"), ReportFormat::kJson);
+  EXPECT_EQ(parse_report_format("prom"), ReportFormat::kProm);
+  EXPECT_THROW((void)parse_report_format("yaml"), std::invalid_argument);
+  EXPECT_THROW((void)parse_report_format(""), std::invalid_argument);
+}
+
+TEST(PromMetricName, SanitizesPathsToExpositionNames) {
+  EXPECT_EQ(prom_metric_name("runner/pool/tasks"), "bevr_runner_pool_tasks");
+  EXPECT_EQ(prom_metric_name("sim/best_effort/arrivals"),
+            "bevr_sim_best_effort_arrivals");
+  EXPECT_EQ(prom_metric_name("weird name-x"), "bevr_weird_name_x");
+}
+
+TEST(RenderReport, TextContainsEveryMetric) {
+  const std::string text =
+      render_report(sample_snapshot(), ReportFormat::kText);
+  EXPECT_NE(text.find("runner/pool/tasks"), std::string::npos);
+  EXPECT_NE(text.find("sim/events"), std::string::npos);
+  EXPECT_NE(text.find("runner/pool/queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("runner/task_us"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(RenderReport, JsonIsValidAndCarriesTheValues) {
+  const std::string json =
+      render_report(sample_snapshot(), ReportFormat::kJson);
+  bevr::test_json::Parser parser(json);
+  EXPECT_TRUE(parser.valid())
+      << "invalid JSON at offset " << parser.error_pos() << ":\n" << json;
+  EXPECT_NE(json.find("\"runner/pool/tasks\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"sim/events\":340"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(RenderReport, EmptySnapshotRendersInEveryFormat) {
+  const MetricsSnapshot empty;
+  EXPECT_TRUE(bevr::test_json::valid_json(
+      render_report(empty, ReportFormat::kJson)));
+  (void)render_report(empty, ReportFormat::kText);
+  EXPECT_EQ(render_report(empty, ReportFormat::kProm).find("# "),
+            std::string::npos);
+}
+
+// Line-level check of the Prometheus text exposition (format 0.0.4):
+// every line is a '# TYPE <name> <type>' comment or a
+// '<name>[{label="value"}] <number>' sample.
+void check_prom_grammar(const std::string& exposition) {
+  std::istringstream stream(exposition);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto rest = line.substr(7);
+      const auto space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string type = rest.substr(space + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name_part = line.substr(0, space);
+    for (const char c : name_part) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '{' ||
+                  c == '}' || c == '"' || c == '=' || c == '.' || c == '+' ||
+                  c == '-')
+          << "bad character '" << c << "' in: " << line;
+    }
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+  }
+}
+
+TEST(RenderReport, PromExpositionFollowsTheGrammar) {
+  const std::string prom =
+      render_report(sample_snapshot(), ReportFormat::kProm);
+  check_prom_grammar(prom);
+  EXPECT_NE(prom.find("# TYPE bevr_runner_pool_tasks_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bevr_runner_pool_tasks_total 12"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE bevr_runner_pool_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE bevr_runner_task_us histogram"),
+            std::string::npos);
+}
+
+TEST(RenderReport, PromHistogramBucketsAreCumulative) {
+  const std::string prom =
+      render_report(sample_snapshot(), ReportFormat::kProm);
+  // Pull every bevr_runner_task_us_bucket sample in order.
+  std::istringstream stream(prom);
+  std::string line;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t count_value = 0;
+  bool saw_inf = false;
+  bool saw_sum = false;
+  while (std::getline(stream, line)) {
+    if (line.rfind("bevr_runner_task_us_bucket{le=", 0) == 0) {
+      const auto space = line.rfind(' ');
+      cumulative.push_back(std::stoull(line.substr(space + 1)));
+      if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+    } else if (line.rfind("bevr_runner_task_us_sum ", 0) == 0) {
+      saw_sum = true;
+      EXPECT_NEAR(std::stod(line.substr(line.rfind(' ') + 1)), 103.5, 1e-9);
+    } else if (line.rfind("bevr_runner_task_us_count ", 0) == 0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_FALSE(cumulative.empty());
+  EXPECT_TRUE(saw_inf);
+  EXPECT_TRUE(saw_sum);
+  // Monotone non-decreasing, and the +Inf bucket equals _count.
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+  EXPECT_EQ(cumulative.back(), 3u);
+  EXPECT_EQ(count_value, 3u);
+}
+
+TEST(RenderReport, FormatsAgreeOnCounterTotals) {
+  const MetricsSnapshot snapshot = sample_snapshot();
+  const std::string text = render_report(snapshot, ReportFormat::kText);
+  const std::string json = render_report(snapshot, ReportFormat::kJson);
+  const std::string prom = render_report(snapshot, ReportFormat::kProm);
+  EXPECT_NE(text.find("340"), std::string::npos);
+  EXPECT_NE(json.find("\"sim/events\":340"), std::string::npos);
+  EXPECT_NE(prom.find("bevr_sim_events_total 340"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bevr::obs

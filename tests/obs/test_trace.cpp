@@ -1,0 +1,169 @@
+// TraceCollector: span recording, ring overwrite accounting, thread
+// attribution, and Chrome trace-event JSON export.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bevr/obs/trace.h"
+#include "json_lite.h"
+
+namespace bevr::obs {
+namespace {
+
+TEST(TraceCollector, DisabledCollectorRecordsNothing) {
+  TraceCollector collector;
+  EXPECT_FALSE(collector.enabled());
+  { TraceSpan span("test/span", collector); }
+  EXPECT_TRUE(collector.events().empty());
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(TraceCollector, SpanRecordsOneCompleteEvent) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  { TraceSpan span("test/span", collector); }
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/span");
+  EXPECT_LE(events[0].begin_ns, events[0].end_ns);
+}
+
+TEST(TraceCollector, EnablementIsLatchedAtSpanEntry) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  {
+    TraceSpan span("test/straddle", collector);
+    collector.set_enabled(false);  // span already latched: still records
+  }
+  EXPECT_EQ(collector.events().size(), 1u);
+  {
+    TraceSpan span("test/late", collector);
+    collector.set_enabled(true);  // latched disabled: does not record
+  }
+  EXPECT_EQ(collector.events().size(), 1u);
+}
+
+TEST(TraceCollector, EventsAreSortedByBeginTime) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  collector.record("c", 300, 400);
+  collector.record("a", 100, 150);
+  collector.record("b", 200, 900);
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_STREQ(events[2].name, "c");
+}
+
+TEST(TraceCollector, EnclosingSpanSortsBeforeItsChildren) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  // Same begin time: the longer (enclosing) span must come first so
+  // Perfetto nests them correctly.
+  collector.record("child", 100, 200);
+  collector.record("parent", 100, 900);
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "parent");
+  EXPECT_STREQ(events[1].name, "child");
+}
+
+TEST(TraceCollector, RingOverwriteKeepsNewestAndCountsDrops) {
+  TraceCollector collector(/*buffer_capacity=*/4);
+  collector.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    collector.record("test/event", i * 10, i * 10 + 5);
+  }
+  const auto events = collector.events();
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(collector.dropped(), 6u);
+  // The survivors are the newest four records.
+  for (const TraceEvent& event : events) {
+    EXPECT_GE(event.begin_ns, 60u);
+  }
+}
+
+TEST(TraceCollector, ThreadsGetDistinctTids) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back(
+        [&collector] { TraceSpan span("test/worker", collector); });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 3u);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& event : events) tids.insert(event.tid);
+  EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST(TraceCollector, ClearDiscardsEventsButKeepsRecording) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  collector.record("test/a", 1, 2);
+  collector.clear();
+  EXPECT_TRUE(collector.events().empty());
+  collector.record("test/b", 3, 4);
+  EXPECT_EQ(collector.events().size(), 1u);
+}
+
+TEST(TraceCollector, ChromeTraceIsValidJsonWithExpectedSchema) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  collector.record("runner/task", 1'000, 4'500);
+  collector.record("runner/\"quoted\"\\name", 2'000, 3'000);
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  const std::string json = out.str();
+
+  bevr::test_json::Parser parser(json);
+  EXPECT_TRUE(parser.valid())
+      << "invalid JSON at offset " << parser.error_pos() << ":\n" << json;
+
+  // Schema spot checks: the keys chrome://tracing / Perfetto require.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"runner/task\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  // The quoted name must have been escaped, not emitted raw.
+  EXPECT_EQ(json.find("\"runner/\"quoted\""), std::string::npos);
+}
+
+TEST(TraceCollector, EmptyTraceIsStillValidJson) {
+  TraceCollector collector;
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  EXPECT_TRUE(bevr::test_json::valid_json(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceSpanMacro, RecordsIntoTheGlobalCollector) {
+  TraceCollector& collector = TraceCollector::global();
+  collector.clear();
+  collector.set_enabled(true);
+  { BEVR_TRACE_SPAN("test/macro_span"); }
+  collector.set_enabled(false);
+#if BEVR_OBS
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/macro_span");
+#else
+  EXPECT_TRUE(collector.events().empty());
+#endif
+  collector.clear();
+}
+
+}  // namespace
+}  // namespace bevr::obs
