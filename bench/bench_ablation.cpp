@@ -14,7 +14,8 @@
 #include <functional>
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/continuum.h"
 #include "bevr/core/fixed_load.h"
 #include "bevr/core/variable_load.h"
@@ -33,26 +34,31 @@ double time_ms(const std::function<double()>& f, double* value) {
 
 }  // namespace
 
-int main() {
+BEVR_BENCHMARK(ablation, "DESIGN.md ablations: numerics, admission, adaptivity") {
   using namespace bevr;
   const auto algebraic = std::make_shared<dist::AlgebraicLoad>(
       dist::AlgebraicLoad::with_mean(3.0, 100.0));
   const auto exponential = std::make_shared<dist::ExponentialLoad>(
       dist::ExponentialLoad::with_mean(100.0));
   const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header(
         "Ablation 1: hybrid tail evaluation (algebraic z=3, B(400))");
     bench::print_columns({"direct_budget", "B(400)", "ms/eval", "err_vs_ref"});
     core::VariableLoadModel::Options reference_options;
-    reference_options.direct_budget = 50'000'000;
+    reference_options.direct_budget = ctx.pick(std::int64_t{50'000'000},
+                                               std::int64_t{2'000'000});
     const core::VariableLoadModel reference(algebraic, adaptive,
                                             reference_options);
     double ref_value = 0.0;
     const double ref_ms =
         time_ms([&] { return reference.best_effort(400.0); }, &ref_value);
-    for (const std::int64_t budget : {2048, 8192, 65'536, 1'048'576}) {
+    const std::vector<std::int64_t> budgets =
+        ctx.smoke() ? std::vector<std::int64_t>{2048, 65'536}
+                    : std::vector<std::int64_t>{2048, 8192, 65'536, 1'048'576};
+    for (const std::int64_t budget : budgets) {
       core::VariableLoadModel::Options options;
       options.direct_budget = budget;
       const core::VariableLoadModel model(algebraic, adaptive, options);
@@ -61,8 +67,10 @@ int main() {
                                 &value);
       bench::print_row({static_cast<double>(budget), value, ms,
                         std::abs(value - ref_value)});
+      evaluations += 1;
     }
-    bench::print_row({5e7, ref_value, ref_ms, 0.0});
+    bench::print_row({static_cast<double>(reference_options.direct_budget),
+                      ref_value, ref_ms, 0.0});
     bench::print_note("a 2k-term head + integral tail matches the 50M-term "
                       "direct sum to ~1e-9 at a tiny fraction of the cost");
   }
@@ -87,11 +95,16 @@ int main() {
                         exponential->tail_above(limit) / 100.0;
     };
     const double optimal = r_at(kmax);
-    for (const double fraction : {0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0}) {
+    const std::vector<double> fractions =
+        ctx.smoke() ? std::vector<double>{0.8, 1.0, 1.25}
+                    : std::vector<double>{0.6, 0.8, 0.9, 1.0,
+                                          1.1, 1.25, 1.5, 2.0};
+    for (const double fraction : fractions) {
       const auto limit =
           static_cast<std::int64_t>(fraction * static_cast<double>(kmax));
       const double r = r_at(limit);
       bench::print_row({fraction, r, optimal - r});
+      evaluations += 1;
     }
     bench::print_note(
         "the optimum is flat above k_max but falls off below it: over-"
@@ -107,6 +120,7 @@ int main() {
       const core::VariableLoadModel model(exponential, pi);
       bench::print_row({kappa, model.performance_gap(200.0),
                         model.bandwidth_gap(200.0)});
+      evaluations += 2;
     }
     bench::print_note("larger kappa = less value at low shares = closer to "
                       "rigid behaviour: gaps grow with kappa");
@@ -119,9 +133,10 @@ int main() {
       const core::AlgebraicAdaptiveContinuum model(3.0, a);
       bench::print_row({a, std::pow(model.gap_ratio_power(), 1.0) - 1.0,
                         model.equalizing_price_ratio(1e-6)});
+      evaluations += 2;
     }
     bench::print_note("a -> 1 recovers the rigid values (slope 1, gamma 2); "
                       "a -> 0 erases the reservation advantage");
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

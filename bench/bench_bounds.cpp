@@ -3,14 +3,15 @@
 // as z → 2⁺ — while the sampling and retry extensions remove the bound.
 // This bench sweeps z ↓ 2 and prints the measured continuum ratios next
 // to the closed forms.
-#include "bench_util.h"
-
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/asymptotics.h"
 #include "bevr/core/continuum.h"
 
-int main() {
+BEVR_BENCHMARK(bounds, "Sec 6 conjectured e-bounds and how extensions break them") {
   using namespace bevr;
   using namespace bevr::core;
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header(
@@ -25,6 +26,7 @@ int main() {
       bench::print_row({z, (c + model.bandwidth_gap(c)) / c,
                         asymptotics::capacity_ratio_rigid(z),
                         model.equalizing_price_ratio(1e-6), e});
+      evaluations += 3;
     }
     bench::print_note("both columns rise toward e = 2.71828 and never pass it");
   }
@@ -35,6 +37,7 @@ int main() {
       bench::print_row({a, asymptotics::capacity_ratio_adaptive(2.1, a),
                         asymptotics::capacity_ratio_adaptive(3.0, a),
                         asymptotics::capacity_ratio_adaptive(4.0, a)});
+      evaluations += 3;
     }
     bench::print_note("a->1 recovers rigid; a->0 removes the advantage");
   }
@@ -50,9 +53,10 @@ int main() {
                 asymptotics::capacity_ratio_rigid_sampling(2.05, 5));
     std::printf("%14s%14.6g\n", "retry_a0.1",
                 asymptotics::capacity_ratio_rigid_retry(2.05, 0.1));
-    bench::print_note(
-        "sampling multiplies the base of the exponent by S, retry divides "
-        "it by alpha: both diverge in the z->2+ limit (Sec 5, Sec 6)");
+    evaluations += 4;
   }
-  return 0;
+  bench::print_note(
+      "sampling multiplies the base of the exponent by S, retry divides "
+      "it by alpha: both diverge in the z->2+ limit (Sec 5, Sec 6)");
+  ctx.set_items(evaluations);
 }

@@ -7,16 +7,20 @@
 //   algebraic+adaptive:   Δ(C) = C((1+a(1−a^{z−2})/(1−a))^{1/(z−2)}−1)
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/asymptotics.h"
 #include "bevr/core/continuum.h"
 
-int main() {
+BEVR_BENCHMARK(continuum, "closed-form continuum cases + asymptotic laws") {
   using namespace bevr;
   using namespace bevr::core;
   const double beta = 0.01;  // continuum mean 100 matches the discrete runs
   const double a = 0.5;
   const double z = 3.0;
+  const int points = ctx.pick(11, 4);
+  const int price_points = ctx.pick(9, 3);
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header("Continuum exponential (beta=0.01): rigid vs adaptive");
@@ -24,11 +28,12 @@ int main() {
     const ExponentialAdaptiveContinuum adaptive(beta, a);
     bench::print_columns({"C", "B_rig", "R_rig", "Delta_rig", "ln(1+bC)/b",
                           "B_ad", "Delta_ad"});
-    for (const double c : bench::log_grid(25.0, 25'600.0, 11)) {
+    for (const double c : bench::log_grid(25.0, 25'600.0, points)) {
       bench::print_row({c, rigid.best_effort(c), rigid.reservation(c),
                         rigid.bandwidth_gap(c),
                         asymptotics::exponential_rigid_gap(beta, c),
                         adaptive.best_effort(c), adaptive.bandwidth_gap(c)});
+      evaluations += 6;
     }
     bench::print_note("adaptive Delta limit -ln(1-a)/beta = " +
                       std::to_string(adaptive.bandwidth_gap_limit()));
@@ -39,11 +44,12 @@ int main() {
     const AlgebraicAdaptiveContinuum adaptive(z, a);
     bench::print_columns({"C", "B_rig", "R_rig", "Delta_rig", "Delta_rig/C",
                           "Delta_ad", "Delta_ad/C"});
-    for (const double c : bench::log_grid(2.0, 2048.0, 11)) {
+    for (const double c : bench::log_grid(2.0, 2048.0, points)) {
       bench::print_row({c, rigid.best_effort(c), rigid.reservation(c),
                         rigid.bandwidth_gap(c), rigid.bandwidth_gap(c) / c,
                         adaptive.bandwidth_gap(c),
                         adaptive.bandwidth_gap(c) / c});
+      evaluations += 5;
     }
     bench::print_note("rigid slope (z-1)^{1/(z-2)}-1 = 1 exactly at z=3");
     bench::print_note(
@@ -58,11 +64,12 @@ int main() {
     const AlgebraicAdaptiveContinuum alg_adaptive(z, a);
     bench::print_columns({"p", "g_exp_rig", "g_exp_ad", "g_alg_rig",
                           "g_alg_ad"});
-    for (const double p : bench::log_grid(1e-8, 0.3, 9)) {
+    for (const double p : bench::log_grid(1e-8, 0.3, price_points)) {
       bench::print_row({p, exp_rigid.equalizing_price_ratio(p),
                         exp_adaptive.equalizing_price_ratio(p),
                         alg_rigid.equalizing_price_ratio(p),
                         alg_adaptive.equalizing_price_ratio(p)});
+      evaluations += 4;
     }
     bench::print_note("algebraic rigid gamma = (z-1)^{1/(z-2)} = 2 at z=3");
   }
@@ -75,10 +82,11 @@ int main() {
     const AlgebraicTailUtilityContinuum fast(4.0, 3.0);
     const AlgebraicTailUtilityContinuum mid(4.0, 1.5);
     const AlgebraicTailUtilityContinuum slow(4.0, 0.5);
-    for (const double c : bench::log_grid(10.0, 10'240.0, 9)) {
+    for (const double c : bench::log_grid(10.0, 10'240.0, price_points)) {
       bench::print_row({c, fast.bandwidth_gap(c), mid.bandwidth_gap(c),
                         slow.bandwidth_gap(c)});
+      evaluations += 3;
     }
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

@@ -7,7 +7,8 @@
 // C ≈ k̄ region)" — both halves are shown.
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/risk_averse.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/algebraic.h"
@@ -17,7 +18,7 @@
 #include "bevr/utility/mixture.h"
 #include "bevr/utility/utility.h"
 
-int main() {
+BEVR_BENCHMARK(extensions, "Sec 5 heterogeneity/risk/nonstationary panels") {
   using namespace bevr;
   const auto exponential = std::make_shared<dist::ExponentialLoad>(
       dist::ExponentialLoad::with_mean(100.0));
@@ -25,6 +26,7 @@ int main() {
       dist::AlgebraicLoad::with_mean(3.0, 100.0));
   const auto rigid = std::make_shared<utility::Rigid>(1.0);
   const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header(
@@ -36,10 +38,11 @@ int main() {
     const core::VariableLoadModel pure_rigid(exponential, rigid);
     const core::VariableLoadModel pure_adaptive(exponential, adaptive);
     bench::print_columns({"C", "delta_rigid", "delta_mixed", "delta_adapt"});
-    for (const double c : bench::linear_grid(50.0, 400.0, 8)) {
+    for (const double c : bench::linear_grid(50.0, 400.0, ctx.pick(8, 3))) {
       bench::print_row({c, pure_rigid.performance_gap(c),
                         mixed.performance_gap(c),
                         pure_adaptive.performance_gap(c)});
+      evaluations += 3;
     }
     bench::print_note("the mixture interpolates its pure classes");
   }
@@ -51,9 +54,10 @@ int main() {
             {rigid, 3.0, 1.0}, {rigid, 1.0, 3.0}});
     const core::VariableLoadModel model(algebraic, sized);
     bench::print_columns({"C", "Delta(C)", "Delta/C"});
-    for (const double c : bench::log_grid(200.0, 3200.0, 5)) {
+    for (const double c : bench::log_grid(200.0, 3200.0, ctx.pick(5, 2))) {
       const double gap = model.bandwidth_gap(c);
       bench::print_row({c, gap, gap / c});
+      evaluations += 1;
     }
     bench::print_note("Delta stays LINEAR: the asymptotic law survives "
                       "heterogeneity (Sec 5)");
@@ -72,6 +76,7 @@ int main() {
                         conditional.reservation(150.0),
                         conditional.performance_gap(150.0),
                         unconditional.performance_gap(150.0)});
+      evaluations += 4;
     }
     bench::print_note(
         "conditional convention: reservations shield the spread, gap "
@@ -86,9 +91,10 @@ int main() {
     const core::RiskAverseModel unconditional(
         algebraic, rigid, 0.5, core::BlockingRisk::kUnconditional);
     bench::print_columns({"C", "ratio_cond", "ratio_uncond"});
-    for (const double c : bench::log_grid(400.0, 6400.0, 5)) {
+    for (const double c : bench::log_grid(400.0, 6400.0, ctx.pick(5, 2))) {
       bench::print_row({c, (c + conditional.bandwidth_gap(c)) / c,
                         (c + unconditional.bandwidth_gap(c)) / c});
+      evaluations += 2;
     }
     bench::print_note(
         "unconditional converges (paper's invariance claim); conditional "
@@ -105,9 +111,10 @@ int main() {
     const core::VariableLoadModel stationary(
         std::make_shared<dist::PoissonLoad>(100.0), rigid);
     bench::print_columns({"C", "delta_mixture", "delta_Poisson100"});
-    for (const double c : bench::linear_grid(60.0, 220.0, 9)) {
+    for (const double c : bench::linear_grid(60.0, 220.0, ctx.pick(9, 3))) {
       bench::print_row({c, mixed.performance_gap(c),
                         stationary.performance_gap(c)});
+      evaluations += 2;
     }
     bench::print_note(
         "regime switching keeps the gap alive until C covers the PEAK "
@@ -122,12 +129,13 @@ int main() {
             {algebraic, 1.0}});
     const core::VariableLoadModel model(mix, rigid);
     bench::print_columns({"C", "Delta(C)", "Delta/C"});
-    for (const double c : bench::log_grid(400.0, 3200.0, 4)) {
+    for (const double c : bench::log_grid(400.0, 3200.0, ctx.pick(4, 2))) {
       const double gap = model.bandwidth_gap(c);
       bench::print_row({c, gap, gap / c});
+      evaluations += 1;
     }
     bench::print_note("a 10% heavy-tailed regime is enough to keep Delta "
                       "growing linearly forever");
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

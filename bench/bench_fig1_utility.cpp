@@ -4,12 +4,14 @@
 // Prints the adaptive utility curve together with the other utility
 // families for visual comparison, plus the small-/large-b asymptotes
 // the paper calls out (π ≈ b²/κ near 0, π ≈ 1 − e^{−b} for large b).
-#include "bench_util.h"
+#include <cstdint>
 
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/fixed_load.h"
 #include "bevr/utility/utility.h"
 
-int main() {
+BEVR_BENCHMARK(fig1_utility, "Figure 1: utility families + Sec 2 V(k)") {
   using namespace bevr;
   bench::print_header(
       "Figure 1: adaptive utility pi(b) = 1 - exp(-b^2/(kappa+b))");
@@ -19,7 +21,9 @@ int main() {
   const utility::PiecewiseLinear piecewise(0.5);
   bench::print_columns({"b", "adaptive", "small_b_asym", "large_b_asym",
                         "rigid", "elastic", "pwl(a=.5)"});
-  for (const double b : bench::linear_grid(0.0, 4.0, 33)) {
+  const std::vector<double> grid =
+      bench::linear_grid(0.0, 4.0, ctx.pick(33, 5));
+  for (const double b : grid) {
     const double kappa = utility::AdaptiveExp::kPaperKappa;
     bench::print_row({b, adaptive.value(b), b * b / kappa,
                       1.0 - std::exp(-b), rigid.value(b), elastic.value(b),
@@ -36,8 +40,9 @@ int main() {
   bench::print_header("Sec 2: total utility V(k) = k*pi(C/k), C = 100");
   bench::print_columns({"k", "V_rigid", "V_adaptive", "V_elastic"});
   const utility::Elastic elastic_total;
-  for (const std::int64_t k :
-       {10LL, 50LL, 90LL, 100LL, 101LL, 110LL, 150LL, 300LL, 1000LL}) {
+  const std::vector<std::int64_t> occupancies = {10,  50,  90,  100, 101,
+                                                 110, 150, 300, 1000};
+  for (const std::int64_t k : occupancies) {
     bench::print_row({static_cast<double>(k),
                       core::total_utility(rigid, 100.0, k),
                       core::total_utility(adaptive, 100.0, k),
@@ -46,5 +51,5 @@ int main() {
   bench::print_note("k_max = 100 for rigid AND adaptive (the kappa "
                     "calibration); elastic V(k) increases forever -> "
                     "admission control never helps it");
-  return 0;
+  ctx.set_items(5 * grid.size() + 3 * occupancies.size());
 }

@@ -7,17 +7,19 @@
 // continuum value (z−1)^{1/(z−2)}).
 #include "figure_panels.h"
 
+#include "bevr/bench/registry.h"
 #include "bevr/dist/algebraic.h"
 
-int main() {
+BEVR_BENCHMARK(fig4_algebraic,
+               "Figure 4 panels: algebraic load z=3, kbar=100") {
   using namespace bevr;
   bench::FigureConfig config;
   config.figure_name = "Figure 4 [Algebraic z=3, kbar=100]";
   config.load = std::make_shared<dist::AlgebraicLoad>(
       dist::AlgebraicLoad::with_mean(3.0, 100.0));
-  config.capacities = bench::linear_grid(10.0, 800.0, 40);
-  config.prices = bench::log_grid(3e-3, 0.4, 7);
+  config.capacities = bench::linear_grid(10.0, 800.0, ctx.pick(40, 8));
+  config.prices = bench::log_grid(3e-3, 0.4, ctx.pick(7, 3));
   config.fast_welfare = true;
+  ctx.set_items(bench::figure_items(config));
   bench::run_figure(config);
-  return 0;
 }

@@ -10,16 +10,15 @@
 //  1. the disabled path is within noise of the no-op baseline;
 //  2. full instrumentation costs < 25% on the sweep (target < 5%; the
 //     loose bound keeps loaded CI machines from flaking).
-// Results land in BENCH_obs.json (CWD) to start the perf trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/obs/metrics.h"
 #include "bevr/obs/trace.h"
 #include "bevr/runner/runner.h"
@@ -35,19 +34,17 @@ inline void keep(T& value) {
   __asm__ __volatile__("" : "+r"(value));
 }
 
-constexpr std::uint64_t kOps = 4'000'000;
-
-/// ns per op of `body(i)` over kOps iterations, best of 3 repeats.
+/// ns per op of `body(i)` over `ops` iterations, best of `repeats`.
 template <typename Body>
-double measure_ns(Body&& body) {
+double measure_ns(std::uint64_t ops, int repeats, Body&& body) {
   double best = 1e30;
-  for (int repeat = 0; repeat < 3; ++repeat) {
+  for (int repeat = 0; repeat < repeats; ++repeat) {
     const auto start = Clock::now();
-    for (std::uint64_t i = 0; i < kOps; ++i) body(i);
+    for (std::uint64_t i = 0; i < ops; ++i) body(i);
     const double elapsed =
         std::chrono::duration<double, std::nano>(Clock::now() - start)
             .count();
-    best = std::min(best, elapsed / static_cast<double>(kOps));
+    best = std::min(best, elapsed / static_cast<double>(ops));
   }
   return best;
 }
@@ -63,11 +60,12 @@ runner::ScenarioSpec welfare_scenario() {
   return spec;
 }
 
-/// One full welfare sweep with a fresh cache; wall seconds, best of 3.
-double sweep_seconds() {
+/// One full welfare sweep with a fresh cache; wall seconds, best of
+/// `repeats`.
+double sweep_seconds(int repeats) {
   const runner::ScenarioSpec spec = welfare_scenario();
   double best = 1e30;
-  for (int repeat = 0; repeat < 3; ++repeat) {
+  for (int repeat = 0; repeat < repeats; ++repeat) {
     runner::VectorSink sink;
     runner::RunOptions options;
     options.threads = 2;
@@ -86,10 +84,13 @@ struct Result {
 
 }  // namespace
 
-int main() {
+BEVR_BENCHMARK(obs, "obs hot-path ns/op + sweep overhead contracts") {
   bench::print_header("bench_obs: instrumentation overhead");
   std::vector<Result> results;
-  int failures = 0;
+
+  const std::uint64_t ops = ctx.pick(std::uint64_t{4'000'000},
+                                     std::uint64_t{200'000});
+  const int repeats = ctx.pick(3, 1);
 
   obs::MetricsRegistry registry;
   const obs::Counter counter = registry.counter("bench/counter");
@@ -98,43 +99,47 @@ int main() {
   obs::TraceCollector collector;
 
   // Noise floor: the same loop doing only induction-variable work.
-  const double baseline = measure_ns([](std::uint64_t i) { keep(i); });
+  const double baseline =
+      measure_ns(ops, repeats, [](std::uint64_t i) { keep(i); });
   results.push_back({"noop_baseline", baseline});
 
   registry.set_enabled(true);
   results.push_back({"counter_add_enabled",
-                     measure_ns([&](std::uint64_t i) {
+                     measure_ns(ops, repeats, [&](std::uint64_t i) {
                        counter.add(1);
                        keep(i);
                      })});
   results.push_back({"histogram_observe_enabled",
-                     measure_ns([&](std::uint64_t i) {
+                     measure_ns(ops, repeats, [&](std::uint64_t i) {
                        histogram.observe(static_cast<double>(i & 1023));
                        keep(i);
                      })});
   registry.set_enabled(false);
-  const double counter_disabled = measure_ns([&](std::uint64_t i) {
-    counter.add(1);
-    keep(i);
-  });
+  const double counter_disabled =
+      measure_ns(ops, repeats, [&](std::uint64_t i) {
+        counter.add(1);
+        keep(i);
+      });
   results.push_back({"counter_add_disabled", counter_disabled});
-  const double observe_disabled = measure_ns([&](std::uint64_t i) {
-    histogram.observe(static_cast<double>(i & 1023));
-    keep(i);
-  });
+  const double observe_disabled =
+      measure_ns(ops, repeats, [&](std::uint64_t i) {
+        histogram.observe(static_cast<double>(i & 1023));
+        keep(i);
+      });
   results.push_back({"histogram_observe_disabled", observe_disabled});
 
   collector.set_enabled(true);
   results.push_back({"trace_span_enabled",
-                     measure_ns([&](std::uint64_t i) {
+                     measure_ns(ops, repeats, [&](std::uint64_t i) {
                        obs::TraceSpan span("bench/span", collector);
                        keep(i);
                      })});
   collector.set_enabled(false);
-  const double span_disabled = measure_ns([&](std::uint64_t i) {
-    obs::TraceSpan span("bench/span", collector);
-    keep(i);
-  });
+  const double span_disabled =
+      measure_ns(ops, repeats, [&](std::uint64_t i) {
+        obs::TraceSpan span("bench/span", collector);
+        keep(i);
+      });
   results.push_back({"trace_span_disabled", span_disabled});
 
   bench::print_columns({"metric", "ns_per_op"});
@@ -152,47 +157,34 @@ int main() {
         {"histogram_observe_disabled", observe_disabled},
         {"trace_span_disabled", span_disabled}}) {
     if (ns > slack_ns) {
-      std::printf("FAIL: %s = %.2f ns/op exceeds noise bound %.2f ns/op\n",
-                  name, ns, slack_ns);
-      ++failures;
+      ctx.fail(std::string(name) + " = " + std::to_string(ns) +
+               " ns/op exceeds noise bound " + std::to_string(slack_ns) +
+               " ns/op");
     }
   }
-  if (failures == 0) {
+  if (ctx.failures().empty()) {
     bench::print_note("disabled paths within noise of the no-op baseline");
   }
 
   // Contract 2: full instrumentation on a real sweep. Metrics are on by
   // default; tracing is the opt-in extra — measure with both.
+  const bool metrics_were_enabled = obs::MetricsRegistry::global().enabled();
   obs::MetricsRegistry::global().set_enabled(false);
   obs::TraceCollector::global().set_enabled(false);
-  const double off_seconds = sweep_seconds();
+  const double off_seconds = sweep_seconds(repeats);
   obs::MetricsRegistry::global().set_enabled(true);
   obs::TraceCollector::global().set_enabled(true);
-  const double on_seconds = sweep_seconds();
+  const double on_seconds = sweep_seconds(repeats);
   obs::TraceCollector::global().set_enabled(false);
+  obs::MetricsRegistry::global().set_enabled(metrics_were_enabled);
   const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
   std::printf("\nwelfare sweep: obs off %.4fs, obs on %.4fs, ratio %.3f "
               "(target < 1.05, bound < 1.25)\n",
               off_seconds, on_seconds, ratio);
-  results.push_back({"welfare_sweep_off_s", off_seconds * 1e9});
-  results.push_back({"welfare_sweep_on_s", on_seconds * 1e9});
   if (ratio >= 1.25) {
-    std::printf("FAIL: instrumented sweep ratio %.3f >= 1.25\n", ratio);
-    ++failures;
+    ctx.fail("instrumented sweep ratio " + std::to_string(ratio) +
+             " >= 1.25");
   }
-
-  // Start of the perf trajectory: one JSON point per hot path.
-  std::ofstream json("BENCH_obs.json");
-  json << "{\"bench\":\"obs\",\"git\":\"" << runner::git_describe()
-       << "\",\"git_time\":\"" << runner::git_commit_time()
-       << "\",\"sweep_ratio\":" << ratio << ",\"results\":[";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (i != 0) json << ",";
-    json << "{\"name\":\"" << results[i].name
-         << "\",\"ns_per_op\":" << results[i].ns_per_op << "}";
-  }
-  json << "]}\n";
-  bench::print_note("wrote BENCH_obs.json");
-
-  return failures == 0 ? 0 : 1;
+  // 7 hot-path measurements + 2 sweeps per repetition.
+  ctx.set_items(7 * ops + 2);
 }

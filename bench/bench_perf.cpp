@@ -1,11 +1,14 @@
-// Performance microbenchmarks (google-benchmark) of the numeric
-// engines: per-evaluation cost of B/R/Δ across the three load
-// families, plus the simulator's event throughput. These guard against
-// regressions in the hybrid series/integral evaluation strategy.
+// Performance microbenchmarks of the numeric engines: per-evaluation
+// cost of B/R/Δ across the three load families, plus the simulator's
+// event throughput. These guard against regressions in the hybrid
+// series/integral evaluation strategy. Each hot path is its own suite
+// so the JSON artifact carries one median per engine and the baseline
+// gate can flag them individually.
+#include <cstdint>
 #include <memory>
 
-#include <benchmark/benchmark.h>
-
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/continuum.h"
 #include "bevr/core/sampling.h"
 #include "bevr/core/variable_load.h"
@@ -20,6 +23,13 @@ namespace {
 
 using namespace bevr;
 
+/// Keep `value` alive past the optimizer (doubles included, hence the
+/// memory constraint).
+template <typename T>
+inline void keep(T value) {
+  __asm__ __volatile__("" : "+m"(value) : : "memory");
+}
+
 std::shared_ptr<const dist::DiscreteLoad> load_by_index(int index) {
   switch (index) {
     case 0:
@@ -33,61 +43,87 @@ std::shared_ptr<const dist::DiscreteLoad> load_by_index(int index) {
   }
 }
 
-void BM_BestEffort(benchmark::State& state) {
-  const core::VariableLoadModel model(
-      load_by_index(static_cast<int>(state.range(0))),
-      std::make_shared<utility::AdaptiveExp>());
-  double c = 100.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.best_effort(c));
-    c = (c == 100.0) ? 200.0 : 100.0;  // defeat any memoisation
+const char* load_name(int index) {
+  switch (index) {
+    case 0:
+      return "poisson";
+    case 1:
+      return "exponential";
+    default:
+      return "algebraic";
   }
 }
-BENCHMARK(BM_BestEffort)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_BandwidthGap(benchmark::State& state) {
-  const core::VariableLoadModel model(
-      load_by_index(static_cast<int>(state.range(0))),
-      std::make_shared<utility::AdaptiveExp>());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.bandwidth_gap(150.0));
+}  // namespace
+
+BEVR_BENCHMARK(perf_best_effort, "B(C) evaluation cost per load family") {
+  const std::uint64_t iters = ctx.pick(std::uint64_t{200}, std::uint64_t{8});
+  bench::print_columns({"load", "iters"});
+  for (int index = 0; index < 3; ++index) {
+    const core::VariableLoadModel model(
+        load_by_index(index), std::make_shared<utility::AdaptiveExp>());
+    double c = 100.0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      keep(model.best_effort(c));
+      c = (c == 100.0) ? 200.0 : 100.0;  // defeat any memoisation
+    }
+    bench::print_row({static_cast<double>(index), static_cast<double>(iters)});
+    bench::print_note(load_name(index));
   }
+  ctx.set_items(3 * iters);
 }
-BENCHMARK(BM_BandwidthGap)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_SamplingReservation(benchmark::State& state) {
-  const core::SamplingModel model(
-      load_by_index(1), std::make_shared<utility::AdaptiveExp>(),
-      static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.reservation(150.0));
+BEVR_BENCHMARK(perf_bandwidth_gap, "Delta(C) evaluation cost per load family") {
+  const std::uint64_t iters = ctx.pick(std::uint64_t{50}, std::uint64_t{3});
+  for (int index = 0; index < 3; ++index) {
+    const core::VariableLoadModel model(
+        load_by_index(index), std::make_shared<utility::AdaptiveExp>());
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      keep(model.bandwidth_gap(150.0));
+    }
   }
+  ctx.set_items(3 * iters);
 }
-BENCHMARK(BM_SamplingReservation)->Arg(1)->Arg(5)->Arg(10);
 
-void BM_HurwitzZeta(benchmark::State& state) {
+BEVR_BENCHMARK(perf_sampling, "sampling-model R(C) cost vs S") {
+  const std::uint64_t iters = ctx.pick(std::uint64_t{50}, std::uint64_t{3});
+  for (const int samples : {1, 5, 10}) {
+    const core::SamplingModel model(
+        load_by_index(1), std::make_shared<utility::AdaptiveExp>(), samples);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      keep(model.reservation(150.0));
+    }
+  }
+  ctx.set_items(3 * iters);
+}
+
+BEVR_BENCHMARK(perf_hurwitz_zeta, "Hurwitz zeta evaluation cost") {
+  const std::uint64_t iters =
+      ctx.pick(std::uint64_t{200'000}, std::uint64_t{10'000});
   double q = 1.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(numerics::hurwitz_zeta(3.0, q));
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    keep(numerics::hurwitz_zeta(3.0, q));
     q = (q >= 1000.0) ? 1.0 : q + 1.0;
   }
+  ctx.set_items(iters);
 }
-BENCHMARK(BM_HurwitzZeta);
 
-void BM_ContinuumClosedForm(benchmark::State& state) {
+BEVR_BENCHMARK(perf_continuum, "continuum closed-form Delta(C) cost") {
+  const std::uint64_t iters =
+      ctx.pick(std::uint64_t{1'000'000}, std::uint64_t{50'000});
   const core::AlgebraicAdaptiveContinuum model(3.0, 0.5);
   double c = 2.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.bandwidth_gap(c));
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    keep(model.bandwidth_gap(c));
     c = (c >= 1e6) ? 2.0 : c * 1.5;
   }
+  ctx.set_items(iters);
 }
-BENCHMARK(BM_ContinuumClosedForm);
 
-void BM_SimulatorThroughput(benchmark::State& state) {
+BEVR_BENCHMARK(perf_simulator, "flow simulator event throughput") {
   sim::SimulationConfig config;
   config.capacity = 100.0;
-  config.horizon = 200.0;
+  config.horizon = ctx.pick(200.0, 50.0);
   config.warmup = 10.0;
   config.seed = 7;
   config.architecture = sim::Architecture::kBestEffort;
@@ -95,16 +131,12 @@ void BM_SimulatorThroughput(benchmark::State& state) {
       config, std::make_shared<utility::AdaptiveExp>(),
       std::make_shared<sim::PoissonArrivals>(100.0),
       std::make_shared<sim::ExponentialHolding>(1.0));
+  const std::uint64_t iters = ctx.pick(std::uint64_t{10}, std::uint64_t{2});
   std::uint64_t flows = 0;
-  for (auto _ : state) {
+  for (std::uint64_t i = 0; i < iters; ++i) {
     const auto report = simulator.run();
     flows += report.flows_scored;
-    benchmark::DoNotOptimize(report.mean_utility);
+    keep(report.mean_utility);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(flows));
+  ctx.set_items(flows);
 }
-BENCHMARK(BM_SimulatorThroughput);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -8,7 +8,8 @@
 //  * the asymptotic ratios ((z−1)/α)^{1/(z−2)} and their divergence.
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/asymptotics.h"
 #include "bevr/core/retry.h"
 #include "bevr/core/welfare.h"
@@ -16,7 +17,7 @@
 #include "bevr/dist/exponential.h"
 #include "bevr/utility/utility.h"
 
-int main() {
+BEVR_BENCHMARK(retry, "Sec 5.2 retry extension panels") {
   using namespace bevr;
   const double alpha = 0.1;
   const auto adaptive = std::make_shared<utility::AdaptiveExp>();
@@ -31,6 +32,7 @@ int main() {
     return std::make_shared<dist::ExponentialLoad>(
         dist::ExponentialLoad::with_mean(mean));
   };
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header(
@@ -38,10 +40,11 @@ int main() {
     const core::RetryModel model(exponential_family, 100.0, rigid, alpha);
     bench::print_columns(
         {"C", "inflated_L", "retries_D", "blocking", "R_tilde", "B"});
-    for (const double c : bench::linear_grid(120.0, 600.0, 9)) {
+    for (const double c : bench::linear_grid(120.0, 600.0, ctx.pick(9, 3))) {
       const auto s = model.solve(c);
       bench::print_row({c, s.inflated_mean, s.retries, s.blocking, s.utility,
                         model.best_effort(c)});
+      evaluations += 2;
     }
     bench::print_note("large C: R_tilde ~ 1 - alpha*theta (Sec 5.2)");
   }
@@ -52,10 +55,11 @@ int main() {
                                         alpha);
     const core::VariableLoadModel without(algebraic_family(100.0), adaptive);
     bench::print_columns({"C", "delta_retry", "delta_basic", "ratio"});
-    for (const double c : bench::linear_grid(150.0, 800.0, 7)) {
+    for (const double c : bench::linear_grid(150.0, 800.0, ctx.pick(7, 3))) {
       const double with_gap = with_retries.performance_gap(c);
       const double base_gap = without.performance_gap(c);
       bench::print_row({c, with_gap, base_gap, with_gap / base_gap});
+      evaluations += 2;
     }
     bench::print_note(
         "paper reads .027 vs .0025 at C=4kbar off its plots; our fixed "
@@ -71,8 +75,9 @@ int main() {
         [retry_model](double c) { return retry_model->total_reservation(c); },
         100.0);
     bench::print_columns({"p", "gamma_retry(p)"});
-    for (const double p : bench::log_grid(3e-3, 0.3, 6)) {
+    for (const double p : bench::log_grid(3e-3, 0.3, ctx.pick(6, 2))) {
       bench::print_row({p, analysis.price_ratio(p)});
+      evaluations += 1;
     }
     bench::print_note(
         "paper: gamma now DECREASES for very small p yet stays bounded");
@@ -85,6 +90,7 @@ int main() {
           {z, core::asymptotics::capacity_ratio_rigid_retry(z, alpha),
            core::asymptotics::capacity_ratio_adaptive_retry(z, 0.5, alpha),
            core::asymptotics::capacity_ratio_rigid(z)});
+      evaluations += 3;
     }
     bench::print_note(
         "((z-1)/alpha)^{1/(z-2)} diverges as z->2+ for alpha<1 (Sec 5.2)");
@@ -97,12 +103,13 @@ int main() {
     const double limit =
         core::asymptotics::exponential_adaptive_retry_gap_limit(0.00995033,
                                                                 0.5, alpha);
-    for (const double c : bench::linear_grid(200.0, 800.0, 4)) {
+    for (const double c : bench::linear_grid(200.0, 800.0, ctx.pick(4, 2))) {
       bench::print_row({c, model.bandwidth_gap(c), limit});
+      evaluations += 1;
     }
     bench::print_note(
         "closed form uses the continuum PWL(a=.5) stand-in for AdaptiveExp; "
         "order-of-magnitude guide only");
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

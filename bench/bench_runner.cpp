@@ -16,7 +16,8 @@
 #include <thread>
 #include <vector>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/exponential.h"
 #include "bevr/runner/runner.h"
@@ -31,14 +32,14 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-runner::ScenarioSpec bench_scenario() {
+runner::ScenarioSpec bench_scenario(int grid_points) {
   runner::ScenarioSpec spec;
   spec.name = "bench_fig3_rigid_grid";
   spec.model = runner::ModelKind::kVariableLoad;
   spec.load = runner::LoadFamily::kExponential;
   spec.util = runner::UtilityFamily::kRigid;
   spec.util_param = 1.0;
-  spec.grid = runner::GridSpec{10.0, 800.0, 24, false};
+  spec.grid = runner::GridSpec{10.0, 800.0, grid_points, false};
   return spec;
 }
 
@@ -88,7 +89,7 @@ TimedRun runner_run(const runner::ScenarioSpec& spec, unsigned threads) {
   return result;
 }
 
-runner::ScenarioSpec sim_scenario() {
+runner::ScenarioSpec sim_scenario(double horizon) {
   runner::ScenarioSpec spec;
   spec.name = "bench_sim_grid";
   spec.model = runner::ModelKind::kSimulation;
@@ -97,8 +98,8 @@ runner::ScenarioSpec sim_scenario() {
   spec.util = runner::UtilityFamily::kRigid;
   spec.util_param = 1.0;
   spec.grid = runner::GridSpec{60.0, 200.0, 8, false};
-  spec.sim_horizon = 800.0;
-  spec.sim_warmup = 100.0;
+  spec.sim_horizon = horizon;
+  spec.sim_warmup = horizon / 8.0;
   return spec;
 }
 
@@ -128,28 +129,32 @@ bool scale_section(const runner::ScenarioSpec& spec) {
 
 }  // namespace
 
-int main() {
+BEVR_BENCHMARK(runner, "experiment engine vs serial loop + determinism") {
   bevr::bench::print_header("runner: parallel sweep engine vs serial loop");
   std::printf("  host threads: %u\n", std::thread::hardware_concurrency());
 
-  bool deterministic = true;
-
-  std::printf("\n  -- model sweep: exponential load (kbar=100), rigid, 24 "
-              "capacities, B,R,delta,Delta,k_max,blocking --\n");
-  const runner::ScenarioSpec model_spec = bench_scenario();
+  std::printf("\n  -- model sweep: exponential load (kbar=100), rigid, "
+              "B,R,delta,Delta,k_max,blocking --\n");
+  const runner::ScenarioSpec model_spec = bench_scenario(ctx.pick(24, 8));
   const double serial = serial_baseline(model_spec);
   const TimedRun engine = runner_run(model_spec, 1);
   std::printf("  engine@1thread:  %.3fs (%.2fx vs bare loop; engine overhead "
               "+ memoized delta)\n",
               engine.wall, serial / engine.wall);
-  deterministic &= scale_section(model_spec);
+  if (!scale_section(model_spec)) {
+    ctx.fail("model sweep payload diverged across thread counts");
+  }
 
   std::printf("\n  -- simulation sweep: M/M/inf validation, 8 capacities x "
-              "2 architectures, horizon 800 --\n");
-  deterministic &= scale_section(sim_scenario());
+              "2 architectures --\n");
+  if (!scale_section(sim_scenario(ctx.pick(800.0, 200.0)))) {
+    ctx.fail("simulation sweep payload diverged across thread counts");
+  }
 
   bevr::bench::print_note(
       "speedup is bounded by physical cores (1 here => ~1x); determinism "
       "must hold everywhere");
-  return deterministic ? 0 : 1;
+  // 2 sweeps x (serial + 3 threaded runs) grid evaluations is the
+  // nominal unit; keep it simple: count the seven engine/serial runs.
+  ctx.set_items(7);
 }

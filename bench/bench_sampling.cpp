@@ -7,7 +7,8 @@
 //    (S(z−1))^{1/(z−2)}, breaking the basic model's e bound as z→2⁺.
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/asymptotics.h"
 #include "bevr/core/sampling.h"
 #include "bevr/dist/algebraic.h"
@@ -15,7 +16,7 @@
 #include "bevr/dist/poisson.h"
 #include "bevr/utility/utility.h"
 
-int main() {
+BEVR_BENCHMARK(sampling, "Sec 5.1 sampling extension panels") {
   using namespace bevr;
   const auto poisson = std::make_shared<dist::PoissonLoad>(100.0);
   const auto exponential = std::make_shared<dist::ExponentialLoad>(
@@ -24,6 +25,7 @@ int main() {
       dist::AlgebraicLoad::with_mean(3.0, 100.0));
   const auto rigid = std::make_shared<utility::Rigid>(1.0);
   const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header(
@@ -33,9 +35,10 @@ int main() {
     const core::SamplingModel s5(exponential, adaptive, 5);
     const core::SamplingModel s10(exponential, adaptive, 10);
     bench::print_columns({"C", "S=1", "S=2", "S=5", "S=10"});
-    for (const double c : bench::linear_grid(25.0, 500.0, 20)) {
+    for (const double c : bench::linear_grid(25.0, 500.0, ctx.pick(20, 5))) {
       bench::print_row({c, s1.performance_gap(c), s2.performance_gap(c),
                         s5.performance_gap(c), s10.performance_gap(c)});
+      evaluations += 4;
     }
     bench::print_note(
         "paper: delta ~ .21 near C~kbar with sampling vs <.01 basic");
@@ -46,8 +49,9 @@ int main() {
     const core::SamplingModel s10(exponential, adaptive, 10);
     const core::SamplingModel s1(exponential, adaptive, 1);
     bench::print_columns({"C", "Delta_S1", "Delta_S10"});
-    for (const double c : bench::linear_grid(50.0, 600.0, 12)) {
+    for (const double c : bench::linear_grid(50.0, 600.0, ctx.pick(12, 3))) {
       bench::print_row({c, s1.bandwidth_gap(c), s10.bandwidth_gap(c)});
+      evaluations += 2;
     }
     bench::print_note(
         "paper: peak moves to ~2kbar near C ~ 1.5kbar; still -> 0 as C grows");
@@ -57,8 +61,9 @@ int main() {
     const core::SamplingModel s1(poisson, adaptive, 1);
     const core::SamplingModel s10(poisson, adaptive, 10);
     bench::print_columns({"C", "delta_S1", "delta_S10"});
-    for (const double c : bench::linear_grid(50.0, 300.0, 6)) {
+    for (const double c : bench::linear_grid(50.0, 300.0, ctx.pick(6, 3))) {
       bench::print_row({c, s1.performance_gap(c), s10.performance_gap(c)});
+      evaluations += 2;
     }
   }
   {
@@ -69,9 +74,10 @@ int main() {
     bench::print_columns({"C", "ratio_S1", "ratio_S2", "asym_S1", "asym_S2"});
     const double asym1 = core::asymptotics::capacity_ratio_rigid_sampling(3.0, 1);
     const double asym2 = core::asymptotics::capacity_ratio_rigid_sampling(3.0, 2);
-    for (const double c : bench::log_grid(200.0, 3200.0, 5)) {
+    for (const double c : bench::log_grid(200.0, 3200.0, ctx.pick(5, 2))) {
       bench::print_row({c, (c + s1.bandwidth_gap(c)) / c,
                         (c + s2.bandwidth_gap(c)) / c, asym1, asym2});
+      evaluations += 2;
     }
     bench::print_note("continuum asymptote (S(z-1))^{1/(z-2)}: 2 and 4");
   }
@@ -85,8 +91,9 @@ int main() {
            core::asymptotics::capacity_ratio_rigid_sampling(z, 2),
            core::asymptotics::capacity_ratio_rigid_sampling(z, 5),
            core::asymptotics::capacity_ratio_adaptive_sampling(z, 0.5, 2)});
+      evaluations += 4;
     }
     bench::print_note("S=1 stays below e = 2.71828; S>1 diverges (Sec 5.1)");
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

@@ -7,25 +7,28 @@
 //    for looking beyond Poisson loads).
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/fixed_load.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/poisson.h"
 #include "bevr/sim/simulator.h"
 #include "bevr/utility/utility.h"
 
-int main() {
+BEVR_BENCHMARK(sim_validation, "simulator-vs-model validation tables") {
   using namespace bevr;
   const double offered = 100.0;
   const auto pi = std::make_shared<utility::AdaptiveExp>();
   const auto poisson = std::make_shared<dist::PoissonLoad>(offered);
   const core::VariableLoadModel model(poisson, pi);
+  std::uint64_t flow_sims = 0;
 
   sim::SimulationConfig config;
   config.capacity = 100.0;
-  config.horizon = 8000.0;
-  config.warmup = 400.0;
+  config.horizon = ctx.pick(8000.0, 500.0);
+  config.warmup = ctx.pick(400.0, 50.0);
   config.seed = 2024;
+  const double base_horizon = config.horizon;
 
   {
     bench::print_header("M/M/inf occupancy vs Poisson(100)");
@@ -34,6 +37,7 @@ int main() {
         config, pi, std::make_shared<sim::PoissonArrivals>(offered),
         std::make_shared<sim::ExponentialHolding>(1.0));
     const auto report = simulator.run();
+    ++flow_sims;
     bench::print_columns({"k", "empirical", "poisson_pmf"});
     for (std::int64_t k = 80; k <= 120; k += 5) {
       const double empirical =
@@ -61,6 +65,7 @@ int main() {
                           std::make_shared<sim::PoissonArrivals>(offered),
                           std::make_shared<sim::ExponentialHolding>(1.0))
                           .run();
+      flow_sims += 2;
       bench::print_row({c, be.mean_utility, model.best_effort(c),
                         rs.mean_utility, model.reservation(c)});
     }
@@ -76,6 +81,7 @@ int main() {
                             std::make_shared<sim::PoissonArrivals>(offered),
                             std::make_shared<sim::ExponentialHolding>(1.0))
                             .run();
+    ++flow_sims;
     double erlang_b = 1.0;
     for (int m = 1; m <= 90; ++m) {
       erlang_b = offered * erlang_b / (m + offered * erlang_b);
@@ -89,7 +95,7 @@ int main() {
     bench::print_header("Occupancy tail mass P[K>130]: Poisson vs bursty");
     config.capacity = 100.0;
     config.architecture = sim::Architecture::kBestEffort;
-    config.horizon = 20'000.0;
+    config.horizon = ctx.pick(20'000.0, 1000.0);
     const auto holding = std::make_shared<sim::ExponentialHolding>(1.0);
     const auto p_report =
         sim::FlowSimulator(config, pi,
@@ -102,6 +108,8 @@ int main() {
                                1000.0, 1.0 / 0.019, 0.5),
                            holding)
             .run();
+    flow_sims += 2;
+    config.horizon = base_horizon;
     auto tail = [](const sim::SimulationReport& report) {
       double mass = 0.0;
       for (std::size_t k = 131; k < report.occupancy_pmf.size(); ++k) {
@@ -115,5 +123,5 @@ int main() {
         "burstiness fattens the load tail: the regime where reservations "
         "matter (Sec 6)");
   }
-  return 0;
+  ctx.set_items(flow_sims);
 }

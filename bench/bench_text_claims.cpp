@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/algebraic.h"
 #include "bevr/dist/exponential.h"
@@ -22,7 +23,7 @@ void claim(const char* description, double paper, double measured) {
 
 }  // namespace
 
-int main() {
+BEVR_BENCHMARK(text_claims, "Sec 3.3 quoted values, paper vs measured") {
   using namespace bevr;
   const auto poisson = std::make_shared<dist::PoissonLoad>(100.0);
   const auto exponential = std::make_shared<dist::ExponentialLoad>(
@@ -34,10 +35,14 @@ int main() {
 
   bench::print_header("Section 3.3 quoted values (kbar = 100)");
 
+  // The peak scans dominate the cost; smoke strides them coarsely.
+  const double delta_step = ctx.pick(1.0, 16.0);
+  const double gap_step = ctx.pick(5.0, 40.0);
+
   {
     const core::VariableLoadModel model(poisson, rigid);
     double peak_delta = 0.0, peak_gap = 0.0;
-    for (double c = 2.0; c <= 150.0; c += 1.0) {
+    for (double c = 2.0; c <= 150.0; c += delta_step) {
       peak_delta = std::max(peak_delta, model.performance_gap(c));
       peak_gap = std::max(peak_gap, model.bandwidth_gap(c));
     }
@@ -63,7 +68,7 @@ int main() {
     claim("Exponential/adaptive: delta at C=4kbar (paper: <.001)", 0.001,
           model.performance_gap(400.0));
     double peak = 0.0;
-    for (double c = 10.0; c <= 400.0; c += 5.0) {
+    for (double c = 10.0; c <= 400.0; c += gap_step) {
       peak = std::max(peak, model.bandwidth_gap(c));
     }
     claim("Exponential/adaptive: peak bandwidth gap Delta", 9.0, peak);
@@ -77,6 +82,12 @@ int main() {
     const double slope =
         (model.bandwidth_gap(800.0) - model.bandwidth_gap(400.0)) / 400.0;
     claim("Algebraic(z=3)/rigid: Delta slope (linear, ~1)", 1.0, slope);
+    // Contract: the signature asymptotic law must survive any numeric
+    // refactor — linear Delta growth with slope near 1 at z=3.
+    if (slope < 0.5 || slope > 2.0) {
+      ctx.fail("algebraic rigid Delta slope " + std::to_string(slope) +
+               " left [0.5, 2.0]");
+    }
   }
   {
     const core::VariableLoadModel rigid_model(algebraic, rigid);
@@ -92,5 +103,4 @@ int main() {
   }
   bench::print_note(
       "paper values are read off its plots; shape/ordering is the target");
-  return 0;
 }

@@ -7,7 +7,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
 #include "bevr/core/continuum.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/core/welfare.h"
@@ -30,10 +31,11 @@ WelfareAnalysis make_analysis(std::shared_ptr<VariableLoadModel> model) {
 
 }  // namespace
 
-int main() {
+BEVR_BENCHMARK(welfare_claims, "Sec 4 quoted gamma(p) welfare claims") {
   using namespace bevr;
   const auto rigid = std::make_shared<utility::Rigid>(1.0);
   const auto adaptive = std::make_shared<utility::AdaptiveExp>();
+  std::uint64_t evaluations = 0;
 
   {
     bench::print_header("Discrete Poisson gamma(p) (paper: rigid in "
@@ -45,9 +47,10 @@ int main() {
     const auto rigid_analysis = make_analysis(rigid_model);
     const auto adaptive_analysis = make_analysis(adaptive_model);
     bench::print_columns({"p", "gamma_rigid", "gamma_adaptive"});
-    for (const double p : bench::log_grid(1e-3, 0.4, 7)) {
+    for (const double p : bench::log_grid(1e-3, 0.4, ctx.pick(7, 3))) {
       bench::print_row({p, rigid_analysis.price_ratio(p),
                         adaptive_analysis.price_ratio(p)});
+      evaluations += 2;
     }
   }
   {
@@ -55,10 +58,11 @@ int main() {
         "Continuum exponential gamma(p) via Lambert-W closed forms");
     const core::ExponentialRigidContinuum model(0.01);
     bench::print_columns({"p", "C_B(p)", "C_R(p)", "gamma(p)"});
-    for (const double p : bench::log_grid(1e-8, 0.3, 8)) {
+    for (const double p : bench::log_grid(1e-8, 0.3, ctx.pick(8, 3))) {
       bench::print_row({p, model.capacity_best_effort(p),
                         model.capacity_reservation(p),
                         model.equalizing_price_ratio(p)});
+      evaluations += 3;
     }
     bench::print_note("gamma -> 1 as p -> 0 (provisioning wins eventually)");
   }
@@ -79,11 +83,12 @@ int main() {
     const auto rigid_analysis = make_analysis(rigid_model);
     const auto adaptive_analysis = make_analysis(adaptive_model);
     bench::print_columns({"p", "gamma_rigid", "gamma_adaptive"});
-    for (const double p : bench::log_grid(3e-3, 0.3, 5)) {
+    for (const double p : bench::log_grid(3e-3, 0.3, ctx.pick(5, 2))) {
       bench::print_row({p, rigid_analysis.price_ratio(p),
                         adaptive_analysis.price_ratio(p)});
+      evaluations += 2;
     }
     bench::print_note("continuum rigid value: (z-1)^{1/(z-2)} = 2");
   }
-  return 0;
+  ctx.set_items(evaluations);
 }

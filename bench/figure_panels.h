@@ -6,11 +6,12 @@
 //   (d,e,f) the same three under adaptive applications.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "bevr/bench/bench_util.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/core/welfare.h"
 #include "bevr/dist/discrete.h"
@@ -79,6 +80,13 @@ inline void run_figure(const FigureConfig& config) {
       config, std::make_shared<utility::Rigid>(1.0), "rigid");
   run_architecture_panels(
       config, std::make_shared<utility::AdaptiveExp>(), "adaptive");
+}
+
+/// Model evaluations one run_figure() performs (for Context::set_items):
+/// both architectures evaluate 4 values per capacity and a welfare
+/// analysis per price.
+inline std::uint64_t figure_items(const FigureConfig& config) {
+  return 2 * (4 * config.capacities.size() + config.prices.size());
 }
 
 }  // namespace bevr::bench

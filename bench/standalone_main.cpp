@@ -1,0 +1,8 @@
+// Entry point shared by every bench binary: run whatever suites this
+// binary registered. Linked once into each per-figure binary and once
+// into the bevr_bench aggregate.
+#include "bevr/bench/bench_main.h"
+
+int main(int argc, char** argv) {
+  return bevr::bench::bench_main(argc, argv);
+}

@@ -8,7 +8,7 @@
 //   bevr_run <scenario|filter> [--threads N] [--seed S]
 //            [--format csv|jsonl] [--output FILE] [--no-cache] [--no-gap]
 //            [--report text|json|prom] [--metrics-out FILE]
-//            [--trace-out FILE]
+//            [--snapshot-every N] [--trace-out FILE]
 //
 //   --list        print matching scenarios (name, model, grid, description)
 //   --threads N   worker threads (default 1; 0 = hardware concurrency)
@@ -22,6 +22,11 @@
 //                 prom (Prometheus exposition); goes to stderr unless
 //                 --metrics-out is given
 //   --metrics-out write the metrics report to FILE (default format prom)
+//   --snapshot-every N
+//                 write a {"type":"snapshot",...} JSON line to the
+//                 --metrics-out FILE (required) every N data rows plus
+//                 one final line per scenario, turning the metrics file
+//                 into a JSONL time series of the run's instrumentation
 //   --trace-out   record trace spans and write a Chrome/Perfetto
 //                 trace-event JSON file (open at https://ui.perfetto.dev)
 //
@@ -78,7 +83,7 @@ int usage(const char* argv0, const char* error) {
                "          [--format csv|jsonl] [--output FILE] [--no-cache] "
                "[--no-gap]\n"
                "          [--report text|json|prom] [--metrics-out FILE] "
-               "[--trace-out FILE]\n",
+               "[--snapshot-every N] [--trace-out FILE]\n",
                argv0, argv0);
   return 2;
 }
@@ -105,6 +110,7 @@ int main(int argc, char** argv) try {
   std::string report_name;
   bool list_only = false;
   bool skip_gap = false;
+  unsigned long long snapshot_every = 0;
   RunOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +172,13 @@ int main(int argc, char** argv) try {
       const char* value = next_value("--metrics-out");
       if (value == nullptr) return usage(argv[0], nullptr);
       metrics_path = value;
+    } else if (arg == "--snapshot-every") {
+      const char* value = next_value("--snapshot-every");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      if (!parse_count(value, 1ULL << 32, snapshot_every) ||
+          snapshot_every == 0) {
+        return usage(argv[0], "--snapshot-every must be a positive integer");
+      }
     } else if (arg == "--trace-out") {
       const char* value = next_value("--trace-out");
       if (value == nullptr) return usage(argv[0], nullptr);
@@ -222,6 +235,21 @@ int main(int argc, char** argv) try {
   }
   std::ostream& out = output_path.empty() ? std::cout : file;
 
+  // --snapshot-every repurposes the metrics file as a JSONL stream, so
+  // it must be open before the first scenario runs.
+  std::ofstream snapshot_file;
+  if (snapshot_every > 0) {
+    if (metrics_path.empty()) {
+      return usage(argv[0], "--snapshot-every requires --metrics-out");
+    }
+    snapshot_file.open(metrics_path);
+    if (!snapshot_file) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
+
   // Tracing is opt-in (span recording costs a few ns even when nobody
   // reads the buffers); metrics stay on at their batched default cost.
   if (!trace_path.empty()) {
@@ -248,7 +276,13 @@ int main(int argc, char** argv) try {
     } else {
       sink = std::make_unique<CsvSink>(out);
     }
-    const RunSummary summary = run_scenario(spec, options, *sink);
+    std::unique_ptr<SnapshottingSink> snapshotting;
+    if (snapshot_every > 0) {
+      snapshotting = std::make_unique<SnapshottingSink>(
+          *sink, snapshot_file, static_cast<std::size_t>(snapshot_every));
+    }
+    const RunSummary summary = run_scenario(
+        spec, options, snapshotting ? *snapshotting : *sink);
     std::fprintf(stderr,
                  "%-24s %4zu rows  %7.2fs wall  cache %llu/%llu hits (%.0f%%)\n",
                  spec.name.c_str(), summary.rows, summary.wall_seconds,
@@ -268,16 +302,18 @@ int main(int argc, char** argv) try {
     bevr::obs::TraceCollector::global().write_chrome_trace(trace_file);
   }
 
-  if (!report_name.empty() || !metrics_path.empty()) {
+  if (!report_name.empty() || (!metrics_path.empty() && snapshot_every == 0)) {
     // A metrics file with no explicit format gets Prometheus exposition
     // (what a scraper expects); on stderr the human-readable text wins.
+    // Under --snapshot-every the metrics file already holds the JSONL
+    // snapshot stream, so only an explicit --report (to stderr) remains.
     const bevr::obs::ReportFormat report_format =
         bevr::obs::parse_report_format(
             !report_name.empty() ? report_name
                                  : (metrics_path.empty() ? "text" : "prom"));
     const std::string report = bevr::obs::render_report(
         bevr::obs::MetricsRegistry::global().snapshot(), report_format);
-    if (!metrics_path.empty()) {
+    if (!metrics_path.empty() && snapshot_every == 0) {
       std::ofstream metrics_file(metrics_path);
       if (!metrics_file) {
         std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],

@@ -15,6 +15,20 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== bench smoke =="
+# Tiny-workload pass over all 22 suites: exercises every figure/claim
+# path and the suites' built-in contracts, and writes the artifact the
+# regression gate consumes.
+./build/bench/bevr_bench --smoke --json-out BENCH_smoke.json
+# The gate must agree an artifact does not regress against itself.
+./build/bench/bevr_bench --compare BENCH_smoke.json --baseline BENCH_smoke.json
+if [ -f bench/baselines/BENCH_smoke.json ]; then
+  ./build/bench/bevr_bench --compare BENCH_smoke.json \
+    --baseline bench/baselines/BENCH_smoke.json --threshold 1.0
+else
+  echo "(no bench/baselines/BENCH_smoke.json — skipping baseline compare)"
+fi
+
 echo "== sanitized: ASan+UBSan runner + sim tests =="
 cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests

@@ -1,0 +1,63 @@
+// BENCH_*.json artifact emission: one machine-readable document per
+// harness run carrying full provenance, per-suite robust stats and an
+// embedded bevr::obs MetricsRegistry snapshot — the durable perf
+// trajectory the stdout tables never gave us. Schema "bevr.bench.v1":
+//
+// {
+//   "schema": "bevr.bench.v1",
+//   "suite": "<run label>",
+//   "provenance": {
+//     "git": "...", "git_commit_time": "...", "compiler": "...",
+//     "build_type": "...", "threads": N, "cpus": N,
+//     "obs_enabled": bool, "smoke": bool, "warmup": N, "repetitions": N
+//   },
+//   "benchmarks": [
+//     { "name": "...", "description": "...", "items": N,
+//       "samples_ns": [...],
+//       "stats": { "samples": N, "min_ns": x, "max_ns": x, "mean_ns": x,
+//                  "median_ns": x, "mad_ns": x, "ns_per_op": x,
+//                  "items_per_sec": x },
+//       "failures": ["..."] }, ...
+//   ],
+//   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+// }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bevr/bench/harness.h"
+
+namespace bevr::bench {
+
+inline constexpr const char* kArtifactSchema = "bevr.bench.v1";
+
+/// Build-and-host provenance captured at emission time.
+struct Provenance {
+  std::string git;              ///< `git describe --always --dirty` or "unknown"
+  std::string git_commit_time;  ///< HEAD committer time, ISO 8601, or "unknown"
+  std::string compiler;         ///< e.g. "gcc 13.2.0" (__VERSION__)
+  std::string build_type;       ///< CMAKE_BUILD_TYPE baked in at compile time
+  unsigned threads = 0;         ///< std::thread::hardware_concurrency()
+  long cpus = 0;                ///< online processors (sysconf)
+  bool obs_enabled = true;      ///< BEVR_OBS compiled in and registry enabled
+  bool smoke = false;
+  int warmup = 0;
+  int repetitions = 1;
+};
+
+/// Capture provenance for this process/run (shells out to git via the
+/// runner's helpers; "unknown" when unavailable).
+[[nodiscard]] Provenance collect_provenance(const RunConfig& config);
+
+/// Render the full artifact document. `metrics_json` must be one JSON
+/// object (the obs JSON report); pass "{}" to embed nothing.
+[[nodiscard]] std::string render_artifact(
+    const std::string& suite, const Provenance& provenance,
+    const std::vector<BenchmarkResult>& results,
+    const std::string& metrics_json);
+
+/// Snapshot the global MetricsRegistry as a JSON object string.
+[[nodiscard]] std::string global_metrics_json();
+
+}  // namespace bevr::bench

@@ -1,0 +1,22 @@
+// Shared CLI driver for every benchmark binary. A binary's suite set
+// is whatever BEVR_BENCHMARK bodies were linked in: the per-figure
+// binaries call this with one suite registered, the bevr_bench
+// aggregate with all of them.
+//
+// Usage:
+//   <prog> [filter] [--filter SUBSTR] [--list]
+//          [--smoke] [--warmup N] [--reps N]
+//          [--suite NAME] [--json-out FILE]
+//          [--baseline FILE] [--threshold FRAC]
+//          [--compare FILE]
+//          [--quiet | --verbose]
+//
+// Exit codes: 0 ok; 1 contract failure inside a suite; 2 usage error /
+// unreadable file; 3 median regression beyond the threshold.
+#pragma once
+
+namespace bevr::bench {
+
+int bench_main(int argc, char** argv);
+
+}  // namespace bevr::bench

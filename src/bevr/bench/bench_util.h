@@ -1,8 +1,10 @@
-// Shared output helpers for the figure-regeneration benches.
+// Shared output + grid helpers for the benchmark suites.
 //
 // Every bench prints aligned, self-describing tables so the series can
 // be compared row-by-row against the paper's figures (shape targets:
-// who wins, by what factor, where crossovers and peaks fall).
+// who wins, by what factor, where crossovers and peaks fall). The
+// harness silences these tables when aggregating many suites; the
+// numbers that persist run-to-run live in the BENCH_*.json artifacts.
 #pragma once
 
 #include <cmath>
@@ -32,8 +34,11 @@ inline void print_note(const std::string& note) {
   std::printf("  note: %s\n", note.c_str());
 }
 
-/// Log-spaced grid from lo to hi inclusive.
+/// Log-spaced grid from lo to hi inclusive. A single point degenerates
+/// to {lo} (not NaN from 0/0); nonpositive counts give an empty grid.
 inline std::vector<double> log_grid(double lo, double hi, int points) {
+  if (points <= 0) return {};
+  if (points == 1) return {lo};
   std::vector<double> grid;
   grid.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {
@@ -43,8 +48,10 @@ inline std::vector<double> log_grid(double lo, double hi, int points) {
   return grid;
 }
 
-/// Linear grid from lo to hi inclusive.
+/// Linear grid from lo to hi inclusive; degenerate counts as log_grid.
 inline std::vector<double> linear_grid(double lo, double hi, int points) {
+  if (points <= 0) return {};
+  if (points == 1) return {lo};
   std::vector<double> grid;
   grid.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {

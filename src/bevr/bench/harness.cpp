@@ -1,0 +1,67 @@
+#include "bevr/bench/harness.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+namespace bevr::bench {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ScopedStdoutSilence::ScopedStdoutSilence(bool active) {
+  if (!active) return;
+  std::fflush(stdout);
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull < 0) return;
+  saved_fd_ = ::dup(1);
+  if (saved_fd_ >= 0) ::dup2(devnull, 1);
+  ::close(devnull);
+}
+
+ScopedStdoutSilence::~ScopedStdoutSilence() {
+  if (saved_fd_ < 0) return;
+  std::fflush(stdout);
+  ::dup2(saved_fd_, 1);
+  ::close(saved_fd_);
+}
+
+BenchmarkResult run_benchmark(const BenchmarkInfo& info,
+                              const RunConfig& config) {
+  BenchmarkResult result;
+  result.name = info.name;
+  result.description = info.description;
+
+  const int repetitions = config.repetitions < 1 ? 1 : config.repetitions;
+  result.samples_ns.reserve(static_cast<std::size_t>(repetitions));
+
+  const ScopedStdoutSilence silence(config.quiet);
+  for (int rep = -config.warmup; rep < repetitions; ++rep) {
+    Context ctx(config.smoke);
+    const auto start = Clock::now();
+    try {
+      info.fn(ctx);
+    } catch (const std::exception& error) {
+      result.failures.push_back(info.name + ": uncaught exception: " +
+                                error.what());
+      break;
+    }
+    const double elapsed_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+    if (rep >= 0) {
+      result.samples_ns.push_back(elapsed_ns);
+      result.items = ctx.items();
+      for (const std::string& failure : ctx.failures()) {
+        result.failures.push_back(info.name + ": " + failure);
+      }
+    }
+  }
+  result.stats = compute_stats(result.samples_ns);
+  return result;
+}
+
+}  // namespace bevr::bench

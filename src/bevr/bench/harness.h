@@ -1,0 +1,58 @@
+// The measurement engine: run one registered suite body under steady-
+// clock timing with warmup and repetition control, and fold the raw
+// repetition times into robust stats.
+//
+// The contract with suite bodies: a body is one repetition's worth of
+// work. The harness calls it `warmup` times untimed (caches, branch
+// predictors, memo tables settle), then `repetitions` times timed.
+// Bodies are free to print their paper-vs-measured tables; when the
+// caller asks for quiet mode (the aggregate CLI does, so 17 suites
+// don't interleave), stdout is parked on /dev/null around the body
+// and restored before the harness prints its own summary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bevr/bench/registry.h"
+#include "bevr/bench/stats.h"
+
+namespace bevr::bench {
+
+/// Knobs shared by every suite in one harness invocation.
+struct RunConfig {
+  int warmup = 0;        ///< untimed body runs before measuring
+  int repetitions = 1;   ///< timed body runs (>= 1)
+  bool smoke = false;    ///< tiny-workload mode (CI)
+  bool quiet = false;    ///< silence the body's table output
+};
+
+/// Everything measured for one suite.
+struct BenchmarkResult {
+  std::string name;
+  std::string description;
+  std::uint64_t items = 1;          ///< per-repetition, from Context
+  std::vector<double> samples_ns;   ///< one entry per timed repetition
+  SampleStats stats;
+  std::vector<std::string> failures;  ///< contract violations from the body
+};
+
+/// Redirect fd 1 to /dev/null for the object's lifetime (POSIX). Used
+/// to park suite table output; the artifact files are unaffected.
+class ScopedStdoutSilence {
+ public:
+  explicit ScopedStdoutSilence(bool active);
+  ~ScopedStdoutSilence();
+  ScopedStdoutSilence(const ScopedStdoutSilence&) = delete;
+  ScopedStdoutSilence& operator=(const ScopedStdoutSilence&) = delete;
+
+ private:
+  int saved_fd_ = -1;
+};
+
+/// Run one suite under the config. Exceptions from the body are caught
+/// and recorded as failures (the aggregate must keep going).
+[[nodiscard]] BenchmarkResult run_benchmark(const BenchmarkInfo& info,
+                                            const RunConfig& config);
+
+}  // namespace bevr::bench

@@ -1,0 +1,215 @@
+#include "bevr/bench/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bevr::bench::json {
+
+ValuePtr Value::get(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse_document() {
+    skip_ws();
+    ValuePtr value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (!at_end() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                         text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  ValuePtr parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return make_string(parse_string());
+      case 't': return parse_literal("true", Type::kBool, true);
+      case 'f': return parse_literal("false", Type::kBool, false);
+      case 'n': return parse_literal("null", Type::kNull, false);
+      default: return parse_number();
+    }
+  }
+
+  ValuePtr parse_literal(const char* word, Type type, bool truth) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (at_end() || take() != *p) fail(std::string("bad literal, wanted ") + word);
+    }
+    auto value = std::make_shared<Value>();
+    value->type = type;
+    value->boolean = truth;
+    return value;
+  }
+
+  static ValuePtr make_string(std::string text) {
+    auto value = std::make_shared<Value>();
+    value->type = Type::kString;
+    value->string = std::move(text);
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Artifacts only escape ASCII; pass anything else through as
+          // a replacement to keep the reader total.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    auto value = std::make_shared<Value>();
+    value->type = Type::kNumber;
+    value->number = parsed;
+    return value;
+  }
+
+  ValuePtr parse_array() {
+    expect('[');
+    auto value = std::make_shared<Value>();
+    value->type = Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value->array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return value;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+      skip_ws();
+    }
+  }
+
+  ValuePtr parse_object() {
+    expect('{');
+    auto value = std::make_shared<Value>();
+    value->type = Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value->object[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') return value;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ValuePtr parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace bevr::bench::json

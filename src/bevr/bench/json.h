@@ -1,0 +1,46 @@
+// Minimal JSON value parser (RFC 8259 subset) for reading BENCH_*.json
+// baseline artifacts back in. Deliberately small: objects, arrays,
+// strings (with escapes; \uXXXX accepted, decoded only for the BMP-
+// ASCII range the artifacts actually emit), numbers, literals. The
+// writer side lives in artifact.cpp; this is the reader the regression
+// gate and the schema tests share, so the schema is checked by the
+// same code that consumes it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bevr::bench::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] ValuePtr get(const std::string& key) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Throws std::runtime_error with the
+/// byte offset on malformed input.
+[[nodiscard]] ValuePtr parse(const std::string& text);
+
+}  // namespace bevr::bench::json

@@ -1,0 +1,41 @@
+#include "bevr/bench/registry.h"
+
+#include <algorithm>
+
+namespace bevr::bench {
+
+BenchmarkRegistry& BenchmarkRegistry::instance() {
+  // Function-local static: safe to call from other static initializers
+  // (the BEVR_BENCHMARK registrars) regardless of TU link order.
+  static BenchmarkRegistry registry;
+  return registry;
+}
+
+bool BenchmarkRegistry::add(BenchmarkInfo info) {
+  for (const BenchmarkInfo& existing : benchmarks_) {
+    if (existing.name == info.name) return true;
+  }
+  benchmarks_.push_back(std::move(info));
+  return true;
+}
+
+std::vector<BenchmarkInfo> BenchmarkRegistry::benchmarks() const {
+  return match("");
+}
+
+std::vector<BenchmarkInfo> BenchmarkRegistry::match(
+    const std::string& filter) const {
+  std::vector<BenchmarkInfo> result;
+  for (const BenchmarkInfo& info : benchmarks_) {
+    if (filter.empty() || info.name.find(filter) != std::string::npos) {
+      result.push_back(info);
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const BenchmarkInfo& a, const BenchmarkInfo& b) {
+              return a.name < b.name;
+            });
+  return result;
+}
+
+}  // namespace bevr::bench

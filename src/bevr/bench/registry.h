@@ -1,0 +1,94 @@
+// Benchmark registry: BEVR_BENCHMARK(name, desc) bodies self-register
+// at static-init time, so a binary's suite is exactly the set of bench
+// translation units linked into it — the per-figure binaries carry one
+// suite each and the bevr_bench aggregate carries all of them, with no
+// per-binary main() boilerplate.
+//
+// A suite body receives a Context: it reports how many logical items
+// one repetition processed (for ns-per-op / items-per-sec), shrinks
+// its workload in --smoke mode, and records contract violations that
+// turn into a nonzero exit (the smoke tests double as correctness
+// checks, e.g. bench_runner's determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bevr::bench {
+
+/// Per-run handle passed to every suite body.
+class Context {
+ public:
+  explicit Context(bool smoke) : smoke_(smoke) {}
+
+  /// True under --smoke: use a tiny workload (seconds, not minutes,
+  /// across the whole aggregate suite) while touching the same code.
+  [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// Workload-size helper: full value normally, small value in smoke.
+  template <typename T>
+  [[nodiscard]] T pick(T full, T smoke_value) const {
+    return smoke_ ? smoke_value : full;
+  }
+
+  /// Declare how many logical items one repetition processed (grid
+  /// points evaluated, packets forwarded, loop iterations). Defaults
+  /// to 1, making ns_per_op the whole-repetition time.
+  void set_items(std::uint64_t items) { items_ = items; }
+  [[nodiscard]] std::uint64_t items() const { return items_; }
+
+  /// Record a contract violation. The harness reports every failure
+  /// and exits nonzero, so ctest and CI catch regressions in the
+  /// claims a suite asserts about its own numbers.
+  void fail(std::string message) { failures_.push_back(std::move(message)); }
+  [[nodiscard]] const std::vector<std::string>& failures() const {
+    return failures_;
+  }
+
+ private:
+  bool smoke_ = false;
+  std::uint64_t items_ = 1;
+  std::vector<std::string> failures_;
+};
+
+using BenchFn = void (*)(Context&);
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string description;
+  BenchFn fn = nullptr;
+};
+
+class BenchmarkRegistry {
+ public:
+  /// The process-wide registry BEVR_BENCHMARK adds to.
+  [[nodiscard]] static BenchmarkRegistry& instance();
+
+  /// Idempotent by name (first registration wins); returns true so it
+  /// can seed a static initializer.
+  bool add(BenchmarkInfo info);
+
+  /// All registered suites, sorted by name — registration order is
+  /// link-order and must not leak into output or artifacts.
+  [[nodiscard]] std::vector<BenchmarkInfo> benchmarks() const;
+
+  /// Suites whose name contains `filter` (empty matches all), sorted.
+  [[nodiscard]] std::vector<BenchmarkInfo> match(
+      const std::string& filter) const;
+
+ private:
+  std::vector<BenchmarkInfo> benchmarks_;
+};
+
+}  // namespace bevr::bench
+
+/// Defines and registers a suite body:
+///   BEVR_BENCHMARK(fig2_poisson, "Figure 2 panels") { ... use ctx ... }
+#define BEVR_BENCHMARK(ident, desc)                                          \
+  static void bevr_bench_fn_##ident(::bevr::bench::Context& ctx);            \
+  [[maybe_unused]] static const bool bevr_bench_reg_##ident =                \
+      ::bevr::bench::BenchmarkRegistry::instance().add(                      \
+          {#ident, desc, &bevr_bench_fn_##ident});                           \
+  static void bevr_bench_fn_##ident(                                         \
+      [[maybe_unused]] ::bevr::bench::Context& ctx)

@@ -1,0 +1,47 @@
+#include "bevr/bench/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bevr::bench {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t mid = n / 2;
+  if (n % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+SampleStats compute_stats(const std::vector<double>& samples_ns) {
+  SampleStats stats;
+  if (samples_ns.empty()) return stats;
+  stats.samples = samples_ns.size();
+  stats.min_ns = *std::min_element(samples_ns.begin(), samples_ns.end());
+  stats.max_ns = *std::max_element(samples_ns.begin(), samples_ns.end());
+  double sum = 0.0;
+  for (const double s : samples_ns) sum += s;
+  stats.mean_ns = sum / static_cast<double>(samples_ns.size());
+  stats.median_ns = median(samples_ns);
+  std::vector<double> deviations;
+  deviations.reserve(samples_ns.size());
+  for (const double s : samples_ns) {
+    deviations.push_back(std::abs(s - stats.median_ns));
+  }
+  stats.mad_ns = median(std::move(deviations));
+  return stats;
+}
+
+double ns_per_op(const SampleStats& stats, std::uint64_t items) {
+  const double divisor = items == 0 ? 1.0 : static_cast<double>(items);
+  return stats.median_ns / divisor;
+}
+
+double items_per_sec(const SampleStats& stats, std::uint64_t items) {
+  if (stats.median_ns <= 0.0) return 0.0;
+  const double count = items == 0 ? 1.0 : static_cast<double>(items);
+  return count / (stats.median_ns * 1e-9);
+}
+
+}  // namespace bevr::bench

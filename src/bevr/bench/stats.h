@@ -1,0 +1,42 @@
+// Robust summary statistics for benchmark timing samples.
+//
+// Benchmark repetitions on a shared machine are contaminated by one-
+// sided noise (scheduler preemption, page faults, turbo transitions):
+// the distribution has a hard floor and a long right tail. The harness
+// therefore reports order statistics — min (the cleanest observation),
+// median (the typical one) and MAD (tail-robust spread) — rather than
+// mean/stddev, and the regression gate compares medians.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bevr::bench {
+
+/// Summary of one benchmark's repetition times, all in nanoseconds.
+struct SampleStats {
+  std::uint64_t samples = 0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  double mean_ns = 0.0;
+  double median_ns = 0.0;
+  double mad_ns = 0.0;  ///< median absolute deviation from the median
+};
+
+/// Median by sorting a copy; even counts average the middle pair.
+/// Empty input returns 0.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Compute the summary over raw repetition times (ns). Empty input
+/// yields an all-zero summary.
+[[nodiscard]] SampleStats compute_stats(const std::vector<double>& samples_ns);
+
+/// Median time per item: median_ns / items (items 0 treated as 1).
+[[nodiscard]] double ns_per_op(const SampleStats& stats, std::uint64_t items);
+
+/// Items per wall second at the median repetition time; 0 when the
+/// median is 0 (too fast to resolve).
+[[nodiscard]] double items_per_sec(const SampleStats& stats,
+                                   std::uint64_t items);
+
+}  // namespace bevr::bench

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -116,27 +117,48 @@ std::string render_json(const MetricsSnapshot& snapshot) {
   return out.str();
 }
 
+/// Uniques sanitized metric names within one exposition page. Distinct
+/// raw names ("pool/tasks-done" and "pool/tasks.done") sanitize to the
+/// same string; emitting both verbatim would duplicate the `# TYPE`
+/// line and invalidate the whole scrape.
+class PromNamer {
+ public:
+  std::string unique(const std::string& candidate) {
+    std::string name = candidate;
+    int suffix = 2;
+    while (!used_.insert(name).second) {
+      name = candidate + "_dup" + std::to_string(suffix++);
+    }
+    return name;
+  }
+
+ private:
+  std::set<std::string> used_;
+};
+
 std::string render_prom(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
+  PromNamer namer;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = prom_metric_name(name) + "_total";
+    const std::string prom = namer.unique(prom_metric_name(name) + "_total");
     out << "# TYPE " << prom << " counter\n"
         << prom << " " << value << "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = prom_metric_name(name);
+    const std::string prom = namer.unique(prom_metric_name(name));
     out << "# TYPE " << prom << " gauge\n"
         << prom << " " << format_double(value) << "\n";
   }
   for (const HistogramSnapshot& hist : snapshot.histograms) {
-    const std::string prom = prom_metric_name(hist.name);
+    const std::string prom = namer.unique(prom_metric_name(hist.name));
     out << "# TYPE " << prom << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < hist.counts.size(); ++i) {
       cumulative += hist.counts[i];
       const std::string le =
           i < hist.bounds.size() ? format_double(hist.bounds[i]) : "+Inf";
-      out << prom << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      out << prom << "_bucket{le=\"" << prom_label_value(le) << "\"} "
+          << cumulative << "\n";
     }
     out << prom << "_sum " << format_double(hist.sum) << "\n"
         << prom << "_count " << hist.count << "\n";
@@ -162,6 +184,20 @@ std::string prom_metric_name(const std::string& name) {
     prom += valid ? c : '_';
   }
   return prom;
+}
+
+std::string prom_label_value(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
 }
 
 std::string render_report(const MetricsSnapshot& snapshot,

@@ -22,7 +22,14 @@ enum class ReportFormat { kText, kJson, kProm };
 
 /// A path-style metric name as a Prometheus metric name: prefixed
 /// "bevr_", every character outside [a-zA-Z0-9_:] mapped to '_'.
+/// Distinct raw names can collapse to the same result ("a-b" and
+/// "a.b"); render_report's prom output additionally uniques them so a
+/// scrape page never carries duplicate `# TYPE` lines.
 [[nodiscard]] std::string prom_metric_name(const std::string& name);
+
+/// Escape a string for use inside a Prometheus label value (exposition
+/// format 0.0.4): backslash, double quote, and newline get escaped.
+[[nodiscard]] std::string prom_label_value(const std::string& value);
 
 /// Render the snapshot in the requested format. Histograms report
 /// count/mean/p50/p95/p99 in text and JSON, and cumulative buckets

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/report.h"
+
 namespace bevr::runner {
 
 namespace {
@@ -112,6 +115,39 @@ void JsonlSink::finish(const RunSummary& summary) {
        << ",\"cache_hit_rate\":" << format_value(summary.cache.hit_rate())
        << "}\n";
   out_.flush();
+}
+
+void SnapshottingSink::begin(const RunMetadata& metadata,
+                             const std::vector<std::string>& columns) {
+  scenario_ = metadata.scenario;
+  rows_seen_ = 0;
+  inner_.begin(metadata, columns);
+}
+
+void SnapshottingSink::row(const ResultRow& row) {
+  inner_.row(row);
+  ++rows_seen_;
+  if (every_ > 0 && rows_seen_ % every_ == 0) {
+    emit_snapshot("periodic");
+  }
+}
+
+void SnapshottingSink::finish(const RunSummary& summary) {
+  inner_.finish(summary);
+  emit_snapshot("final");
+  out_.flush();
+}
+
+void SnapshottingSink::emit_snapshot(const char* phase) {
+  // render_report's JSON is a single object with a trailing newline;
+  // strip it so the snapshot stays one JSONL line.
+  std::string metrics = obs::render_report(
+      obs::MetricsRegistry::global().snapshot(), obs::ReportFormat::kJson);
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  out_ << "{\"type\":\"snapshot\",\"scenario\":\"" << json_escape(scenario_)
+       << "\",\"phase\":\"" << phase << "\",\"rows\":" << rows_seen_
+       << ",\"metrics\":" << metrics << "}\n";
+  ++snapshots_;
 }
 
 void VectorSink::begin(const RunMetadata& metadata,

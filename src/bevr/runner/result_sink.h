@@ -100,6 +100,36 @@ class JsonlSink final : public ResultSink {
   std::vector<std::string> columns_;
 };
 
+/// Decorator: forwards everything to `inner` and, every `every` data
+/// rows plus once at finish, appends a {"type":"snapshot",...} JSON
+/// line carrying the global obs::MetricsRegistry state to `out`. This
+/// turns a long sweep's metrics stream (bevr_run --metrics-out) into a
+/// time series instead of a single end-of-run point
+/// (bevr_run --snapshot-every=N). With every == 0 only the final
+/// snapshot is written.
+class SnapshottingSink final : public ResultSink {
+ public:
+  SnapshottingSink(ResultSink& inner, std::ostream& out, std::size_t every)
+      : inner_(inner), out_(out), every_(every) {}
+
+  void begin(const RunMetadata& metadata,
+             const std::vector<std::string>& columns) override;
+  void row(const ResultRow& row) override;
+  void finish(const RunSummary& summary) override;
+
+  [[nodiscard]] std::size_t snapshots_written() const { return snapshots_; }
+
+ private:
+  void emit_snapshot(const char* phase);
+
+  ResultSink& inner_;
+  std::ostream& out_;
+  std::size_t every_;
+  std::size_t rows_seen_ = 0;
+  std::size_t snapshots_ = 0;
+  std::string scenario_;
+};
+
 /// In-memory capture for tests and programmatic use.
 class VectorSink final : public ResultSink {
  public:

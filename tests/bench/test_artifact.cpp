@@ -1,0 +1,117 @@
+// Golden-schema test for BENCH_*.json: render a real artifact through
+// the production writer, parse it back with the production reader, and
+// assert every key the "bevr.bench.v1" schema promises. A key renamed
+// on one side but not the other fails here, not in CI dashboards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bevr/bench/artifact.h"
+#include "bevr/bench/harness.h"
+#include "bevr/bench/json.h"
+#include "bevr/bench/registry.h"
+
+namespace bevr::bench {
+namespace {
+
+void tiny_body(Context& ctx) {
+  ctx.set_items(64);
+  ctx.fail("recorded violation");
+}
+
+json::ValuePtr parsed_artifact() {
+  RunConfig config;
+  config.warmup = 1;
+  config.repetitions = 2;
+  config.smoke = true;
+  std::vector<BenchmarkResult> results;
+  results.push_back(run_benchmark({"tiny", "a tiny suite", &tiny_body}, config));
+  const std::string document = render_artifact(
+      "unit_test", collect_provenance(config), results, global_metrics_json());
+  return json::parse(document);
+}
+
+json::ValuePtr require(const json::ValuePtr& object, const std::string& key) {
+  const json::ValuePtr value = object->get(key);
+  EXPECT_TRUE(value) << "missing required key \"" << key << '"';
+  return value ? value : std::make_shared<const json::Value>();
+}
+
+TEST(Artifact, TopLevelSchemaKeys) {
+  const json::ValuePtr root = parsed_artifact();
+  ASSERT_TRUE(root->is_object());
+  EXPECT_EQ(require(root, "schema")->string, kArtifactSchema);
+  EXPECT_EQ(require(root, "suite")->string, "unit_test");
+  EXPECT_TRUE(require(root, "provenance")->is_object());
+  EXPECT_TRUE(require(root, "benchmarks")->is_array());
+  EXPECT_TRUE(require(root, "metrics")->is_object());
+}
+
+TEST(Artifact, ProvenanceBlockIsComplete) {
+  const json::ValuePtr prov = parsed_artifact()->get("provenance");
+  ASSERT_TRUE(prov && prov->is_object());
+  for (const char* key : {"git", "git_commit_time", "compiler", "build_type"}) {
+    EXPECT_TRUE(require(prov, key)->is_string()) << key;
+  }
+  // build_type may be "" in a no-CMAKE_BUILD_TYPE configure; the rest
+  // always have at least an "unknown" fallback.
+  for (const char* key : {"git", "git_commit_time", "compiler"}) {
+    EXPECT_FALSE(require(prov, key)->string.empty()) << key;
+  }
+  for (const char* key : {"threads", "cpus", "warmup", "repetitions"}) {
+    EXPECT_TRUE(require(prov, key)->is_number()) << key;
+  }
+  EXPECT_EQ(require(prov, "obs_enabled")->type, json::Type::kBool);
+  const json::ValuePtr smoke = require(prov, "smoke");
+  EXPECT_EQ(smoke->type, json::Type::kBool);
+  EXPECT_TRUE(smoke->boolean);  // config.smoke was set
+  EXPECT_DOUBLE_EQ(require(prov, "warmup")->number, 1.0);
+  EXPECT_DOUBLE_EQ(require(prov, "repetitions")->number, 2.0);
+}
+
+TEST(Artifact, BenchmarkEntriesCarryStatsAndFailures) {
+  const json::ValuePtr benchmarks = parsed_artifact()->get("benchmarks");
+  ASSERT_TRUE(benchmarks && benchmarks->is_array());
+  ASSERT_EQ(benchmarks->array.size(), 1u);
+  const json::ValuePtr entry = benchmarks->array[0];
+  EXPECT_EQ(require(entry, "name")->string, "tiny");
+  EXPECT_EQ(require(entry, "description")->string, "a tiny suite");
+  EXPECT_DOUBLE_EQ(require(entry, "items")->number, 64.0);
+  EXPECT_EQ(require(entry, "samples_ns")->array.size(), 2u);
+
+  const json::ValuePtr stats = require(entry, "stats");
+  ASSERT_TRUE(stats->is_object());
+  for (const char* key : {"samples", "min_ns", "max_ns", "mean_ns",
+                          "median_ns", "mad_ns", "ns_per_op",
+                          "items_per_sec"}) {
+    EXPECT_TRUE(require(stats, key)->is_number()) << key;
+  }
+  EXPECT_DOUBLE_EQ(require(stats, "samples")->number, 2.0);
+  EXPECT_GT(require(stats, "median_ns")->number, 0.0);
+
+  const json::ValuePtr failures = require(entry, "failures");
+  ASSERT_TRUE(failures->is_array());
+  ASSERT_EQ(failures->array.size(), 2u);  // one per timed repetition
+  EXPECT_NE(failures->array[0]->string.find("recorded violation"),
+            std::string::npos);
+}
+
+TEST(Artifact, MetricsBlockEmbedsTheObsSnapshot) {
+  const json::ValuePtr metrics = parsed_artifact()->get("metrics");
+  ASSERT_TRUE(metrics && metrics->is_object());
+  EXPECT_TRUE(require(metrics, "counters")->is_object());
+  EXPECT_TRUE(require(metrics, "gauges")->is_object());
+  EXPECT_TRUE(require(metrics, "histograms")->is_object());
+}
+
+TEST(Artifact, EmptyMetricsPlaceholderStaysValidJson) {
+  const std::string document =
+      render_artifact("s", collect_provenance(RunConfig{}), {}, "{}");
+  const json::ValuePtr root = json::parse(document);
+  EXPECT_TRUE(root->get("metrics")->is_object());
+  EXPECT_TRUE(root->get("benchmarks")->array.empty());
+}
+
+}  // namespace
+}  // namespace bevr::bench

@@ -1,0 +1,59 @@
+// Grid helpers shared by every bench suite. The points == 1 case used
+// to divide by (points - 1) and emit NaN; it must return {lo}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bevr/bench/bench_util.h"
+
+namespace bevr::bench {
+namespace {
+
+TEST(LinearGrid, CoversEndpointsEvenly) {
+  const auto grid = linear_grid(0.0, 10.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 10.0);
+  EXPECT_DOUBLE_EQ(grid[2], 5.0);
+}
+
+TEST(LogGrid, CoversEndpointsGeometrically) {
+  const auto grid = log_grid(1.0, 16.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_NEAR(grid.front(), 1.0, 1e-12);
+  EXPECT_NEAR(grid[1], 2.0, 1e-12);
+  EXPECT_NEAR(grid.back(), 16.0, 1e-12);
+}
+
+TEST(LinearGrid, SinglePointIsLowerBoundNotNaN) {
+  const auto grid = linear_grid(3.5, 10.0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0], 3.5);
+  EXPECT_FALSE(std::isnan(grid[0]));
+}
+
+TEST(LogGrid, SinglePointIsLowerBoundNotNaN) {
+  const auto grid = log_grid(2.0, 2048.0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0], 2.0);
+  EXPECT_FALSE(std::isnan(grid[0]));
+}
+
+TEST(Grids, NonPositivePointCountsAreEmpty) {
+  EXPECT_TRUE(linear_grid(0.0, 1.0, 0).empty());
+  EXPECT_TRUE(log_grid(1.0, 2.0, 0).empty());
+  EXPECT_TRUE(linear_grid(0.0, 1.0, -3).empty());
+  EXPECT_TRUE(log_grid(1.0, 2.0, -3).empty());
+}
+
+TEST(Grids, EveryValueIsFinite) {
+  for (const double v : linear_grid(-4.0, 4.0, 9)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const double v : log_grid(1e-8, 1e8, 33)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace bevr::bench

@@ -1,0 +1,95 @@
+// The measurement engine: warmup/repetition accounting, Context
+// plumbing (items, smoke, failures) and exception containment.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bevr/bench/harness.h"
+#include "bevr/bench/registry.h"
+
+namespace bevr::bench {
+namespace {
+
+int g_calls = 0;
+int g_smoke_calls = 0;
+
+void counting_body(Context& ctx) {
+  ++g_calls;
+  if (ctx.smoke()) ++g_smoke_calls;
+  ctx.set_items(42);
+}
+
+void failing_body(Context& ctx) {
+  ctx.fail("slope out of range");
+  ctx.fail("second violation");
+}
+
+void throwing_body(Context&) { throw std::runtime_error("boom"); }
+
+TEST(RunBenchmark, WarmupRunsAreUntimed) {
+  g_calls = 0;
+  RunConfig config;
+  config.warmup = 2;
+  config.repetitions = 3;
+  const BenchmarkResult result =
+      run_benchmark({"counting", "desc", &counting_body}, config);
+  EXPECT_EQ(g_calls, 5);  // 2 warmup + 3 timed
+  EXPECT_EQ(result.samples_ns.size(), 3u);
+  EXPECT_EQ(result.stats.samples, 3u);
+  EXPECT_EQ(result.items, 42u);
+  EXPECT_EQ(result.name, "counting");
+  EXPECT_EQ(result.description, "desc");
+  EXPECT_TRUE(result.failures.empty());
+  for (const double sample : result.samples_ns) EXPECT_GE(sample, 0.0);
+}
+
+TEST(RunBenchmark, SmokeFlagReachesTheBody) {
+  g_calls = g_smoke_calls = 0;
+  RunConfig config;
+  config.smoke = true;
+  (void)run_benchmark({"counting", "desc", &counting_body}, config);
+  EXPECT_EQ(g_calls, 1);
+  EXPECT_EQ(g_smoke_calls, 1);
+}
+
+TEST(RunBenchmark, ContextFailuresAreCollectedPerRepetition) {
+  RunConfig config;
+  config.repetitions = 2;
+  const BenchmarkResult result =
+      run_benchmark({"failing", "desc", &failing_body}, config);
+  ASSERT_EQ(result.failures.size(), 4u);  // 2 failures x 2 repetitions
+  EXPECT_NE(result.failures[0].find("slope out of range"), std::string::npos);
+  EXPECT_NE(result.failures[0].find("failing"), std::string::npos);
+}
+
+TEST(RunBenchmark, ExceptionsBecomeFailuresNotCrashes) {
+  const BenchmarkResult result =
+      run_benchmark({"throwing", "desc", &throwing_body}, RunConfig{});
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("boom"), std::string::npos);
+  EXPECT_TRUE(result.samples_ns.empty());
+}
+
+TEST(Registry, AddIsIdempotentByName) {
+  BenchmarkRegistry registry;
+  EXPECT_TRUE(registry.add({"alpha", "first", &counting_body}));
+  EXPECT_TRUE(registry.add({"alpha", "duplicate", &failing_body}));
+  ASSERT_EQ(registry.benchmarks().size(), 1u);
+  EXPECT_EQ(registry.benchmarks()[0].description, "first");
+}
+
+TEST(Registry, MatchFiltersBySubstringSorted) {
+  BenchmarkRegistry registry;
+  (void)registry.add({"fig2_poisson", "", &counting_body});
+  (void)registry.add({"fig1_utility", "", &counting_body});
+  (void)registry.add({"perf_zeta", "", &counting_body});
+  const auto figs = registry.match("fig");
+  ASSERT_EQ(figs.size(), 2u);
+  EXPECT_EQ(figs[0].name, "fig1_utility");
+  EXPECT_EQ(figs[1].name, "fig2_poisson");
+  EXPECT_EQ(registry.match("").size(), 3u);
+  EXPECT_TRUE(registry.match("nope").empty());
+}
+
+}  // namespace
+}  // namespace bevr::bench

@@ -1,0 +1,83 @@
+// The artifact reader: RFC 8259 subset parser used by the regression
+// gate and the schema tests. Malformed input must throw with a byte
+// offset, not limp along.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bevr/bench/json.h"
+
+namespace bevr::bench::json {
+namespace {
+
+TEST(JsonParse, ObjectsAndNestedLookup) {
+  const ValuePtr root = parse(R"({"a": 1, "b": {"c": "deep"}})");
+  ASSERT_TRUE(root->is_object());
+  ASSERT_TRUE(root->get("a"));
+  EXPECT_DOUBLE_EQ(root->get("a")->number, 1.0);
+  const ValuePtr c = root->get("b")->get("c");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->string, "deep");
+  EXPECT_FALSE(root->get("missing"));
+  EXPECT_FALSE(root->get("a")->get("not_an_object"));
+}
+
+TEST(JsonParse, ArraysKeepOrder) {
+  const ValuePtr root = parse(R"([1, 2.5, -3e2, "x", true, null])");
+  ASSERT_TRUE(root->is_array());
+  ASSERT_EQ(root->array.size(), 6u);
+  EXPECT_DOUBLE_EQ(root->array[0]->number, 1.0);
+  EXPECT_DOUBLE_EQ(root->array[1]->number, 2.5);
+  EXPECT_DOUBLE_EQ(root->array[2]->number, -300.0);
+  EXPECT_EQ(root->array[3]->string, "x");
+  EXPECT_EQ(root->array[4]->type, Type::kBool);
+  EXPECT_TRUE(root->array[4]->boolean);
+  EXPECT_EQ(root->array[5]->type, Type::kNull);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const ValuePtr root = parse(R"(["a\"b", "tab\there", "back\\slash",
+                                 "new\nline"])");
+  ASSERT_EQ(root->array.size(), 4u);
+  EXPECT_EQ(root->array[0]->string, "a\"b");
+  EXPECT_EQ(root->array[1]->string, "tab\there");
+  EXPECT_EQ(root->array[2]->string, "back\\slash");
+  EXPECT_EQ(root->array[3]->string, "new\nline");
+}
+
+TEST(JsonParse, UnicodeEscapeDecodesAscii) {
+  // ["A"], assembled without a \u in the source literal.
+  const std::string document = std::string("[\"") + '\\' + "u0041\"]";
+  const ValuePtr root = parse(document);
+  ASSERT_EQ(root->array.size(), 1u);
+  EXPECT_EQ(root->array[0]->string, "A");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("{}")->object.empty());
+  EXPECT_TRUE(parse("[]")->array.empty());
+  EXPECT_TRUE(parse("  {}  ")->is_object());  // surrounding whitespace ok
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  try {
+    (void)parse(R"({"a": })");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("6"), std::string::npos)
+        << "error should carry the byte offset: " << error.what();
+  }
+  EXPECT_THROW((void)parse(""), std::runtime_error);
+  EXPECT_THROW((void)parse("{"), std::runtime_error);
+  EXPECT_THROW((void)parse(R"(["unterminated)"), std::runtime_error);
+  EXPECT_THROW((void)parse("[1, 2,]"), std::runtime_error);
+}
+
+TEST(JsonParse, TrailingGarbageIsAnError) {
+  EXPECT_THROW((void)parse("{} {}"), std::runtime_error);
+  EXPECT_THROW((void)parse("1 2"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bevr::bench::json

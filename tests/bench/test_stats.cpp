@@ -1,0 +1,61 @@
+// Robust timing statistics: median/MAD summaries and the derived
+// per-op rates the artifact schema carries.
+#include <gtest/gtest.h>
+
+#include "bevr/bench/stats.h"
+
+namespace bevr::bench {
+namespace {
+
+TEST(Median, OddCountPicksMiddle) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, EmptyIsZero) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(ComputeStats, SummarizesSamples) {
+  const SampleStats stats = compute_stats({100.0, 300.0, 200.0, 1000.0});
+  EXPECT_EQ(stats.samples, 4u);
+  EXPECT_DOUBLE_EQ(stats.min_ns, 100.0);
+  EXPECT_DOUBLE_EQ(stats.max_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ns, 400.0);
+  EXPECT_DOUBLE_EQ(stats.median_ns, 250.0);
+  // |100-250|,|300-250|,|200-250|,|1000-250| = 150,50,50,750 -> median 100
+  EXPECT_DOUBLE_EQ(stats.mad_ns, 100.0);
+}
+
+TEST(ComputeStats, MedianShrugsOffOneOutlier) {
+  const SampleStats clean = compute_stats({100.0, 101.0, 102.0});
+  const SampleStats noisy = compute_stats({100.0, 101.0, 102.0, 5000.0});
+  EXPECT_NEAR(clean.median_ns, noisy.median_ns, 1.0);
+  EXPECT_GT(noisy.mean_ns, 1000.0);  // the mean does not
+}
+
+TEST(ComputeStats, EmptyIsAllZero) {
+  const SampleStats stats = compute_stats({});
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.median_ns, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mad_ns, 0.0);
+}
+
+TEST(Rates, NsPerOpDividesByItems) {
+  SampleStats stats;
+  stats.median_ns = 1000.0;
+  EXPECT_DOUBLE_EQ(ns_per_op(stats, 10), 100.0);
+  EXPECT_DOUBLE_EQ(ns_per_op(stats, 0), 1000.0);  // 0 treated as 1
+}
+
+TEST(Rates, ItemsPerSecInvertsTheMedian) {
+  SampleStats stats;
+  stats.median_ns = 1e9;  // one second per repetition
+  EXPECT_DOUBLE_EQ(items_per_sec(stats, 500), 500.0);
+  stats.median_ns = 0.0;
+  EXPECT_DOUBLE_EQ(items_per_sec(stats, 500), 0.0);
+}
+
+}  // namespace
+}  // namespace bevr::bench

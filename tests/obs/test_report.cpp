@@ -44,6 +44,57 @@ TEST(PromMetricName, SanitizesPathsToExpositionNames) {
   EXPECT_EQ(prom_metric_name("weird name-x"), "bevr_weird_name_x");
 }
 
+void check_prom_grammar(const std::string& exposition);
+
+TEST(PromLabelValue, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(prom_label_value("plain"), "plain");
+  EXPECT_EQ(prom_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_label_value("line\nbreak"), "line\\nbreak");
+}
+
+TEST(RenderReport, PromSanitizesHostileMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("rates.per-second here").add(7);
+  registry.gauge("queue depth (now)").set(1.0);
+  const std::string prom =
+      render_report(registry.snapshot(), ReportFormat::kProm);
+  check_prom_grammar(prom);
+  EXPECT_NE(prom.find("bevr_rates_per_second_here_total 7"),
+            std::string::npos);
+  EXPECT_NE(prom.find("bevr_queue_depth__now_ 1"), std::string::npos);
+}
+
+TEST(RenderReport, PromUniquesCollidingSanitizedNames) {
+  // Distinct raw names that sanitize identically must not produce two
+  // `# TYPE bevr_a_b_total` lines (that's an invalid scrape page).
+  MetricsRegistry registry;
+  registry.counter("a-b").add(1);
+  registry.counter("a.b").add(2);
+  registry.counter("a b").add(3);
+  const std::string prom =
+      render_report(registry.snapshot(), ReportFormat::kProm);
+  check_prom_grammar(prom);
+  std::istringstream stream(prom);
+  std::string line;
+  std::vector<std::string> type_names;
+  while (std::getline(stream, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto rest = line.substr(7);
+      type_names.push_back(rest.substr(0, rest.find(' ')));
+    }
+  }
+  ASSERT_EQ(type_names.size(), 3u);
+  for (std::size_t i = 0; i < type_names.size(); ++i) {
+    for (std::size_t j = i + 1; j < type_names.size(); ++j) {
+      EXPECT_NE(type_names[i], type_names[j]);
+    }
+  }
+  EXPECT_NE(prom.find("bevr_a_b_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("bevr_a_b_total_dup2 2"), std::string::npos);
+  EXPECT_NE(prom.find("bevr_a_b_total_dup3 3"), std::string::npos);
+}
+
 TEST(RenderReport, TextContainsEveryMetric) {
   const std::string text =
       render_report(sample_snapshot(), ReportFormat::kText);

@@ -1,0 +1,113 @@
+// SnapshottingSink: the decorator must forward every sink event to the
+// wrapped sink unchanged while appending one valid JSON snapshot line
+// every N rows plus a final one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../obs/json_lite.h"
+#include "bevr/runner/result_sink.h"
+
+namespace bevr::runner {
+namespace {
+
+RunMetadata sample_metadata() {
+  RunMetadata metadata;
+  metadata.scenario = "fig2_poisson";
+  metadata.model = "best_effort";
+  metadata.base_seed = 42;
+  metadata.threads = 4;
+  return metadata;
+}
+
+/// Drive a sink through begin / `rows` rows / finish.
+void drive(ResultSink& sink, std::size_t rows) {
+  sink.begin(sample_metadata(), {"load", "welfare"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    ResultRow row;
+    row.index = i;
+    row.values = {static_cast<double>(i), 0.5};
+    sink.row(row);
+  }
+  RunSummary summary;
+  summary.rows = rows;
+  sink.finish(summary);
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(SnapshottingSink, EmitsEveryNRowsPlusFinal) {
+  VectorSink inner;
+  std::ostringstream out;
+  SnapshottingSink sink(inner, out, 3);
+  drive(sink, 10);
+  // Periodic at rows 3, 6, 9 plus the final one.
+  EXPECT_EQ(sink.snapshots_written(), 4u);
+  EXPECT_EQ(lines_of(out.str()).size(), 4u);
+}
+
+TEST(SnapshottingSink, EveryZeroWritesOnlyTheFinalSnapshot) {
+  VectorSink inner;
+  std::ostringstream out;
+  SnapshottingSink sink(inner, out, 0);
+  drive(sink, 10);
+  EXPECT_EQ(sink.snapshots_written(), 1u);
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);
+}
+
+TEST(SnapshottingSink, LinesAreValidJsonSnapshots) {
+  VectorSink inner;
+  std::ostringstream out;
+  SnapshottingSink sink(inner, out, 2);
+  drive(sink, 4);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);  // rows 2 and 4, then final
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(bevr::test_json::valid_json(line)) << line;
+    EXPECT_NE(line.find("\"type\":\"snapshot\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"scenario\":\"fig2_poisson\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"metrics\":"), std::string::npos) << line;
+  }
+  EXPECT_NE(lines[0].find("\"phase\":\"periodic\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"rows\":2"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"phase\":\"final\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"rows\":4"), std::string::npos);
+}
+
+TEST(SnapshottingSink, ForwardsEverythingToTheInnerSink) {
+  VectorSink inner;
+  std::ostringstream out;
+  SnapshottingSink sink(inner, out, 2);
+  drive(sink, 5);
+  EXPECT_EQ(inner.metadata().scenario, "fig2_poisson");
+  EXPECT_EQ(inner.metadata().base_seed, 42u);
+  ASSERT_EQ(inner.columns().size(), 2u);
+  EXPECT_EQ(inner.columns()[1], "welfare");
+  ASSERT_EQ(inner.rows().size(), 5u);
+  EXPECT_EQ(inner.rows()[3].index, 3u);
+  EXPECT_DOUBLE_EQ(inner.rows()[3].values[0], 3.0);
+  EXPECT_EQ(inner.summary().rows, 5u);
+}
+
+TEST(SnapshottingSink, SecondScenarioResetsTheRowCounter) {
+  VectorSink inner;
+  std::ostringstream out;
+  SnapshottingSink sink(inner, out, 4);
+  drive(sink, 3);  // no periodic snapshot; one final
+  drive(sink, 5);  // periodic at row 4; one final
+  EXPECT_EQ(sink.snapshots_written(), 3u);
+}
+
+}  // namespace
+}  // namespace bevr::runner
