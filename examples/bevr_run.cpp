@@ -7,7 +7,7 @@
 //   bevr_run --list [filter]
 //   bevr_run <scenario|filter> [--threads N] [--seed S]
 //            [--format csv|jsonl] [--output FILE] [--no-cache] [--no-gap]
-//            [--report text|json|prom] [--metrics-out FILE]
+//            [--no-kernels] [--report text|json|prom] [--metrics-out FILE]
 //            [--snapshot-every N] [--trace-out FILE]
 //
 //   --list        print matching scenarios (name, model, grid, description)
@@ -18,6 +18,9 @@
 //   --output      write to FILE instead of stdout
 //   --no-cache    disable memoized evaluation (same results, slower)
 //   --no-gap      skip the bandwidth-gap column (the expensive root solve)
+//   --no-kernels  evaluate through the scalar model instead of the
+//                 bevr::kernels batched sweep path (same results, slower;
+//                 the escape hatch the equivalence checks diff against)
 //   --report F    render the end-of-run metrics report as text, json or
 //                 prom (Prometheus exposition); goes to stderr unless
 //                 --metrics-out is given
@@ -81,7 +84,7 @@ int usage(const char* argv0, const char* error) {
                "usage: %s --list [filter]\n"
                "       %s <scenario|filter> [--threads N] [--seed S]\n"
                "          [--format csv|jsonl] [--output FILE] [--no-cache] "
-               "[--no-gap]\n"
+               "[--no-gap] [--no-kernels]\n"
                "          [--report text|json|prom] [--metrics-out FILE] "
                "[--snapshot-every N] [--trace-out FILE]\n",
                argv0, argv0);
@@ -135,7 +138,7 @@ int main(int argc, char** argv) try {
       return argv[++i];
     };
     if (has_inline && (arg == "--list" || arg == "--no-cache" ||
-                       arg == "--no-gap")) {
+                       arg == "--no-gap" || arg == "--no-kernels")) {
       return usage(argv[0], (arg + " does not take a value").c_str());
     }
     if (arg == "--list") {
@@ -195,6 +198,8 @@ int main(int argc, char** argv) try {
       options.use_cache = false;
     } else if (arg == "--no-gap") {
       skip_gap = true;
+    } else if (arg == "--no-kernels") {
+      options.use_kernels = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0], ("unknown option '" + arg + "'").c_str());
     } else if (target.empty()) {

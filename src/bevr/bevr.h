@@ -13,6 +13,10 @@
 //   bevr::net      — reservation-capable network substrate
 //                    (TSpec/RSpec, RSVP-style soft state,
 //                    admission control, GPS scheduling)
+//   bevr::kernels  — batched sweep-evaluation kernels: flat load
+//                    tables, utility value_batch plumbing and
+//                    warm-started k_max, bit-identical to the scalar
+//                    model but built for dense sorted grids
 //   bevr::runner   — parallel experiment engine: declarative
 //                    ScenarioSpecs + paper-figure registry, a
 //                    deterministic thread-pool executor with per-task
@@ -41,6 +45,9 @@
 #include "bevr/dist/poisson.h"
 #include "bevr/dist/sampler.h"
 #include "bevr/dist/size_biased.h"
+#include "bevr/kernels/load_table.h"
+#include "bevr/kernels/sweep_evaluator.h"
+#include "bevr/kernels/warm_kmax.h"
 #include "bevr/net/admission.h"
 #include "bevr/net/flowspec.h"
 #include "bevr/net/network_sim.h"

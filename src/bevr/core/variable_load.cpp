@@ -29,6 +29,9 @@ VariableLoadModel::VariableLoadModel(
   if (!(mean_ > 0.0) || !std::isfinite(mean_)) {
     throw std::invalid_argument("VariableLoadModel: load mean must be finite");
   }
+  // Hoisted out of flow_utility_between: the exact-tail truncation point
+  // depends only on (load, tail_eps), never on capacity.
+  k_exact_ = load_->truncation_point(options_.tail_eps);
 }
 
 std::optional<std::int64_t> VariableLoadModel::k_max(double capacity) const {
@@ -49,7 +52,7 @@ double VariableLoadModel::flow_utility_between(double capacity,
     k_hi = std::min(k_hi, cutoff);
   }
   // Beyond the exact-tail point the remaining mass is negligible.
-  const std::int64_t k_exact = load_->truncation_point(options_.tail_eps);
+  const std::int64_t k_exact = k_exact_;
   k_hi = std::min(k_hi, std::max(k_exact, k_lo));
   if (k_hi < k_lo) return 0.0;
 

@@ -76,6 +76,21 @@ class VariableLoadModel {
   [[nodiscard]] const dist::DiscreteLoad& load() const { return *load_; }
   [[nodiscard]] const utility::UtilityFunction& util() const { return *pi_; }
 
+  /// The accuracy/cost knobs this model was built with. The kernels
+  /// layer reads these to mirror the series evaluation exactly.
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Shared ownership of the load/utility, for wrappers (kernels) that
+  /// must outlive-proof their references.
+  [[nodiscard]] const std::shared_ptr<const dist::DiscreteLoad>& load_ptr()
+      const {
+    return load_;
+  }
+  [[nodiscard]] const std::shared_ptr<const utility::UtilityFunction>&
+  util_ptr() const {
+    return pi_;
+  }
+
  private:
   /// Σ_{k=k_lo}^{k_hi} P(k)·k·π(C/k), hybrid direct/integral evaluation.
   [[nodiscard]] double flow_utility_between(double capacity,
@@ -86,6 +101,9 @@ class VariableLoadModel {
   std::shared_ptr<const utility::UtilityFunction> pi_;
   Options options_;
   double mean_;
+  /// truncation_point(tail_eps), hoisted: capacity-independent, and the
+  /// closed form is nontrivial for heavy-tailed loads.
+  std::int64_t k_exact_;
 };
 
 }  // namespace bevr::core

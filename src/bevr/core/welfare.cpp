@@ -14,6 +14,14 @@ namespace bevr::core {
 WelfarePoint maximize_welfare(
     const std::function<double(double)>& total_utility, double price,
     double scale_hint, int grid_points) {
+  return maximize_welfare(total_utility, numerics::GridEvalFn{}, price,
+                          scale_hint, grid_points);
+}
+
+WelfarePoint maximize_welfare(
+    const std::function<double(double)>& total_utility,
+    const numerics::GridEvalFn& total_utility_grid, double price,
+    double scale_hint, int grid_points) {
   if (!(price > 0.0)) {
     throw std::invalid_argument("maximize_welfare: price must be > 0");
   }
@@ -27,12 +35,38 @@ WelfarePoint maximize_welfare(
   };
   // Expand the upper search bound until the objective is declining at
   // the boundary (checking hi against 0.9·hi catches optima between
-  // hi and 2·hi that a hi-vs-2·hi comparison would miss).
+  // hi and 2·hi that a hi-vs-2·hi comparison would miss). The boundary
+  // value is carried across doublings instead of re-evaluated — the
+  // expansion costs one objective call per step, not two.
   double hi = 4.0 * scale_hint;
+  double at_hi = objective(hi);
   constexpr double kHardCap = 1e10;
-  while (hi < kHardCap && objective(hi) >= objective(0.9 * hi)) hi *= 2.0;
-  const auto best =
-      numerics::grid_refine_max(objective, 0.0, hi, grid_points, 1e-9);
+  while (hi < kHardCap && at_hi >= objective(0.9 * hi)) {
+    hi *= 2.0;
+    at_hi = objective(hi);
+  }
+  numerics::MaxResult best;
+  if (total_utility_grid) {
+    // Batch the scan stage. The objective arithmetic applied to the
+    // batched V values is the exact expression `objective` uses, so
+    // the scan sees the identical doubles in the identical order.
+    auto objective_grid = [&total_utility_grid, price](
+                              double lo, double grid_hi, int n,
+                              std::span<double> out) {
+      total_utility_grid(lo, grid_hi, n, out);
+      const double step = (grid_hi - lo) / (n - 1);
+      for (int i = 0; i < n; ++i) {
+        const double v = out[static_cast<std::size_t>(i)];
+        out[static_cast<std::size_t>(i)] =
+            std::isfinite(v) ? v - price * (lo + step * i)
+                             : -std::numeric_limits<double>::infinity();
+      }
+    };
+    best = numerics::grid_refine_max(objective, objective_grid, 0.0, hi,
+                                     grid_points, 1e-9);
+  } else {
+    best = numerics::grid_refine_max(objective, 0.0, hi, grid_points, 1e-9);
+  }
   if (best.value <= 0.0) return {0.0, 0.0};  // building nothing is optimal
   return {best.x, best.value};
 }
@@ -67,8 +101,19 @@ double equalizing_price_ratio(
 WelfareAnalysis::WelfareAnalysis(std::function<double(double)> v_best_effort,
                                  std::function<double(double)> v_reservation,
                                  double scale_hint)
+    : WelfareAnalysis(std::move(v_best_effort), std::move(v_reservation),
+                      numerics::GridEvalFn{}, numerics::GridEvalFn{},
+                      scale_hint) {}
+
+WelfareAnalysis::WelfareAnalysis(std::function<double(double)> v_best_effort,
+                                 std::function<double(double)> v_reservation,
+                                 numerics::GridEvalFn v_best_effort_grid,
+                                 numerics::GridEvalFn v_reservation_grid,
+                                 double scale_hint)
     : v_b_(std::move(v_best_effort)),
       v_r_(std::move(v_reservation)),
+      vg_b_(std::move(v_best_effort_grid)),
+      vg_r_(std::move(v_reservation_grid)),
       scale_(scale_hint) {
   if (!v_b_ || !v_r_) {
     throw std::invalid_argument("WelfareAnalysis: null utility callables");
@@ -79,11 +124,11 @@ WelfareAnalysis::WelfareAnalysis(std::function<double(double)> v_best_effort,
 }
 
 WelfarePoint WelfareAnalysis::best_effort(double price) const {
-  return maximize_welfare(v_b_, price, scale_);
+  return maximize_welfare(v_b_, vg_b_, price, scale_);
 }
 
 WelfarePoint WelfareAnalysis::reservation(double price) const {
-  return maximize_welfare(v_r_, price, scale_);
+  return maximize_welfare(v_r_, vg_r_, price, scale_);
 }
 
 double WelfareAnalysis::price_ratio(double price) const {

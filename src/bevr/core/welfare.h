@@ -13,6 +13,8 @@
 
 #include <functional>
 
+#include "bevr/numerics/optimize.h"
+
 namespace bevr::core {
 
 /// A provisioning decision: chosen capacity and the welfare it yields.
@@ -28,6 +30,18 @@ struct WelfarePoint {
 /// welfare is ≥ 0.
 [[nodiscard]] WelfarePoint maximize_welfare(
     const std::function<double(double)>& total_utility, double price,
+    double scale_hint, int grid_points = 512);
+
+/// maximize_welfare with the scan stage of the search batched:
+/// `total_utility_grid` fills out[i] with V(lo + step·i) — the exact
+/// doubles total_utility would return — in one call, so a batched
+/// backend (bevr::kernels, or a caller-side cache of the recurring
+/// V grid) pays the virtual-dispatch and lookup costs once per scan
+/// instead of once per point. Same probes, same comparisons, same
+/// result bits as the scalar overload. Null grid fn falls back to it.
+[[nodiscard]] WelfarePoint maximize_welfare(
+    const std::function<double(double)>& total_utility,
+    const numerics::GridEvalFn& total_utility_grid, double price,
     double scale_hint, int grid_points = 512);
 
 /// Equalising price ratio γ(p): solves W_R(p̂) = W_B(p) for p̂ ≥ p given
@@ -48,6 +62,15 @@ class WelfareAnalysis {
                   std::function<double(double)> v_reservation,
                   double scale_hint);
 
+  /// Batched variant: the grid callables feed the scan stage of every
+  /// maximisation (see the grid maximize_welfare overload); the scalar
+  /// callables still serve the refinement probes. Null grid callables
+  /// degrade to the scalar path member by member.
+  WelfareAnalysis(std::function<double(double)> v_best_effort,
+                  std::function<double(double)> v_reservation,
+                  numerics::GridEvalFn v_best_effort_grid,
+                  numerics::GridEvalFn v_reservation_grid, double scale_hint);
+
   [[nodiscard]] WelfarePoint best_effort(double price) const;
   [[nodiscard]] WelfarePoint reservation(double price) const;
 
@@ -57,6 +80,8 @@ class WelfareAnalysis {
  private:
   std::function<double(double)> v_b_;
   std::function<double(double)> v_r_;
+  numerics::GridEvalFn vg_b_;
+  numerics::GridEvalFn vg_r_;
   double scale_;
 };
 

@@ -1,0 +1,133 @@
+#include "bevr/kernels/warm_kmax.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "bevr/core/fixed_load.h"
+#include "bevr/obs/metrics.h"
+
+namespace bevr::kernels {
+
+namespace {
+
+// One resume slot per thread: the runner's parallel_for hands each
+// worker a strictly increasing sequence of grid indices, so per-thread
+// capacities are sorted and a single slot is all the warmth there is.
+struct ResumeSlot {
+  std::uint64_t owner = 0;  // WarmKmax id; 0 = empty
+  double capacity = 0.0;
+  std::int64_t k = 0;
+};
+
+ResumeSlot& resume_slot() {
+  thread_local ResumeSlot slot;
+  return slot;
+}
+
+std::uint64_t next_warm_kmax_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+obs::Counter warm_hits_counter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::global().counter("kernels/kmax/warm_hits");
+  return counter;
+}
+
+obs::Counter cold_starts_counter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::global().counter("kernels/kmax/cold_starts");
+  return counter;
+}
+
+obs::Counter probes_counter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::global().counter("kernels/kmax/probes");
+  return counter;
+}
+
+}  // namespace
+
+WarmKmax::WarmKmax() : id_(next_warm_kmax_id()) {}
+
+std::optional<std::int64_t> WarmKmax::k_max(
+    const utility::UtilityFunction& pi, double capacity) const {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("k_max: capacity must be positive");
+  }
+  // Closed forms, verbatim from core::k_max — nothing to warm-start.
+  if (const auto* rigid = dynamic_cast<const utility::Rigid*>(&pi)) {
+    const auto k = static_cast<std::int64_t>(
+        std::floor(capacity / rigid->requirement()));
+    return k >= 1 ? std::optional<std::int64_t>(k) : std::nullopt;
+  }
+  if (dynamic_cast<const utility::PiecewiseLinear*>(&pi) != nullptr) {
+    const auto k = static_cast<std::int64_t>(std::floor(capacity));
+    return k >= 1 ? std::optional<std::int64_t>(k) : std::nullopt;
+  }
+  if (!pi.inelastic()) return std::nullopt;
+  if (!pi.unimodal_total_utility()) {
+    // Mixtures: the exhaustive scan is the contract; don't warm-start.
+    return core::k_max(pi, capacity);
+  }
+
+  ResumeSlot& slot = resume_slot();
+  const std::int64_t cap = std::max<std::int64_t>(
+      1024, static_cast<std::int64_t>(std::ceil(8.0 * capacity)) + 16);
+  const bool warm =
+      slot.owner == id_ && capacity >= slot.capacity && slot.k >= 1 &&
+      slot.k < cap;
+  if (!warm) {
+    // Cold (first point, or an out-of-order probe such as a welfare
+    // refinement jumping back down the grid): the ternary search is
+    // cheaper than climbing from 1.
+    cold_starts_counter().inc();
+    const auto result = core::k_max(pi, capacity);
+    if (result) slot = {id_, capacity, *result};
+    return result;
+  }
+
+  auto v = [&pi, capacity](std::int64_t k) {
+    return core::total_utility(pi, capacity, k);
+  };
+  // k_max is nondecreasing in capacity, so the previous answer is at or
+  // below the new one: climb from there. The descent guard catches a
+  // violated invariant (it would mean the utility mis-reports
+  // unimodality) by falling back to the full search.
+  std::int64_t k = slot.k;
+  std::uint64_t probes = 1;
+  double vk = v(k);
+  if (k > 1) {
+    ++probes;
+    if (v(k - 1) > vk) {
+      probes_counter().add(probes);
+      cold_starts_counter().inc();
+      const auto result = core::k_max(pi, capacity);
+      if (result) slot = {id_, capacity, *result};
+      return result;
+    }
+  }
+  while (k < cap) {
+    ++probes;
+    const double vn = v(k + 1);
+    if (!(vn > vk)) break;  // first non-increase = leftmost maximiser
+    vk = vn;
+    ++k;
+  }
+  probes_counter().add(probes);
+  if (k >= cap) {
+    // Still climbing at the safety cap: defer to core::k_max's
+    // cap-growth loop (also covers its nullopt give-up behaviour).
+    cold_starts_counter().inc();
+    const auto result = core::k_max(pi, capacity);
+    if (result) slot = {id_, capacity, *result};
+    return result;
+  }
+  warm_hits_counter().inc();
+  slot = {id_, capacity, k};
+  return k;
+}
+
+}  // namespace bevr::kernels

@@ -1,0 +1,44 @@
+// Warm-started admission-threshold search.
+//
+// k_max(C) = argmax_k k·π(C/k) is monotone nondecreasing in C (raising
+// capacity never lowers the optimal admission count — the property
+// test in tests/kernels pins this), and sweep grids are sorted. So
+// instead of a fresh ternary search per grid point, a WarmKmax resumes
+// the hill climb from the previous grid point's answer: after the
+// first (cold) point, each subsequent point costs a handful of V(k)
+// probes instead of O(log C) — and on a parallel sweep, the runner's
+// atomic-claim loop hands each worker increasing indices, so a
+// thread-local resume slot stays warm per thread without any sharing.
+//
+// Results match core::k_max exactly: the paper's single-class
+// utilities have strictly unimodal V(k) (plateaus excepted, where both
+// searches resolve to the leftmost maximiser), closed forms are reused
+// verbatim for Rigid / PiecewiseLinear, and anything the warm scan
+// cannot certify (mixtures flagged non-unimodal, cold starts, cap
+// overruns) is delegated to core::k_max.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bevr/utility/utility.h"
+
+namespace bevr::kernels {
+
+class WarmKmax {
+ public:
+  /// Each instance gets a process-unique id; the thread-local resume
+  /// slot is keyed on it so evaluators never inherit another model's
+  /// stale state (even after address reuse).
+  WarmKmax();
+
+  /// Same contract as core::k_max (throws on capacity <= 0; nullopt
+  /// for elastic utilities), same answers.
+  [[nodiscard]] std::optional<std::int64_t> k_max(
+      const utility::UtilityFunction& pi, double capacity) const;
+
+ private:
+  std::uint64_t id_;
+};
+
+}  // namespace bevr::kernels

@@ -17,6 +17,12 @@ class KahanSum {
   constexpr KahanSum() noexcept = default;
   constexpr explicit KahanSum(double initial) noexcept : sum_(initial) {}
 
+  /// Resume from a previously captured (raw_sum, compensation) pair:
+  /// the kernels layer stores prefix states so a summation can continue
+  /// mid-series bit-identically to a scalar loop that never stopped.
+  constexpr KahanSum(double raw_sum, double compensation) noexcept
+      : sum_(raw_sum), comp_(compensation) {}
+
   /// Add a term, tracking the rounding error of the addition.
   constexpr void add(double term) noexcept {
     const double t = sum_ + term;
@@ -36,6 +42,15 @@ class KahanSum {
 
   /// The compensated total.
   [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+  /// The uncompensated running sum (pairs with compensation() to
+  /// capture the full accumulator state for later resumption).
+  [[nodiscard]] constexpr double raw_sum() const noexcept { return sum_; }
+
+  /// The accumulated rounding-error compensation.
+  [[nodiscard]] constexpr double compensation() const noexcept {
+    return comp_;
+  }
 
  private:
   double sum_ = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace bevr::numerics {
 
@@ -57,6 +58,36 @@ MaxResult grid_refine_max(const std::function<double(double)>& f, double lo,
   const double b = std::min(hi, best_x + step);
   MaxResult refined = golden_section_max(f, a, b, x_tol);
   refined.evaluations += evals;
+  if (refined.value < best_v) {
+    refined.x = best_x;
+    refined.value = best_v;
+  }
+  return refined;
+}
+
+MaxResult grid_refine_max(const std::function<double(double)>& f,
+                          const GridEvalFn& grid_eval, double lo, double hi,
+                          int grid_points, double x_tol) {
+  if (!grid_eval) return grid_refine_max(f, lo, hi, grid_points, x_tol);
+  if (!(lo <= hi)) throw std::invalid_argument("grid_refine_max: lo > hi");
+  if (grid_points < 3) throw std::invalid_argument("grid_refine_max: need >= 3 grid points");
+  const double step = (hi - lo) / (grid_points - 1);
+  std::vector<double> values(static_cast<std::size_t>(grid_points));
+  grid_eval(lo, hi, grid_points, values);
+  // Same scan as the scalar overload: i = 0 seeds, strict > advances.
+  double best_x = lo;
+  double best_v = values[0];
+  for (int i = 1; i < grid_points; ++i) {
+    const double v = values[static_cast<std::size_t>(i)];
+    if (v > best_v) {
+      best_v = v;
+      best_x = lo + step * i;
+    }
+  }
+  const double a = std::max(lo, best_x - step);
+  const double b = std::min(hi, best_x + step);
+  MaxResult refined = golden_section_max(f, a, b, x_tol);
+  refined.evaluations += grid_points;
   if (refined.value < best_v) {
     refined.x = best_x;
     refined.value = best_v;

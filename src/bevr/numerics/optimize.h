@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 namespace bevr::numerics {
 
@@ -31,6 +32,22 @@ struct MaxResult {
 [[nodiscard]] MaxResult grid_refine_max(
     const std::function<double(double)>& f, double lo, double hi,
     int grid_points = 512, double x_tol = 1e-9);
+
+/// Bulk evaluation of an objective over the equally spaced scan grid of
+/// grid_refine_max: out[i] must receive f(lo + step·i) exactly, for
+/// step = (hi − lo)/(n − 1). Callers batch the dominant cost of the
+/// scan (one kernel sweep / one table fill) while the refinement stage
+/// keeps probing the scalar f.
+using GridEvalFn =
+    std::function<void(double lo, double hi, int n, std::span<double> out)>;
+
+/// grid_refine_max with the scan stage batched through `grid_eval`.
+/// Identical scan order and comparisons as the scalar overload, so for
+/// a grid_eval that honours its exact-value contract the result is
+/// bit-identical — only the evaluation plumbing changes.
+[[nodiscard]] MaxResult grid_refine_max(
+    const std::function<double(double)>& f, const GridEvalFn& grid_eval,
+    double lo, double hi, int grid_points = 512, double x_tol = 1e-9);
 
 /// Result of an integer argmax search.
 struct IntMaxResult {

@@ -13,10 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
+#include <tuple>
+#include <vector>
 
 #include "bevr/core/variable_load.h"
+#include "bevr/kernels/sweep_evaluator.h"
 #include "bevr/runner/memo_cache.h"
 
 namespace bevr::runner {
@@ -28,6 +34,15 @@ class MemoizedVariableLoad {
   MemoizedVariableLoad(std::shared_ptr<const core::VariableLoadModel> model,
                        std::shared_ptr<MemoCache> cache);
 
+  /// Kernel-accelerated variant: cache misses are computed through the
+  /// SweepEvaluator instead of the scalar model. The evaluator's
+  /// equivalence contract (bit-identical results) keeps the façade's
+  /// own guarantee intact, so cached values from either path agree.
+  MemoizedVariableLoad(
+      std::shared_ptr<const core::VariableLoadModel> model,
+      std::shared_ptr<MemoCache> cache,
+      std::shared_ptr<const kernels::SweepEvaluator> kernel);
+
   [[nodiscard]] double mean_load() const { return model_->mean_load(); }
   [[nodiscard]] std::optional<std::int64_t> k_max(double capacity) const;
   [[nodiscard]] double best_effort(double capacity) const;
@@ -38,12 +53,53 @@ class MemoizedVariableLoad {
   [[nodiscard]] double bandwidth_gap(double capacity) const;
   [[nodiscard]] double blocking_fraction(double capacity) const;
 
+  /// Bulk total-utility evaluation over the equally spaced grid
+  /// lo + step·i, step = (hi − lo)/(n − 1) — the welfare maximiser's
+  /// scan stage (numerics::GridEvalFn contract). out[i] receives the
+  /// exact double the scalar accessor returns at that capacity. Whole
+  /// grids are cached by (lo, hi, n): the maximiser re-scans the same
+  /// grid once per root-solve iterate, so after the first fill every
+  /// scan is a flat-vector copy.
+  void total_best_effort_grid(double lo, double hi, int n,
+                              std::span<double> out) const;
+  void total_reservation_grid(double lo, double hi, int n,
+                              std::span<double> out) const;
+
   [[nodiscard]] const core::VariableLoadModel& model() const { return *model_; }
 
+  /// The kernel evaluator computing cache misses, or nullptr when this
+  /// façade runs the scalar path.
+  [[nodiscard]] const kernels::SweepEvaluator* kernel() const {
+    return kernel_.get();
+  }
+
  private:
+  // Compute-on-miss dispatch: kernel when present, scalar model
+  // otherwise. Both return identical doubles by contract.
+  [[nodiscard]] std::optional<std::int64_t> eval_k_max(double capacity) const;
+  [[nodiscard]] double eval_best_effort(double capacity) const;
+  [[nodiscard]] double eval_reservation(double capacity) const;
+  [[nodiscard]] double eval_total_best_effort(double capacity) const;
+  [[nodiscard]] double eval_total_reservation(double capacity) const;
+  [[nodiscard]] double eval_performance_gap(double capacity) const;
+  [[nodiscard]] double eval_bandwidth_gap(double capacity) const;
+  [[nodiscard]] double eval_blocking_fraction(double capacity) const;
+
+  /// Shared fill-then-copy helper for the *_grid accessors.
+  void fill_grid(char tag, double lo, double hi, int n,
+                 std::span<double> out) const;
+
   std::shared_ptr<const core::VariableLoadModel> model_;
   std::shared_ptr<MemoCache> cache_;
+  std::shared_ptr<const kernels::SweepEvaluator> kernel_;
   std::uint64_t instance_id_;  ///< disambiguates models sharing a cache
+  /// Whole-grid memo for the *_grid accessors, keyed by (tag, lo, hi,
+  /// n). Tiny (a handful of distinct grids per run), so an ordered map
+  /// under one mutex beats anything fancier.
+  mutable std::mutex grid_mutex_;
+  mutable std::map<std::tuple<char, double, double, int>,
+                   std::vector<double>>
+      grid_cache_;
 };
 
 }  // namespace bevr::runner

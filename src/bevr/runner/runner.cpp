@@ -5,11 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <stdexcept>
 
 #include "bevr/core/fixed_load.h"
 #include "bevr/core/welfare.h"
 #include "bevr/dist/algebraic.h"
+#include "bevr/kernels/sweep_evaluator.h"
+#include "bevr/kernels/warm_kmax.h"
 #include "bevr/obs/metrics.h"
 #include "bevr/obs/trace.h"
 #include "bevr/runner/memoized_model.h"
@@ -43,17 +46,48 @@ std::shared_ptr<const dist::DiscreteLoad> make_load_cached(
 // One evaluated grid point; the body must touch only rows[i].
 using Plan = std::function<void(std::int64_t)>;
 
+// The memoizing façade every model-backed plan evaluates through; with
+// use_kernels, cache misses go to a SweepEvaluator (same values, per
+// the kernels equivalence contract) instead of the scalar model.
+std::shared_ptr<MemoizedVariableLoad> make_variable_model(
+    const ScenarioSpec& spec, const std::shared_ptr<MemoCache>& cache,
+    bool use_kernels,
+    std::shared_ptr<const utility::UtilityFunction> pi = nullptr) {
+  if (!pi) pi = make_utility(spec);
+  auto model = std::make_shared<core::VariableLoadModel>(
+      make_load_cached(spec, cache), std::move(pi), spec.eval);
+  std::shared_ptr<const kernels::SweepEvaluator> kernel;
+  if (use_kernels) {
+    kernel = std::make_shared<kernels::SweepEvaluator>(model);
+  }
+  return std::make_shared<MemoizedVariableLoad>(std::move(model), cache,
+                                                std::move(kernel));
+}
+
 Plan plan_fixed_load(const ScenarioSpec& spec, const std::vector<double>& grid,
-                     std::vector<ResultRow>& rows) {
+                     std::vector<ResultRow>& rows, bool use_kernels) {
   auto pi = make_utility(spec);
-  return Plan{[&rows, &grid, pi](std::int64_t i) {
+  // Kernel path: k_max resumes from the previous grid point (the grid
+  // is sorted), and the capacity-independent continuum share b* — a
+  // 2048-point grid refinement — is solved once instead of per point.
+  // k_max_continuum(pi, c) is exactly c / optimal_share(pi), so the
+  // hoisted division reproduces it bit-for-bit.
+  std::shared_ptr<const kernels::WarmKmax> warm;
+  double share = std::numeric_limits<double>::infinity();
+  if (use_kernels) {
+    warm = std::make_shared<kernels::WarmKmax>();
+    if (pi->inelastic()) share = core::optimal_share(*pi);
+  }
+  return Plan{[&rows, &grid, pi, warm, share](std::int64_t i) {
         const double c = grid[static_cast<std::size_t>(i)];
-        const auto kmax = core::k_max(*pi, c);
+        const auto kmax = warm ? warm->k_max(*pi, c) : core::k_max(*pi, c);
         const double v =
             kmax ? core::total_utility(*pi, c, *kmax)
                  : std::numeric_limits<double>::infinity();
-        const double kc = pi->inelastic() ? core::k_max_continuum(*pi, c)
-                                          : std::numeric_limits<double>::infinity();
+        const double kc =
+            pi->inelastic()
+                ? (warm ? c / share : core::k_max_continuum(*pi, c))
+                : std::numeric_limits<double>::infinity();
         rows[static_cast<std::size_t>(i)].values = {
             c, kmax ? static_cast<double>(*kmax) : -1.0, v, kc};
       }};
@@ -62,11 +96,9 @@ Plan plan_fixed_load(const ScenarioSpec& spec, const std::vector<double>& grid,
 Plan plan_variable_load(const ScenarioSpec& spec,
                         const std::vector<double>& grid,
                         std::vector<ResultRow>& rows,
-                        const std::shared_ptr<MemoCache>& cache) {
-  auto model = std::make_shared<MemoizedVariableLoad>(
-      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
-                                                make_utility(spec), spec.eval),
-      cache);
+                        const std::shared_ptr<MemoCache>& cache,
+                        bool use_kernels) {
+  auto model = make_variable_model(spec, cache, use_kernels);
   const bool with_gap = spec.with_bandwidth_gap;
   return Plan{[&rows, &grid, model, with_gap](std::int64_t i) {
                 const double c = grid[static_cast<std::size_t>(i)];
@@ -95,14 +127,17 @@ Plan plan_continuum(const ScenarioSpec& spec, const std::vector<double>& grid,
 
 Plan plan_welfare(const ScenarioSpec& spec, const std::vector<double>& grid,
                   std::vector<ResultRow>& rows,
-                  const std::shared_ptr<MemoCache>& cache) {
-  auto model = std::make_shared<MemoizedVariableLoad>(
-      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
-                                                make_utility(spec), spec.eval),
-      cache);
+                  const std::shared_ptr<MemoCache>& cache, bool use_kernels) {
+  auto model = make_variable_model(spec, cache, use_kernels);
   auto analysis = std::make_shared<core::WelfareAnalysis>(
       [model](double c) { return model->total_best_effort(c); },
       [model](double c) { return model->total_reservation(c); },
+      [model](double lo, double hi, int n, std::span<double> out) {
+        model->total_best_effort_grid(lo, hi, n, out);
+      },
+      [model](double lo, double hi, int n, std::span<double> out) {
+        model->total_reservation_grid(lo, hi, n, out);
+      },
       model->mean_load());
   return Plan{[&rows, &grid, model, analysis](std::int64_t i) {
         const double p = grid[static_cast<std::size_t>(i)];
@@ -117,7 +152,7 @@ Plan plan_welfare(const ScenarioSpec& spec, const std::vector<double>& grid,
 Plan plan_simulation(const ScenarioSpec& spec, const std::vector<double>& grid,
                      std::vector<ResultRow>& rows,
                      const std::shared_ptr<MemoCache>& cache,
-                     std::uint64_t base_seed) {
+                     std::uint64_t base_seed, bool use_kernels) {
   if (spec.load != LoadFamily::kPoisson) {
     throw std::invalid_argument(
         "run_scenario: simulation scenarios require a Poisson load "
@@ -125,10 +160,7 @@ Plan plan_simulation(const ScenarioSpec& spec, const std::vector<double>& grid,
         to_string(spec.load) + "'");
   }
   auto pi = make_utility(spec);
-  auto model = std::make_shared<MemoizedVariableLoad>(
-      std::make_shared<core::VariableLoadModel>(make_load_cached(spec, cache),
-                                                pi, spec.eval),
-      cache);
+  auto model = make_variable_model(spec, cache, use_kernels, pi);
   const double rate = spec.load_mean;  // holding mean 1 → occupancy mean k̄
   const double horizon = spec.sim_horizon;
   const double warmup = spec.sim_warmup;
@@ -238,16 +270,25 @@ bool provenance_safe(const std::string& text) {
 }  // namespace
 
 std::string git_describe() {
-  const std::string out =
-      capture_command("git describe --always --dirty 2>/dev/null");
-  return provenance_safe(out) ? out : "unknown";
+  // Forking git costs milliseconds — comparable to a whole kernels-path
+  // scenario — and the answer cannot change inside one process, so
+  // provenance is resolved once and reused by every run_scenario call.
+  static const std::string cached = [] {
+    const std::string out =
+        capture_command("git describe --always --dirty 2>/dev/null");
+    return provenance_safe(out) ? out : std::string("unknown");
+  }();
+  return cached;
 }
 
 std::string git_commit_time() {
   // %cI is strict ISO 8601: no spaces, CSV-comment safe.
-  const std::string out =
-      capture_command("git show -s --format=%cI HEAD 2>/dev/null");
-  return provenance_safe(out) ? out : "unknown";
+  static const std::string cached = [] {
+    const std::string out =
+        capture_command("git show -s --format=%cI HEAD 2>/dev/null");
+    return provenance_safe(out) ? out : std::string("unknown");
+  }();
+  return cached;
 }
 
 RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
@@ -284,13 +325,17 @@ RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
 
     plan = [&] {
       switch (spec.model) {
-        case ModelKind::kFixedLoad: return plan_fixed_load(spec, grid, rows);
+        case ModelKind::kFixedLoad:
+          return plan_fixed_load(spec, grid, rows, options.use_kernels);
         case ModelKind::kVariableLoad:
-          return plan_variable_load(spec, grid, rows, cache);
+          return plan_variable_load(spec, grid, rows, cache,
+                                    options.use_kernels);
         case ModelKind::kContinuum: return plan_continuum(spec, grid, rows);
-        case ModelKind::kWelfare: return plan_welfare(spec, grid, rows, cache);
+        case ModelKind::kWelfare:
+          return plan_welfare(spec, grid, rows, cache, options.use_kernels);
         case ModelKind::kSimulation:
-          return plan_simulation(spec, grid, rows, cache, options.base_seed);
+          return plan_simulation(spec, grid, rows, cache, options.base_seed,
+                                 options.use_kernels);
       }
       throw std::invalid_argument("run_scenario: unknown model kind");
     }();

@@ -37,6 +37,11 @@ struct RunOptions {
   /// Optional external pool to amortise thread start-up across runs;
   /// when set it overrides `threads`.
   ThreadPool* pool = nullptr;
+  /// Evaluate model-backed plans through bevr::kernels (batched load
+  /// tables + warm-started k_max) instead of point-at-a-time scalar
+  /// calls. Results are identical by the kernels' equivalence
+  /// contract; `bevr_run --no-kernels` flips this off to verify.
+  bool use_kernels = true;
 };
 
 /// Column names the given spec's rows will carry, in order.

@@ -13,11 +13,43 @@ void check_bandwidth(double b) {
   }
 }
 
+// Shared front-end for value_batch implementations: size agreement and
+// the b >= 0 domain check, done before any output slot is written so a
+// throwing call leaves `out` untouched. The validation loop is kept
+// separate from the compute loops so those stay branch-light.
+void check_batch(std::span<const double> bandwidth, std::span<double> out) {
+  if (bandwidth.size() != out.size()) {
+    throw std::invalid_argument(
+        "UtilityFunction::value_batch: span lengths differ");
+  }
+  bool ok = true;
+  for (const double b : bandwidth) ok = ok && (b >= 0.0);
+  if (!ok) {
+    throw std::invalid_argument("UtilityFunction: bandwidth must be >= 0");
+  }
+}
+
 }  // namespace
+
+void UtilityFunction::value_batch(std::span<const double> bandwidth,
+                                  std::span<double> out) const {
+  check_batch(bandwidth, out);
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    out[i] = value(bandwidth[i]);
+  }
+}
 
 double Elastic::value(double bandwidth) const {
   check_bandwidth(bandwidth);
   return -std::expm1(-bandwidth);
+}
+
+void Elastic::value_batch(std::span<const double> bandwidth,
+                          std::span<double> out) const {
+  check_batch(bandwidth, out);
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    out[i] = -std::expm1(-bandwidth[i]);
+  }
 }
 
 Rigid::Rigid(double bandwidth_requirement) : bhat_(bandwidth_requirement) {
@@ -29,6 +61,15 @@ Rigid::Rigid(double bandwidth_requirement) : bhat_(bandwidth_requirement) {
 double Rigid::value(double bandwidth) const {
   check_bandwidth(bandwidth);
   return bandwidth >= bhat_ ? 1.0 : 0.0;
+}
+
+void Rigid::value_batch(std::span<const double> bandwidth,
+                        std::span<double> out) const {
+  check_batch(bandwidth, out);
+  const double bhat = bhat_;
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    out[i] = bandwidth[i] >= bhat ? 1.0 : 0.0;
+  }
 }
 
 std::string Rigid::name() const {
@@ -45,6 +86,16 @@ double AdaptiveExp::value(double bandwidth) const {
   check_bandwidth(bandwidth);
   // π(b) = 1 − exp(−b²/(κ+b)); ≈ b²/κ near 0, ≈ 1 − e^{−b} for large b.
   return -std::expm1(-bandwidth * bandwidth / (kappa_ + bandwidth));
+}
+
+void AdaptiveExp::value_batch(std::span<const double> bandwidth,
+                              std::span<double> out) const {
+  check_batch(bandwidth, out);
+  const double kappa = kappa_;
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    const double b = bandwidth[i];
+    out[i] = -std::expm1(-b * b / (kappa + b));
+  }
 }
 
 std::string AdaptiveExp::name() const {
@@ -65,6 +116,28 @@ double PiecewiseLinear::value(double bandwidth) const {
   return (bandwidth - floor_) / (1.0 - floor_);
 }
 
+void PiecewiseLinear::value_batch(std::span<const double> bandwidth,
+                                  std::span<double> out) const {
+  check_batch(bandwidth, out);
+  const double a = floor_;
+  if (a >= 1.0) {  // rigid degenerate case: a step at b = 1
+    for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+      out[i] = bandwidth[i] >= 1.0 ? 1.0 : 0.0;
+    }
+    return;
+  }
+  const double inv_span = 1.0 - a;
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    const double b = bandwidth[i];
+    // Branch-light clamp form of the scalar ramp. The interior value is
+    // the identical expression (b − a)/(1 − a); for b ≥ 1 that ratio is
+    // ≥ 1 (exactly 1 at b == 1 since the operands coincide) and for
+    // b ≤ a it is ≤ 0, so min/max reproduce the scalar branches.
+    const double ramp = (b - a) / inv_span;
+    out[i] = ramp >= 1.0 ? 1.0 : (ramp <= 0.0 ? 0.0 : ramp);
+  }
+}
+
 std::string PiecewiseLinear::name() const {
   return "PiecewiseLinear(a=" + std::to_string(floor_) + ")";
 }
@@ -79,6 +152,16 @@ double AlgebraicTail::value(double bandwidth) const {
   check_bandwidth(bandwidth);
   if (bandwidth <= 1.0) return 0.0;
   return 1.0 - std::pow(bandwidth, -r_);
+}
+
+void AlgebraicTail::value_batch(std::span<const double> bandwidth,
+                                std::span<double> out) const {
+  check_batch(bandwidth, out);
+  const double r = r_;
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    const double b = bandwidth[i];
+    out[i] = b <= 1.0 ? 0.0 : 1.0 - std::pow(b, -r);
+  }
 }
 
 std::string AlgebraicTail::name() const {

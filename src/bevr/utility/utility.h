@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 namespace bevr::utility {
@@ -23,6 +24,17 @@ class UtilityFunction {
 
   /// π(b) ∈ [0, 1] for b ≥ 0. Throws std::invalid_argument for b < 0.
   [[nodiscard]] virtual double value(double bandwidth) const = 0;
+
+  /// Batched evaluation: out[i] = value(bandwidth[i]) for every i.
+  /// Throws std::invalid_argument if the spans differ in length or any
+  /// bandwidth is negative (validated up front, before any output is
+  /// written). The base implementation is a plain scalar loop; the
+  /// paper's five families override it with branch-light loops over the
+  /// identical formula so sweep kernels avoid one virtual call per
+  /// summation term. Overrides must produce bit-identical results to
+  /// value() — the kernels layer's equivalence contract depends on it.
+  virtual void value_batch(std::span<const double> bandwidth,
+                           std::span<double> out) const;
 
   /// The largest b₀ such that π(b) = 0 for all b < b₀ (0 for utilities
   /// positive everywhere). Model sums use it to cut off dead terms:
@@ -47,6 +59,8 @@ class UtilityFunction {
 class Elastic final : public UtilityFunction {
  public:
   [[nodiscard]] double value(double bandwidth) const override;
+  void value_batch(std::span<const double> bandwidth,
+                   std::span<double> out) const override;
   [[nodiscard]] bool inelastic() const override { return false; }
   [[nodiscard]] std::string name() const override { return "Elastic"; }
 };
@@ -57,6 +71,8 @@ class Rigid final : public UtilityFunction {
   explicit Rigid(double bandwidth_requirement = 1.0);
 
   [[nodiscard]] double value(double bandwidth) const override;
+  void value_batch(std::span<const double> bandwidth,
+                   std::span<double> out) const override;
   [[nodiscard]] double zero_below() const override { return bhat_; }
   [[nodiscard]] bool inelastic() const override { return true; }
   [[nodiscard]] std::string name() const override;
@@ -78,6 +94,8 @@ class AdaptiveExp final : public UtilityFunction {
   explicit AdaptiveExp(double kappa = kPaperKappa);
 
   [[nodiscard]] double value(double bandwidth) const override;
+  void value_batch(std::span<const double> bandwidth,
+                   std::span<double> out) const override;
   [[nodiscard]] bool inelastic() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
@@ -95,6 +113,8 @@ class PiecewiseLinear final : public UtilityFunction {
   explicit PiecewiseLinear(double floor);
 
   [[nodiscard]] double value(double bandwidth) const override;
+  void value_batch(std::span<const double> bandwidth,
+                   std::span<double> out) const override;
   [[nodiscard]] double zero_below() const override { return floor_; }
   [[nodiscard]] bool inelastic() const override { return floor_ > 0.0; }
   [[nodiscard]] std::string name() const override;
@@ -114,6 +134,8 @@ class AlgebraicTail final : public UtilityFunction {
   explicit AlgebraicTail(double r);
 
   [[nodiscard]] double value(double bandwidth) const override;
+  void value_batch(std::span<const double> bandwidth,
+                   std::span<double> out) const override;
   [[nodiscard]] double zero_below() const override { return 1.0; }
   [[nodiscard]] bool inelastic() const override { return true; }
   [[nodiscard]] std::string name() const override;

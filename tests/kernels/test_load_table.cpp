@@ -1,0 +1,135 @@
+// LoadTable contract: every tabulated value is the exact double the
+// load's virtuals produce, window bounds coincide with the model's
+// direct-summation clamps, and the stored prefix states replay a
+// scalar Kahan accumulation bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/kernels/load_table.h"
+#include "bevr/numerics/kahan.h"
+
+namespace bevr::kernels {
+namespace {
+
+std::shared_ptr<const dist::DiscreteLoad> poisson100() {
+  return std::make_shared<dist::PoissonLoad>(100.0);
+}
+
+std::shared_ptr<const dist::DiscreteLoad> exponential100() {
+  return std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+}
+
+std::shared_ptr<const dist::DiscreteLoad> algebraic100() {
+  return std::make_shared<dist::AlgebraicLoad>(
+      dist::AlgebraicLoad::with_mean(3.0, 100.0));
+}
+
+TEST(LoadTable, WindowMatchesModelClamps) {
+  const auto load = poisson100();
+  const LoadTable table(load, {});
+  EXPECT_EQ(table.k_lo(), std::max<std::int64_t>(1, load->min_support()));
+  EXPECT_EQ(table.k_exact(), load->truncation_point(1e-13));
+  EXPECT_EQ(table.k_hi(),
+            std::min(std::max(table.k_exact(), table.k_lo()),
+                     table.k_lo() + 65'536 - 1));
+  EXPECT_EQ(table.size(),
+            static_cast<std::size_t>(table.k_hi() - table.k_lo() + 1));
+}
+
+TEST(LoadTable, DirectBudgetCapsTheWindow) {
+  LoadTable::Options options;
+  options.tail_eps = 1e-10;
+  options.direct_budget = 2048;
+  const LoadTable table(algebraic100(), options);
+  // Algebraic z = 3 at eps = 1e-10 truncates far beyond 2048 terms.
+  EXPECT_GT(table.k_exact(), table.k_hi());
+  EXPECT_EQ(table.k_hi(), table.k_lo() + 2048 - 1);
+}
+
+TEST(LoadTable, EntriesAreBitwiseCopiesOfTheVirtuals) {
+  for (const auto& load : {poisson100(), exponential100(), algebraic100()}) {
+    LoadTable::Options options;
+    options.tail_eps = 1e-8;
+    options.direct_budget = 4096;
+    const LoadTable table(load, options);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const std::int64_t k = table.k_lo() + static_cast<std::int64_t>(i);
+      const double kd = static_cast<double>(k);
+      const double pmf = load->pmf(k);
+      EXPECT_EQ(table.kd()[i], kd);
+      EXPECT_EQ(table.pmf()[i], pmf);
+      EXPECT_EQ(table.kpmf()[i], pmf * kd);
+    }
+  }
+}
+
+TEST(LoadTable, TailLookupsMatchVirtualsInsideAndPastTheCap) {
+  LoadTable::Options options;
+  options.tail_eps = 1e-8;
+  options.direct_budget = 4096;
+  options.tail_table_terms = 16;  // force the fallback path early
+  for (const auto& load : {poisson100(), algebraic100()}) {
+    const LoadTable table(load, options);
+    for (const std::int64_t k :
+         {table.k_lo(), table.k_lo() + 7, table.k_lo() + 15,
+          table.k_lo() + 16, table.k_lo() + 200}) {
+      EXPECT_EQ(table.tail_above(k), load->tail_above(k)) << "k=" << k;
+      EXPECT_EQ(table.partial_mean_above(k), load->partial_mean_above(k))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(LoadTable, PrefixStatesReplayAScalarKahanLoop) {
+  const auto load = poisson100();
+  const LoadTable table(load, {});
+  numerics::KahanSum scalar;
+  for (std::int64_t k = table.k_lo(); k <= table.k_hi(); ++k) {
+    scalar.add(load->pmf(k) * static_cast<double>(k));
+    const numerics::KahanSum stored = table.prefix_mass_state(k);
+    ASSERT_EQ(stored.raw_sum(), scalar.raw_sum()) << "k=" << k;
+    ASSERT_EQ(stored.compensation(), scalar.compensation()) << "k=" << k;
+  }
+  // Below the window: the identity state, value exactly zero.
+  EXPECT_EQ(table.prefix_mass_state(table.k_lo() - 1).value(), 0.0);
+  EXPECT_THROW((void)table.prefix_mass_state(table.k_hi() + 1),
+               std::out_of_range);
+}
+
+TEST(LoadTable, ResumedStateContinuesBitIdentically) {
+  // Stop a scalar accumulation mid-series, resume from the stored
+  // state, and land on the same bits as the uninterrupted loop.
+  const auto load = exponential100();
+  const LoadTable table(load, {});
+  const std::int64_t k_cut = table.k_lo() + 37;
+  numerics::KahanSum resumed = table.prefix_mass_state(k_cut);
+  numerics::KahanSum straight;
+  for (std::int64_t k = table.k_lo(); k <= table.k_hi(); ++k) {
+    straight.add(load->pmf(k) * static_cast<double>(k));
+    if (k > k_cut) resumed.add(load->pmf(k) * static_cast<double>(k));
+  }
+  EXPECT_EQ(resumed.value(), straight.value());
+  EXPECT_EQ(resumed.raw_sum(), straight.raw_sum());
+  EXPECT_EQ(resumed.compensation(), straight.compensation());
+}
+
+TEST(LoadTable, RejectsBadOptions) {
+  EXPECT_THROW(LoadTable(nullptr, {}), std::invalid_argument);
+  LoadTable::Options bad_eps;
+  bad_eps.tail_eps = 0.0;
+  EXPECT_THROW(LoadTable(poisson100(), bad_eps), std::invalid_argument);
+  LoadTable::Options bad_budget;
+  bad_budget.direct_budget = 512;
+  EXPECT_THROW(LoadTable(poisson100(), bad_budget), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::kernels

@@ -1,0 +1,96 @@
+// value_batch contract: for every utility family (including the
+// mixture default path), batched evaluation returns the exact doubles
+// the scalar value() produces — the kernels' bit-identity rests on it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bevr/utility/mixture.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::utility {
+namespace {
+
+// A bandwidth grid crossing every family's interesting boundaries:
+// zero, dead zones, the b = 1 knees/steps, and large values.
+std::vector<double> probe_grid() {
+  std::vector<double> grid = {0.0,  1e-12, 0.01, 0.25, 0.3,  0.49999999,
+                              0.5,  0.75,  0.999999999999, 1.0,
+                              1.0000000001, 1.5, 2.0, 10.0, 100.0, 1e6};
+  for (int i = 1; i <= 400; ++i) grid.push_back(0.007 * i);
+  return grid;
+}
+
+void expect_batch_matches_scalar(const UtilityFunction& pi) {
+  const std::vector<double> grid = probe_grid();
+  std::vector<double> batch(grid.size(), -1.0);
+  pi.value_batch(grid, batch);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(batch[i], pi.value(grid[i]))
+        << pi.name() << " at b=" << grid[i];
+  }
+}
+
+TEST(ValueBatch, ElasticMatchesScalarBitwise) {
+  expect_batch_matches_scalar(Elastic{});
+}
+
+TEST(ValueBatch, RigidMatchesScalarBitwise) {
+  expect_batch_matches_scalar(Rigid{1.0});
+  expect_batch_matches_scalar(Rigid{0.5});
+  expect_batch_matches_scalar(Rigid{2.5});
+}
+
+TEST(ValueBatch, AdaptiveExpMatchesScalarBitwise) {
+  expect_batch_matches_scalar(AdaptiveExp{});
+  expect_batch_matches_scalar(AdaptiveExp{2.0});
+}
+
+TEST(ValueBatch, PiecewiseLinearMatchesScalarBitwise) {
+  expect_batch_matches_scalar(PiecewiseLinear{0.0});
+  expect_batch_matches_scalar(PiecewiseLinear{0.3});
+  expect_batch_matches_scalar(PiecewiseLinear{0.5});
+  expect_batch_matches_scalar(PiecewiseLinear{1.0});  // rigid degenerate
+}
+
+TEST(ValueBatch, AlgebraicTailMatchesScalarBitwise) {
+  expect_batch_matches_scalar(AlgebraicTail{1.0});
+  expect_batch_matches_scalar(AlgebraicTail{2.0});
+}
+
+TEST(ValueBatch, MixtureUsesTheDefaultLoopCorrectly) {
+  const MixtureUtility mixture({
+      {std::make_shared<Rigid>(1.0), 0.25, 1.0},
+      {std::make_shared<Elastic>(), 0.75, 2.0},
+  });
+  expect_batch_matches_scalar(mixture);
+}
+
+TEST(ValueBatch, EmptySpansAreANoOp) {
+  const Elastic pi;
+  pi.value_batch({}, {});
+}
+
+TEST(ValueBatch, MismatchedSpansThrowWithoutWriting) {
+  const Elastic pi;
+  const std::vector<double> in = {1.0, 2.0};
+  std::vector<double> out = {-7.0};
+  EXPECT_THROW(pi.value_batch(in, out), std::invalid_argument);
+  EXPECT_EQ(out[0], -7.0);
+}
+
+TEST(ValueBatch, NegativeBandwidthThrowsWithoutWriting) {
+  const std::vector<double> in = {1.0, -0.5, 2.0};
+  std::vector<double> out(3, -7.0);
+  const Rigid rigid{1.0};
+  EXPECT_THROW(rigid.value_batch(in, out), std::invalid_argument);
+  const AdaptiveExp adaptive;
+  EXPECT_THROW(adaptive.value_batch(in, out), std::invalid_argument);
+  for (const double v : out) EXPECT_EQ(v, -7.0);
+}
+
+}  // namespace
+}  // namespace bevr::utility

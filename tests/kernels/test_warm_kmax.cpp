@@ -1,0 +1,115 @@
+// WarmKmax contract: identical answers to core::k_max on any call
+// pattern (warm ascending sweeps, cold jumps, repeats), plus the
+// monotonicity property the warm start relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "bevr/core/fixed_load.h"
+#include "bevr/kernels/warm_kmax.h"
+#include "bevr/utility/mixture.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::kernels {
+namespace {
+
+std::vector<double> ascending_grid(double lo, double hi, int points) {
+  std::vector<double> grid;
+  const double step = (hi - lo) / (points - 1);
+  for (int i = 0; i < points; ++i) grid.push_back(lo + step * i);
+  return grid;
+}
+
+std::vector<std::shared_ptr<const utility::UtilityFunction>>
+inelastic_families() {
+  return {
+      std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<utility::Rigid>(0.37),
+      std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<utility::PiecewiseLinear>(0.5),
+      std::make_shared<utility::PiecewiseLinear>(1.0),
+      std::make_shared<utility::AlgebraicTail>(2.0),
+  };
+}
+
+TEST(WarmKmax, MatchesCoreOnSortedGrids) {
+  for (const auto& pi : inelastic_families()) {
+    const WarmKmax warm;
+    for (const double c : ascending_grid(0.5, 500.0, 173)) {
+      const auto expected = core::k_max(*pi, c);
+      const auto actual = warm.k_max(*pi, c);
+      ASSERT_EQ(actual, expected) << pi->name() << " at C=" << c;
+    }
+  }
+}
+
+TEST(WarmKmax, MatchesCoreOnOutOfOrderProbes) {
+  // Welfare refinement probes jump around; warmth must never leak into
+  // wrong answers when capacity decreases.
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  const WarmKmax warm;
+  const std::vector<double> probes = {400.0, 10.0, 250.0, 249.5, 251.0,
+                                      3.0,   800.0, 799.0, 800.0, 1.0};
+  for (const double c : probes) {
+    ASSERT_EQ(warm.k_max(*pi, c), core::k_max(*pi, c)) << "C=" << c;
+  }
+}
+
+TEST(WarmKmax, KmaxIsMonotoneNondecreasingOnSortedGrids) {
+  // The invariant the warm start rests on: raising capacity never
+  // lowers the admission threshold.
+  for (const auto& pi : inelastic_families()) {
+    const WarmKmax warm;
+    std::int64_t previous = 0;
+    for (const double c : ascending_grid(0.25, 600.0, 241)) {
+      const auto k = warm.k_max(*pi, c);
+      if (!k) continue;  // below the first admissible capacity
+      ASSERT_GE(*k, previous) << pi->name() << " at C=" << c;
+      previous = *k;
+    }
+  }
+}
+
+TEST(WarmKmax, ElasticHasNoThreshold) {
+  const utility::Elastic elastic;
+  const WarmKmax warm;
+  EXPECT_EQ(warm.k_max(elastic, 100.0), std::nullopt);
+}
+
+TEST(WarmKmax, MixturesDelegateToTheExhaustiveScan) {
+  const utility::MixtureUtility mixture({
+      {std::make_shared<utility::Rigid>(1.0), 0.5, 1.0},
+      {std::make_shared<utility::Rigid>(1.0), 0.5, 3.0},
+  });
+  ASSERT_FALSE(mixture.unimodal_total_utility());
+  const WarmKmax warm;
+  for (const double c : ascending_grid(2.0, 120.0, 31)) {
+    ASSERT_EQ(warm.k_max(mixture, c), core::k_max(mixture, c)) << "C=" << c;
+  }
+}
+
+TEST(WarmKmax, SeparateInstancesDoNotShareWarmth) {
+  // Two evaluators with different utilities interleaved on one thread:
+  // the id-keyed slot must keep them from poisoning each other.
+  const utility::AdaptiveExp adaptive;
+  const utility::AlgebraicTail algebraic{2.0};
+  const WarmKmax warm_a;
+  const WarmKmax warm_b;
+  for (const double c : ascending_grid(5.0, 300.0, 41)) {
+    ASSERT_EQ(warm_a.k_max(adaptive, c), core::k_max(adaptive, c));
+    ASSERT_EQ(warm_b.k_max(algebraic, c), core::k_max(algebraic, c));
+  }
+}
+
+TEST(WarmKmax, RejectsNonpositiveCapacity) {
+  const utility::Rigid rigid{1.0};
+  const WarmKmax warm;
+  EXPECT_THROW((void)warm.k_max(rigid, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)warm.k_max(rigid, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::kernels
