@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build+test pass, then an ASan+UBSan
 # run of the runner subsystem's tests (the code with real concurrency),
-# then a TSan run of the runner + obs suites (the sharded metrics
-# registry and trace buffers are the raciest code in the tree).
+# then a TSan run of the runner + obs + service suites (the sharded
+# metrics registry, trace buffers, and the evaluation service's ticket
+# queue / worker pool are the raciest code in the tree).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -16,7 +17,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "== bench smoke =="
-# Tiny-workload pass over all 22 suites: exercises every figure/claim
+# Tiny-workload pass over all suites: exercises every figure/claim
 # path and the suites' built-in contracts, and writes the artifact the
 # regression gate consumes.
 ./build/bench/bevr_bench --smoke --json-out BENCH_smoke.json
@@ -29,16 +30,30 @@ else
   echo "(no bench/baselines/BENCH_smoke.json — skipping baseline compare)"
 fi
 
+echo "== bench smoke: service suites vs committed baseline =="
+# The service suites carry their own contracts (lossless accounting,
+# bit-equality of served values, clean shedding under overload); gate
+# their smoke timings against the committed baseline too.
+./build/bench/bevr_bench service --smoke --json-out BENCH_service.json
+if [ -f bench/baselines/BENCH_service.json ]; then
+  ./build/bench/bevr_bench --compare BENCH_service.json \
+    --baseline bench/baselines/BENCH_service.json --threshold 1.0
+else
+  echo "(no bench/baselines/BENCH_service.json — skipping baseline compare)"
+fi
+
 echo "== sanitized: ASan+UBSan runner + sim tests =="
 cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests
 ./build-asan/tests/bevr_runner_tests
 ./build-asan/tests/bevr_sim_tests
 
-echo "== sanitized: TSan runner + obs tests =="
+echo "== sanitized: TSan runner + obs + service tests =="
 cmake -B build-tsan -S . -DBEVR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target bevr_runner_tests bevr_obs_tests
+cmake --build build-tsan -j "${JOBS}" --target bevr_runner_tests bevr_obs_tests \
+  bevr_service_tests
 ./build-tsan/tests/bevr_runner_tests
 ./build-tsan/tests/bevr_obs_tests
+./build-tsan/tests/bevr_service_tests
 
 echo "== all checks passed =="

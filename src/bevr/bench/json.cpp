@@ -154,7 +154,27 @@ class Parser {
     return value;
   }
 
+  /// RAII nesting guard: the parser recurses per container level, so
+  /// without a bound a few kilobytes of '[' would be a stack overflow
+  /// rather than an exception.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   ValuePtr parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     auto value = std::make_shared<Value>();
     value->type = Type::kArray;
@@ -177,6 +197,7 @@ class Parser {
   }
 
   ValuePtr parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     auto value = std::make_shared<Value>();
     value->type = Type::kObject;
@@ -191,7 +212,12 @@ class Parser {
       skip_ws();
       expect(':');
       skip_ws();
-      value->object[std::move(key)] = parse_value();
+      // The artifact writer never repeats a key, so a duplicate means
+      // a corrupt or adversarial file; silently keeping either value
+      // would make the gate compare against data nobody wrote.
+      if (!value->object.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate object key");
+      }
       skip_ws();
       const char c = take();
       if (c == '}') return value;
@@ -204,6 +230,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< current container nesting, bounded by kMaxDepth
 };
 
 }  // namespace

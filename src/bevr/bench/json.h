@@ -5,6 +5,12 @@
 // writer side lives in artifact.cpp; this is the reader the regression
 // gate and the schema tests share, so the schema is checked by the
 // same code that consumes it.
+//
+// The reader is total on hostile bytes: any malformed input — truncated
+// documents, duplicate object keys, nesting beyond kMaxDepth (the
+// parser recurses, so unbounded nesting would be a stack overflow, not
+// an exception) — throws std::runtime_error with a byte offset; it
+// never crashes and never returns a half-parsed value.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +47,13 @@ class Value {
 /// Parse one complete JSON document (trailing whitespace allowed,
 /// trailing garbage is an error). Throws std::runtime_error with the
 /// byte offset on malformed input.
+/// Container nesting bound: one artifact needs 4 levels; 64 leaves
+/// headroom while keeping the recursive parser's stack use trivial.
+inline constexpr int kMaxDepth = 64;
+
+/// Parse one complete JSON document. Throws std::runtime_error (with
+/// the byte offset) on any malformed, truncated, duplicate-keyed or
+/// over-nested input.
 [[nodiscard]] ValuePtr parse(const std::string& text);
 
 }  // namespace bevr::bench::json

@@ -1,7 +1,9 @@
 #include "bevr/kernels/sweep_evaluator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -37,6 +39,49 @@ std::optional<double> detect_indicator(const utility::UtilityFunction& pi) {
   return std::nullopt;
 }
 
+// Content fingerprint for batch_key(): FNV-1a over the exact bit
+// patterns of probed model values. name() strings print only six
+// decimals, so the probes carry the discrimination between models
+// whose parameters agree to printing precision but not bitwise.
+class Fnv1a {
+ public:
+  void mix(double value) { mix_bits(std::bit_cast<std::uint64_t>(value)); }
+  void mix_bits(std::uint64_t bits) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (bits >> shift) & 0xffU;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::string make_batch_key(const core::VariableLoadModel& model,
+                           const dist::DiscreteLoad& load,
+                           const utility::UtilityFunction& pi) {
+  Fnv1a fp;
+  fp.mix(load.mean());
+  const std::int64_t k0 = load.min_support();
+  fp.mix_bits(static_cast<std::uint64_t>(k0));
+  for (const std::int64_t dk : {0, 1, 2, 7, 31, 127, 1023}) {
+    fp.mix(load.pmf(k0 + dk));
+    fp.mix(load.tail_above(k0 + dk));
+  }
+  fp.mix(pi.zero_below());
+  for (const double b : {0.125, 0.5, 0.97, 1.0, 1.5, 4.0, 64.0}) {
+    fp.mix(pi.value(b));
+  }
+  fp.mix(model.options().tail_eps);
+  fp.mix_bits(static_cast<std::uint64_t>(model.options().direct_budget));
+
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fp.hash()));
+  return load.name() + "|" + pi.name() + "|#" + hex;
+}
+
 }  // namespace
 
 SweepEvaluator::SweepEvaluator(
@@ -55,6 +100,7 @@ SweepEvaluator::SweepEvaluator(
   b0_ = pi_->zero_below();
   direct_budget_ = model_->options().direct_budget;
   indicator_threshold_ = detect_indicator(*pi_);
+  batch_key_ = make_batch_key(*model_, *load_, *pi_);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   batch_terms_ = registry.counter("kernels/batch_terms");
   batch_calls_ = registry.counter("kernels/batch_calls");

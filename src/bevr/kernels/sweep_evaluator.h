@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bevr/core/variable_load.h"
@@ -75,6 +76,16 @@ class SweepEvaluator {
   }
   [[nodiscard]] const LoadTable& table() const { return table_; }
 
+  /// Identity of the evaluation this kernel performs, for request
+  /// batching/coalescing layers: two evaluators with equal batch keys
+  /// answer every query bit-identically, so their requests may share
+  /// one evaluate_grid call. The key combines the load's and utility's
+  /// parameterised names, the accuracy options, and a fingerprint
+  /// hashed from exact probed values (pmf, tails, π at fixed points) —
+  /// the probes discriminate models whose printed names round to the
+  /// same digits.
+  [[nodiscard]] const std::string& batch_key() const { return batch_key_; }
+
  private:
   /// Mirror of VariableLoadModel::flow_utility_between on table data.
   [[nodiscard]] double flow_utility_between(double capacity,
@@ -98,6 +109,7 @@ class SweepEvaluator {
   /// Step-utility threshold (Rigid b̂, or 1.0 for the PiecewiseLinear
   /// rigid-degenerate case); nullopt for everything else.
   std::optional<double> indicator_threshold_;
+  std::string batch_key_;  ///< computed once at construction
   obs::Counter batch_terms_;
   obs::Counter batch_calls_;
   obs::Counter prefix_hits_;

@@ -46,9 +46,8 @@ std::shared_ptr<const dist::DiscreteLoad> make_load_cached(
 // One evaluated grid point; the body must touch only rows[i].
 using Plan = std::function<void(std::int64_t)>;
 
-// The memoizing façade every model-backed plan evaluates through; with
-// use_kernels, cache misses go to a SweepEvaluator (same values, per
-// the kernels equivalence contract) instead of the scalar model.
+// make_memoized_model with an optional pre-built utility (the sim plan
+// needs the utility itself alongside the façade).
 std::shared_ptr<MemoizedVariableLoad> make_variable_model(
     const ScenarioSpec& spec, const std::shared_ptr<MemoCache>& cache,
     bool use_kernels,
@@ -205,6 +204,12 @@ Plan plan_simulation(const ScenarioSpec& spec, const std::vector<double>& grid,
 }
 
 }  // namespace
+
+std::shared_ptr<MemoizedVariableLoad> make_memoized_model(
+    const ScenarioSpec& spec, const std::shared_ptr<MemoCache>& cache,
+    bool use_kernels) {
+  return make_variable_model(spec, cache, use_kernels);
+}
 
 std::vector<std::string> scenario_columns(const ScenarioSpec& spec) {
   switch (spec.model) {

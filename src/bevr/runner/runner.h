@@ -47,6 +47,18 @@ struct RunOptions {
 /// Column names the given spec's rows will carry, in order.
 [[nodiscard]] std::vector<std::string> scenario_columns(const ScenarioSpec& spec);
 
+class MemoizedVariableLoad;
+
+/// The memoizing façade every model-backed plan evaluates through,
+/// exposed so front ends (bevr::service) share the runner's exact
+/// evaluation path: the algebraic λ-calibration is memoized in `cache`
+/// (shared across scenarios), and with `use_kernels` cache misses are
+/// computed by a SweepEvaluator (bit-identical by the kernels
+/// equivalence contract). `cache` may be null (no memoization).
+[[nodiscard]] std::shared_ptr<MemoizedVariableLoad> make_memoized_model(
+    const ScenarioSpec& spec, const std::shared_ptr<MemoCache>& cache,
+    bool use_kernels);
+
 /// `git describe --always --dirty` of the working tree, or "unknown"
 /// (cleanly — stderr never leaks into provenance) when git is absent
 /// or the directory is not a repository.

@@ -1,0 +1,17 @@
+#include "bevr/service/client.h"
+
+#include "bevr/service/server.h"
+
+namespace bevr::service {
+
+Response Client::evaluate(const Query& query,
+                          std::chrono::nanoseconds timeout) const {
+  const Deadline deadline =
+      timeout == kNoTimeout ? kNoDeadline : Clock::now() + timeout;
+  // The server guarantees every future resolves (kOk / kOverloaded /
+  // kDeadlineExceeded), so an unconditional get() cannot hang past the
+  // drain of the queue.
+  return server_->submit(query, deadline).get();
+}
+
+}  // namespace bevr::service

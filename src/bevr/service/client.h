@@ -1,0 +1,34 @@
+// Blocking convenience handle over a Server.
+//
+// The Server's native interface is future-based; most callers (the
+// examples, the load generator's closed-loop workers) want "evaluate
+// this, give me the Response, enforce my budget". Client packages that:
+// a relative timeout becomes an absolute deadline at submission, so the
+// budget covers queueing *and* evaluation, exactly as the service
+// accounts it.
+#pragma once
+
+#include <chrono>
+
+#include "bevr/service/request.h"
+
+namespace bevr::service {
+
+class Server;
+
+class Client {
+ public:
+  /// The server must outlive the client.
+  explicit Client(Server& server) : server_(&server) {}
+
+  /// Submit and wait. kNoTimeout waits however long the queue takes.
+  static constexpr std::chrono::nanoseconds kNoTimeout{0};
+  [[nodiscard]] Response evaluate(
+      const Query& query,
+      std::chrono::nanoseconds timeout = kNoTimeout) const;
+
+ private:
+  Server* server_;
+};
+
+}  // namespace bevr::service

@@ -1,0 +1,159 @@
+#include "bevr/service/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bevr/service/server.h"
+
+namespace bevr::service {
+
+namespace {
+
+struct Tally {
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t coalesced = 0;
+  std::vector<double> ok_latencies_us;
+
+  void absorb(const Response& response) {
+    switch (response.status) {
+      case StatusCode::kOk:
+        ++ok;
+        if (response.coalesced) ++coalesced;
+        ok_latencies_us.push_back(response.total_us);
+        break;
+      case StatusCode::kOverloaded: ++overloaded; break;
+      case StatusCode::kDeadlineExceeded: ++deadline_exceeded; break;
+    }
+  }
+
+  void merge(Tally&& other) {
+    ok += other.ok;
+    overloaded += other.overloaded;
+    deadline_exceeded += other.deadline_exceeded;
+    coalesced += other.coalesced;
+    ok_latencies_us.insert(ok_latencies_us.end(),
+                           other.ok_latencies_us.begin(),
+                           other.ok_latencies_us.end());
+  }
+};
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LoadGenReport finalize(Tally tally, double wall_seconds) {
+  LoadGenReport report;
+  report.ok = tally.ok;
+  report.overloaded = tally.overloaded;
+  report.deadline_exceeded = tally.deadline_exceeded;
+  report.coalesced = tally.coalesced;
+  report.wall_seconds = wall_seconds;
+  report.throughput_rps =
+      wall_seconds > 0.0 ? static_cast<double>(tally.ok) / wall_seconds : 0.0;
+  std::sort(tally.ok_latencies_us.begin(), tally.ok_latencies_us.end());
+  report.p50_us = sorted_quantile(tally.ok_latencies_us, 0.50);
+  report.p95_us = sorted_quantile(tally.ok_latencies_us, 0.95);
+  report.p99_us = sorted_quantile(tally.ok_latencies_us, 0.99);
+  report.max_us =
+      tally.ok_latencies_us.empty() ? 0.0 : tally.ok_latencies_us.back();
+  return report;
+}
+
+void validate(const LoadGenOptions& options) {
+  if (options.queries.empty()) {
+    throw std::invalid_argument("loadgen: queries must be non-empty");
+  }
+  if (options.threads == 0) {
+    throw std::invalid_argument("loadgen: threads must be positive");
+  }
+}
+
+Deadline request_deadline(const LoadGenOptions& options) {
+  return options.deadline.count() > 0 ? Clock::now() + options.deadline
+                                      : kNoDeadline;
+}
+
+}  // namespace
+
+LoadGenReport run_closed_loop(Server& server, const LoadGenOptions& options) {
+  validate(options);
+  std::vector<Tally> tallies(options.threads);
+  std::vector<std::thread> clients;
+  clients.reserve(options.threads);
+  const auto start = Clock::now();
+  for (unsigned t = 0; t < options.threads; ++t) {
+    clients.emplace_back([&, t] {
+      Tally& tally = tallies[t];
+      tally.ok_latencies_us.reserve(options.requests_per_thread);
+      // Per-thread phase offset: threads start on different queries,
+      // then sweep the same cycle — collisions (and hence coalescing
+      // opportunities) arise from timing, not from an identical
+      // schedule.
+      for (std::uint64_t i = 0; i < options.requests_per_thread; ++i) {
+        const Query& query =
+            options.queries[(t + i) % options.queries.size()];
+        tally.absorb(server.submit(query, request_deadline(options)).get());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const std::chrono::duration<double> wall = Clock::now() - start;
+
+  Tally total;
+  for (Tally& tally : tallies) total.merge(std::move(tally));
+  return finalize(std::move(total), wall.count());
+}
+
+LoadGenReport run_open_loop(Server& server, const LoadGenOptions& options) {
+  validate(options);
+  if (options.rate_per_sec <= 0.0) {
+    throw std::invalid_argument("loadgen: rate_per_sec must be positive");
+  }
+  // Fixed-rate arrivals: request i is due at start + i/rate, regardless
+  // of how the server is coping — submitters sleep until the due time,
+  // never waiting on responses. Futures are drained afterwards.
+  const auto start = Clock::now();
+  const double interval_s = 1.0 / options.rate_per_sec;
+  std::vector<Tally> tallies(options.threads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(options.threads);
+  for (unsigned t = 0; t < options.threads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::future<Response>> in_flight;
+      // Thread t owns arrivals t, t+threads, t+2*threads, ...
+      for (std::uint64_t i = t; i < options.total_requests;
+           i += options.threads) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) * interval_s));
+        std::this_thread::sleep_until(due);
+        const Query& query = options.queries[i % options.queries.size()];
+        in_flight.push_back(server.submit(query, request_deadline(options)));
+      }
+      for (std::future<Response>& future : in_flight) {
+        tallies[t].absorb(future.get());
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  const std::chrono::duration<double> wall = Clock::now() - start;
+
+  Tally total;
+  for (Tally& tally : tallies) total.merge(std::move(tally));
+  return finalize(std::move(total), wall.count());
+}
+
+}  // namespace bevr::service

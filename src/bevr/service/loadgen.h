@@ -1,0 +1,69 @@
+// Load generators for driving a Server, shared by the bevr_serve
+// example and bench_service.
+//
+// Two canonical shapes:
+//  * closed loop — N client threads, each submits → waits → repeats.
+//    Offered load self-limits to N in-flight requests; measures
+//    throughput and latency of a well-behaved population.
+//  * open loop — arrivals at a fixed rate regardless of completions,
+//    the textbook way to push a bounded queue past saturation and
+//    observe the shedding policy (kOverloaded / kDeadlineExceeded)
+//    instead of unbounded queueing.
+//
+// Workloads are deterministic query schedules (round-robin over a
+// workset, per-thread phase offsets), so two runs against the same
+// server offer the same request sequence; only timing varies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bevr/service/request.h"
+
+namespace bevr::service {
+
+class Server;
+
+struct LoadGenOptions {
+  /// The request workset, cycled round-robin. Must be non-empty.
+  std::vector<Query> queries;
+  /// Closed loop: client threads. Open loop: submitter threads.
+  unsigned threads = 4;
+  /// Closed loop: requests each thread issues.
+  std::uint64_t requests_per_thread = 256;
+  /// Open loop: total requests and aggregate arrival rate (req/s).
+  std::uint64_t total_requests = 1024;
+  double rate_per_sec = 2000.0;
+  /// Per-request budget; zero means no deadline.
+  std::chrono::microseconds deadline{0};
+};
+
+struct LoadGenReport {
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t coalesced = 0;  ///< kOk responses that shared a ticket
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< ok / wall_seconds
+  /// Client-observed end-to-end latency of kOk responses, microseconds.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return ok + overloaded + deadline_exceeded;
+  }
+};
+
+/// Run `threads` closed-loop clients to completion and aggregate.
+[[nodiscard]] LoadGenReport run_closed_loop(Server& server,
+                                            const LoadGenOptions& options);
+
+/// Submit `total_requests` at `rate_per_sec` (spread over the submitter
+/// threads), then drain every future and aggregate.
+[[nodiscard]] LoadGenReport run_open_loop(Server& server,
+                                          const LoadGenOptions& options);
+
+}  // namespace bevr::service

@@ -1,0 +1,73 @@
+// Request/response vocabulary of the evaluation service.
+//
+// A Query names a registry scenario and one capacity; the Server
+// answers it with the same columns a runner variable-load sweep row
+// carries (B, R, δ, Δ, k_max, θ) plus the welfare totals V_B/V_R —
+// bit-identical to direct evaluation, per the kernels equivalence
+// contract. Every submitted request resolves with exactly one of the
+// three terminal statuses; the service never drops a request on the
+// floor or blocks it indefinitely.
+//
+// The shedding policy deliberately echoes the paper's subject: like
+// the reservation architecture it models, a loaded server rejects
+// excess requests cleanly (kOverloaded at admission, kDeadlineExceeded
+// for requests that aged out in the queue) instead of degrading every
+// request a little.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace bevr::service {
+
+using Clock = std::chrono::steady_clock;
+using Deadline = Clock::time_point;
+
+/// "No deadline": the request waits as long as the queue requires.
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+enum class StatusCode {
+  kOk,                ///< evaluated; the value fields are valid
+  kOverloaded,        ///< shed at admission: queue full or server stopped
+  kDeadlineExceeded,  ///< expired before evaluation started
+};
+
+[[nodiscard]] std::string to_string(StatusCode status);
+
+/// One evaluation request: a named registry scenario pins the model
+/// (load family, utility family, accuracy options); the capacity picks
+/// the point. Queries for the expensive root-solved Δ(C) column opt in
+/// explicitly — the flag is part of the coalescing key, so a cheap
+/// query never waits on another query's root solve.
+struct Query {
+  std::string scenario;
+  double capacity = 100.0;
+  bool with_bandwidth_gap = false;
+};
+
+/// The service's answer. Value fields mirror a runner variable-load
+/// row and are valid only under kOk; the provenance fields are always
+/// set.
+struct Response {
+  StatusCode status = StatusCode::kOverloaded;
+  double capacity = 0.0;
+
+  // -- evaluated columns (kOk only) --------------------------------------
+  double best_effort = 0.0;           ///< B(C)
+  double reservation = 0.0;           ///< R(C)
+  double performance_gap = 0.0;       ///< δ(C) = R − B
+  double bandwidth_gap = 0.0;         ///< Δ(C); 0 unless requested
+  double k_max = -1.0;                ///< −1 encodes "elastic: no threshold"
+  double blocking = 0.0;              ///< θ(C)
+  double total_best_effort = 0.0;     ///< V_B(C) = k̄·B(C)
+  double total_reservation = 0.0;     ///< V_R(C) = k̄·R(C)
+
+  // -- provenance --------------------------------------------------------
+  bool coalesced = false;      ///< shared a ticket with identical queries
+  std::uint32_t batch_rows = 0;  ///< rows in the kernel call that served this
+  double queue_us = 0.0;       ///< admission → evaluation start
+  double total_us = 0.0;       ///< admission → response resolution
+};
+
+}  // namespace bevr::service

@@ -1,0 +1,180 @@
+// Property/metamorphic tests of the paper's structural claims — not
+// pinned numbers (the golden suite owns those) but relations that must
+// hold for *any* admissible parameterisation:
+//  * Δ-dominance: reservations never lose — R(C) ≥ B(C), hence
+//    V_R(C) − V_B(C) ≥ 0, everywhere;
+//  * monotonicity: B, R, V_B, V_R and k_max are nondecreasing in C
+//    (more capacity never hurts);
+//  * the adaptive-κ anchor: with the paper's κ = 0.62086, admission
+//    saturates at exactly one flow per unit capacity — k_max(C) = C at
+//    integer capacities (§3.1's "adaptive applications fill the pipe");
+//  * the kernels indicator fast path (Rigid / degenerate
+//    PiecewiseLinear) is bit-identical to the generic series across
+//    randomized parameters — the shortcut is an optimisation, never an
+//    approximation.
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bevr/core/variable_load.h"
+#include "bevr/dist/algebraic.h"
+#include "bevr/dist/exponential.h"
+#include "bevr/dist/poisson.h"
+#include "bevr/kernels/sweep_evaluator.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::core {
+namespace {
+
+std::shared_ptr<const dist::DiscreteLoad> make_load(int family, double mean,
+                                                    double z) {
+  switch (family % 3) {
+    case 0: return std::make_shared<dist::PoissonLoad>(mean);
+    case 1:
+      return std::make_shared<dist::ExponentialLoad>(
+          dist::ExponentialLoad::with_mean(mean));
+    default:
+      return std::make_shared<dist::AlgebraicLoad>(
+          dist::AlgebraicLoad::with_mean(z, mean));
+  }
+}
+
+std::vector<std::shared_ptr<const utility::UtilityFunction>> paper_utilities() {
+  return {
+      std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<utility::AdaptiveExp>(),
+      std::make_shared<utility::PiecewiseLinear>(0.5),
+      std::make_shared<utility::Elastic>(),
+  };
+}
+
+TEST(PaperProperties, ReservationDominanceEverywhere) {
+  for (int family = 0; family < 3; ++family) {
+    const auto load = make_load(family, 100.0, 3.0);
+    for (const auto& pi : paper_utilities()) {
+      const VariableLoadModel model(load, pi);
+      SCOPED_TRACE(load->name() + " + " + pi->name());
+      for (double c = 5.0; c <= 805.0; c += 20.0) {
+        EXPECT_GE(model.reservation(c), model.best_effort(c)) << "C=" << c;
+        // Δ(C) in welfare terms: V_R − V_B = k̄·(R − B) ≥ 0.
+        EXPECT_GE(model.total_reservation(c) - model.total_best_effort(c),
+                  0.0)
+            << "C=" << c;
+        EXPECT_GE(model.performance_gap(c), 0.0) << "C=" << c;
+      }
+    }
+  }
+}
+
+TEST(PaperProperties, ValuesNondecreasingInCapacity) {
+  for (int family = 0; family < 3; ++family) {
+    const auto load = make_load(family, 100.0, 2.5);
+    for (const auto& pi : paper_utilities()) {
+      const VariableLoadModel model(load, pi);
+      SCOPED_TRACE(load->name() + " + " + pi->name());
+      // Monotone up to series-truncation rounding: near saturation the
+      // tail-truncated sums can wobble by an ulp, so the property is
+      // asserted to 1e-12 on normalised values and 1e-9 on totals
+      // (which scale with k̄ = 100).
+      double prev_b = 0.0, prev_r = 0.0, prev_vb = 0.0, prev_vr = 0.0;
+      for (double c = 2.0; c <= 602.0; c += 12.0) {
+        const double b = model.best_effort(c);
+        const double r = model.reservation(c);
+        const double vb = model.total_best_effort(c);
+        const double vr = model.total_reservation(c);
+        EXPECT_GE(b, prev_b - 1e-12) << "B(C) decreased at C=" << c;
+        EXPECT_GE(r, prev_r - 1e-12) << "R(C) decreased at C=" << c;
+        EXPECT_GE(vb, prev_vb - 1e-9) << "V_B(C) decreased at C=" << c;
+        EXPECT_GE(vr, prev_vr - 1e-9) << "V_R(C) decreased at C=" << c;
+        prev_b = b;
+        prev_r = r;
+        prev_vb = vb;
+        prev_vr = vr;
+      }
+    }
+  }
+}
+
+TEST(PaperProperties, KmaxNondecreasingInCapacity) {
+  const auto load = std::make_shared<dist::ExponentialLoad>(
+      dist::ExponentialLoad::with_mean(100.0));
+  for (const auto& pi : paper_utilities()) {
+    const VariableLoadModel model(load, pi);
+    if (!model.k_max(10.0).has_value()) continue;  // elastic: no threshold
+    SCOPED_TRACE(pi->name());
+    std::int64_t prev = 0;
+    for (double c = 1.0; c <= 401.0; c += 4.0) {
+      const auto kmax = model.k_max(c);
+      ASSERT_TRUE(kmax.has_value());
+      EXPECT_GE(*kmax, prev) << "k_max decreased at C=" << c;
+      prev = *kmax;
+    }
+  }
+}
+
+// §3.1: with the paper's κ the adaptive utility's k·π(C/k) is maximised
+// at one flow per unit of capacity, so admission control "fills the
+// pipe" exactly — k_max(C) = C at every integer capacity.
+TEST(PaperProperties, AdaptiveKappaAdmitsOneFlowPerUnitCapacity) {
+  EXPECT_NEAR(utility::AdaptiveExp::kPaperKappa, 0.62086, 1e-12);
+  const auto pi = std::make_shared<utility::AdaptiveExp>();
+  for (int family = 0; family < 2; ++family) {
+    const auto load = make_load(family, 100.0, 3.0);
+    const VariableLoadModel model(load, pi);
+    SCOPED_TRACE(load->name());
+    for (std::int64_t c = 1; c <= 300; c += 1) {
+      const auto kmax = model.k_max(static_cast<double>(c));
+      ASSERT_TRUE(kmax.has_value());
+      EXPECT_EQ(*kmax, c) << "C=" << c;
+    }
+  }
+}
+
+// The kernels indicator shortcut vs the generic series, randomized:
+// any Rigid requirement, any degenerate PiecewiseLinear floor, any
+// load family/mean — bitwise agreement on every column, per the
+// equivalence contract.
+TEST(PaperProperties, IndicatorFastPathMatchesGenericSeries) {
+  std::mt19937_64 rng(20260805);
+  std::uniform_real_distribution<double> bhat_dist(0.2, 3.0);
+  std::uniform_real_distribution<double> mean_dist(30.0, 140.0);
+  std::uniform_real_distribution<double> z_dist(2.2, 4.0);
+  std::uniform_real_distribution<double> c_dist(1.0, 500.0);
+
+  for (int trial = 0; trial < 9; ++trial) {
+    const auto load =
+        make_load(trial, mean_dist(rng), z_dist(rng));
+    std::shared_ptr<const utility::UtilityFunction> pi;
+    if (trial % 2 == 0) {
+      pi = std::make_shared<utility::Rigid>(bhat_dist(rng));
+    } else {
+      // floor = 1 (the top of its [0, 1] domain): value() degenerates
+      // to an indicator at b = 1, the other branch the kernels
+      // shortcut must reproduce. Randomisation rides on the load.
+      pi = std::make_shared<utility::PiecewiseLinear>(1.0);
+    }
+    const auto model = std::make_shared<VariableLoadModel>(load, pi);
+    const kernels::SweepEvaluator kernel(model);
+    SCOPED_TRACE(load->name() + " + " + pi->name());
+
+    std::vector<double> grid;
+    for (int i = 0; i < 12; ++i) grid.push_back(c_dist(rng));
+    std::sort(grid.begin(), grid.end());
+    const auto rows = kernel.evaluate_grid(grid, /*with_bandwidth_gap=*/false);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const double c = grid[i];
+      EXPECT_EQ(rows[i].best_effort, model->best_effort(c)) << "C=" << c;
+      EXPECT_EQ(rows[i].reservation, model->reservation(c)) << "C=" << c;
+      EXPECT_EQ(rows[i].performance_gap, model->performance_gap(c))
+          << "C=" << c;
+      EXPECT_EQ(rows[i].blocking, model->blocking_fraction(c)) << "C=" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bevr::core
