@@ -1,0 +1,148 @@
+// bench_admission: the admission layer under load.
+//
+// Two suites:
+//  * admission_calendar — hot-path microbench of the capacity
+//    calendar: reserve/probe/release cycles over a sliding window;
+//    asserts conservation on the traffic it just pushed (every
+//    admitted booking released, the calendar drains to empty, and the
+//    offer counters add up).
+//  * admission_replay — end-to-end engine replay: one synthetic trace
+//    evaluated under all three policies; reports per-policy replay
+//    rates and asserts the comparison contracts (best effort never
+//    blocks, calendar policies conserve offered = admitted + blocked,
+//    and the whole pipeline is bit-deterministic run over run).
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bevr/admission/calendar.h"
+#include "bevr/admission/engine.h"
+#include "bevr/admission/policy.h"
+#include "bevr/admission/trace.h"
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
+#include "bevr/sim/rng.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using namespace bevr;
+
+}  // namespace
+
+BEVR_BENCHMARK(admission_calendar,
+               "capacity calendar reserve/probe/release hot path") {
+  admission::CapacityCalendar::Options options;
+  options.capacity = 100.0;
+  options.tick = 0.25;
+  admission::CapacityCalendar calendar(options);
+
+  const int cycles = ctx.pick(20'000, 1'000);
+  constexpr std::size_t kConcurrent = 64;  // bookings held at once
+  std::vector<std::uint64_t> held;
+  held.reserve(kConcurrent);
+  std::uint64_t admitted = 0;
+  std::uint64_t released = 0;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Slide a booking window along the time axis, keeping kConcurrent
+    // live reservations and probing availability like a policy would.
+    const double start = 0.125 * cycle;
+    (void)calendar.available(start, start + 2.0);
+    const auto offer = calendar.reserve(start, start + 2.0, 1.0);
+    if (offer.admitted) {
+      ++admitted;
+      held.push_back(offer.id);
+    }
+    if (held.size() >= kConcurrent) {
+      if (calendar.release(held.front(), start)) ++released;
+      held.erase(held.begin());
+    }
+    (void)calendar.expire_until(start);
+  }
+  for (const auto id : held) {
+    if (calendar.release(id, 0.0)) ++released;
+  }
+  ctx.set_items(static_cast<std::uint64_t>(cycles));
+
+  bench::print_columns({"cycles", "admitted", "released", "offers",
+                        "counteroffers"});
+  bench::print_row({static_cast<double>(cycles),
+                    static_cast<double>(admitted),
+                    static_cast<double>(released),
+                    static_cast<double>(calendar.offers()),
+                    static_cast<double>(calendar.counteroffers())});
+
+  // Conservation contracts on the traffic just pushed.
+  if (calendar.offers() != static_cast<std::uint64_t>(cycles)) {
+    ctx.fail("offer counter lost reserve calls");
+  }
+  if (admitted + calendar.counteroffers() !=
+      static_cast<std::uint64_t>(cycles)) {
+    ctx.fail("admitted + counteroffers must cover every reserve call");
+  }
+  if (released + calendar.expirations() != admitted) {
+    ctx.fail("every admitted booking must be released exactly once");
+  }
+  if (calendar.active() != 0) {
+    ctx.fail("calendar must drain to zero live reservations");
+  }
+}
+
+BEVR_BENCHMARK(admission_replay,
+               "one trace replayed under all three admission policies") {
+  admission::TraceSpec spec;
+  spec.kind = admission::TraceKind::kPoisson;
+  spec.arrival_rate = 120.0;
+  spec.mean_duration = 1.0;
+  spec.horizon = ctx.pick(200.0, 20.0);
+  spec.book_ahead = 1.0;
+  spec.cancel_p = 0.05;
+  const auto trace = admission::generate_trace(spec, sim::Rng(42));
+
+  admission::PolicyConfig config;
+  config.capacity = 100.0;
+  config.pi = std::make_shared<utility::Rigid>(1.0);
+  config.min_rate_fraction = 0.5;
+  config.max_start_shift = 2.0;
+  admission::EngineConfig engine;
+  engine.warmup = spec.horizon / 10.0;
+  engine.flush_obs = false;  // microbench: keep the registry quiet
+
+  const auto replay = [&](admission::PolicyKind kind) {
+    const auto policy = admission::make_policy(kind, config);
+    return admission::run_admission(trace, *policy, *config.pi, engine);
+  };
+
+  const auto best_effort = replay(admission::PolicyKind::kBestEffort);
+  const auto online = replay(admission::PolicyKind::kOnlineKmax);
+  const auto advance = replay(admission::PolicyKind::kAdvanceBooking);
+  ctx.set_items(3 * static_cast<std::uint64_t>(trace.requests.size()));
+
+  bench::print_columns({"requests", "be_util", "online_util",
+                        "advance_util", "online_block", "advance_block"});
+  bench::print_row({static_cast<double>(trace.requests.size()),
+                    best_effort.mean_utility, online.mean_utility,
+                    advance.mean_utility, online.blocking_probability,
+                    advance.blocking_probability});
+
+  // Comparison contracts on the replay just timed.
+  if (best_effort.blocked != 0) {
+    ctx.fail("best effort must never block");
+  }
+  for (const auto* report : {&best_effort, &online, &advance}) {
+    if (report->admitted + report->blocked != report->offered) {
+      ctx.fail("offered must split exactly into admitted + blocked");
+    }
+  }
+  if (online.peak_active > 100) {
+    ctx.fail("online k_max admitted more than k_max concurrent flows");
+  }
+  // Same trace, same policy, same engine ⇒ bit-identical report.
+  const auto again = replay(admission::PolicyKind::kAdvanceBooking);
+  if (again.admitted != advance.admitted ||
+      again.mean_utility != advance.mean_utility ||
+      again.cancelled != advance.cancelled) {
+    ctx.fail("replay is not deterministic across identical runs");
+  }
+}

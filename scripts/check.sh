@@ -42,18 +42,30 @@ else
   echo "(no bench/baselines/BENCH_service.json — skipping baseline compare)"
 fi
 
+echo "== bench smoke: admission suites vs committed baseline =="
+# The admission suites assert the calendar's conservation laws and the
+# policy comparison's determinism; gate their smoke timings too.
+./build/bench/bevr_bench admission --smoke --json-out BENCH_admission.json
+if [ -f bench/baselines/BENCH_admission.json ]; then
+  ./build/bench/bevr_bench --compare BENCH_admission.json \
+    --baseline bench/baselines/BENCH_admission.json --threshold 1.0
+else
+  echo "(no bench/baselines/BENCH_admission.json — skipping baseline compare)"
+fi
+
 echo "== sanitized: ASan+UBSan runner + sim tests =="
 cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests
 ./build-asan/tests/bevr_runner_tests
 ./build-asan/tests/bevr_sim_tests
 
-echo "== sanitized: TSan runner + obs + service tests =="
+echo "== sanitized: TSan runner + obs + service + admission tests =="
 cmake -B build-tsan -S . -DBEVR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target bevr_runner_tests bevr_obs_tests \
-  bevr_service_tests
+  bevr_service_tests bevr_admission_tests
 ./build-tsan/tests/bevr_runner_tests
 ./build-tsan/tests/bevr_obs_tests
 ./build-tsan/tests/bevr_service_tests
+./build-tsan/tests/bevr_admission_tests
 
 echo "== all checks passed =="

@@ -1,0 +1,179 @@
+#include "bevr/admission/calendar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bevr::admission {
+
+namespace {
+
+// Admission slack against float residue: committed slots accumulate
+// add/subtract pairs whose cancellation is not exact in binary
+// floating point, and a full link must not start rejecting rates that
+// fit by construction. Scaled by capacity so the tolerance is
+// dimensionally sane. Deterministic — it is a constant of the
+// comparison, not a measurement.
+constexpr double kSlackScale = 1e-9;
+
+}  // namespace
+
+CapacityCalendar::CapacityCalendar(const Options& options)
+    : capacity_(options.capacity),
+      tick_(options.tick),
+      max_ticks_(options.max_ticks) {
+  if (!(capacity_ > 0.0) || !std::isfinite(capacity_)) {
+    throw std::invalid_argument(
+        "CapacityCalendar: capacity must be finite and > 0");
+  }
+  if (!(tick_ > 0.0) || !std::isfinite(tick_)) {
+    throw std::invalid_argument("CapacityCalendar: tick must be finite and > 0");
+  }
+  if (max_ticks_ == 0) {
+    throw std::invalid_argument("CapacityCalendar: max_ticks must be > 0");
+  }
+  occupancy_gauge_ =
+      obs::MetricsRegistry::global().gauge("admission/calendar/occupancy");
+}
+
+std::pair<std::size_t, std::size_t> CapacityCalendar::window_ticks(
+    double start, double end) const {
+  if (!std::isfinite(start) || !std::isfinite(end) || start < 0.0) {
+    throw std::invalid_argument(
+        "CapacityCalendar: window times must be finite and start >= 0");
+  }
+  if (!(end > start)) {
+    throw std::invalid_argument("CapacityCalendar: window requires end > start");
+  }
+  const double first_f = std::floor(start / tick_);
+  const double last_f = std::ceil(end / tick_);
+  if (last_f > static_cast<double>(max_ticks_)) {
+    throw std::invalid_argument(
+        "CapacityCalendar: window exceeds the calendar's max_ticks horizon");
+  }
+  auto first = static_cast<std::size_t>(first_f);
+  auto last = static_cast<std::size_t>(last_f);
+  if (last <= first) last = first + 1;  // sub-tick window still books a slice
+  return {first, last};
+}
+
+double CapacityCalendar::min_free_locked(std::size_t first,
+                                         std::size_t last) const {
+  double free = capacity_;
+  const std::size_t bounded = std::min(last, committed_.size());
+  for (std::size_t t = first; t < bounded; ++t) {
+    free = std::min(free, capacity_ - committed_[t]);
+  }
+  // Ticks past the table's current end are untouched: fully free.
+  return std::max(free, 0.0);
+}
+
+void CapacityCalendar::commit_locked(std::size_t first, std::size_t last,
+                                     double delta) {
+  if (committed_.size() < last) committed_.resize(last, 0.0);
+  for (std::size_t t = first; t < last; ++t) committed_[t] += delta;
+}
+
+CapacityCalendar::Offer CapacityCalendar::reserve(double start, double end,
+                                                  double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument(
+        "CapacityCalendar: reservation rate must be finite and > 0");
+  }
+  const auto [first, last] = window_ticks(start, end);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++offers_;
+  const double free = min_free_locked(first, last);
+  if (rate > free + capacity_ * kSlackScale) {
+    ++counteroffers_;
+    return Offer{0, false, free};
+  }
+  const std::uint64_t id = next_id_++;
+  commit_locked(first, last, rate);
+  live_.emplace(id, Reservation{first, last, rate});
+  expiry_.emplace(last, id);
+  occupancy_gauge_.set(committed_[first] / capacity_);
+  return Offer{id, true, rate};
+}
+
+double CapacityCalendar::available(double start, double end) const {
+  const auto [first, last] = window_ticks(start, end);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_free_locked(first, last);
+}
+
+bool CapacityCalendar::release(std::uint64_t id, double from_time) {
+  if (!std::isfinite(from_time)) {
+    throw std::invalid_argument(
+        "CapacityCalendar: release time must be finite");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  const Reservation resv = it->second;
+  live_.erase(it);
+  const double from_f =
+      std::max(0.0, std::floor(std::max(from_time, 0.0) / tick_));
+  const auto from_tick = std::max(
+      resv.start_tick, static_cast<std::size_t>(
+                           std::min(from_f, static_cast<double>(max_ticks_))));
+  if (from_tick < resv.end_tick) {
+    commit_locked(from_tick, resv.end_tick, -resv.rate);
+    occupancy_gauge_.set(committed_[from_tick] / capacity_);
+  }
+  return true;
+}
+
+std::size_t CapacityCalendar::expire_until(double now) {
+  if (!std::isfinite(now)) {
+    throw std::invalid_argument("CapacityCalendar: expiry time must be finite");
+  }
+  const double tick_f = std::floor(std::max(now, 0.0) / tick_);
+  const auto now_tick = static_cast<std::size_t>(
+      std::min(tick_f, static_cast<double>(max_ticks_)));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  while (!expiry_.empty() && expiry_.top().first <= now_tick) {
+    const std::uint64_t id = expiry_.top().second;
+    expiry_.pop();
+    // Released reservations already left live_; their heap entry is
+    // stale and sweeps through here without counting.
+    if (live_.erase(id) == 1) ++dropped;
+  }
+  expirations_ += dropped;
+  return dropped;
+}
+
+double CapacityCalendar::committed_at(double time) const {
+  if (!std::isfinite(time) || time < 0.0) {
+    throw std::invalid_argument(
+        "CapacityCalendar: query time must be finite and >= 0");
+  }
+  const auto t = static_cast<std::size_t>(
+      std::min(std::floor(time / tick_), static_cast<double>(max_ticks_)));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return t < committed_.size() ? committed_[t] : 0.0;
+}
+
+std::size_t CapacityCalendar::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+std::uint64_t CapacityCalendar::offers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offers_;
+}
+
+std::uint64_t CapacityCalendar::counteroffers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counteroffers_;
+}
+
+std::uint64_t CapacityCalendar::expirations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return expirations_;
+}
+
+}  // namespace bevr::admission

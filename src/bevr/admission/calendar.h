@@ -1,0 +1,126 @@
+// Per-link capacity calendar: time-sliced bookkeeping of committed
+// bandwidth for advance reservations.
+//
+// The calendar divides time into fixed-width ticks and tracks, per
+// tick, how much bandwidth is committed to reservations whose
+// [start, end) window covers that tick (SIBRA's shape: indexed
+// reservations with expiry ticks; a request that does not fit is
+// answered with a suggested-bandwidth counteroffer instead of a bare
+// rejection). Ticks quantize only the *bookkeeping*: releases take an
+// exact `from_time`, so a departure frees the remainder of its window
+// immediately and an immediate-reservation calendar reproduces the
+// exact M/M/C/C occupancy check (validated against Erlang-B in the
+// admission registry scenarios).
+//
+// Thread safety: every public operation is mutex-guarded, so calendars
+// may be shared by concurrent admission paths; the TSan leg of
+// check.sh runs the concurrent calendar tests. Determinism: given the
+// same operation sequence the calendar's answers are a pure function
+// of that sequence — nothing here reads clocks or randomness.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bevr/obs/metrics.h"
+
+namespace bevr::admission {
+
+class CapacityCalendar {
+ public:
+  struct Options {
+    double capacity = 100.0;  ///< link bandwidth shared by all windows
+    double tick = 0.25;       ///< slice width (simulated time units)
+    /// Upper bound on the bookable window index: a reservation whose
+    /// window would need more ticks than this throws instead of
+    /// growing the slice table without bound (hostile-input guard).
+    std::size_t max_ticks = std::size_t{1} << 22;
+  };
+
+  explicit CapacityCalendar(const Options& options);
+
+  /// Answer to a reservation request. When the request does not fit,
+  /// `suggested` carries the largest rate that would have fit over the
+  /// same window — the counteroffer a malleable requester may accept
+  /// or re-shape around.
+  struct Offer {
+    std::uint64_t id = 0;    ///< valid iff admitted (ids start at 1)
+    bool admitted = false;
+    double suggested = 0.0;  ///< max feasible rate over the window
+  };
+
+  /// Book `rate` over [start, end). Admits and commits iff `rate` fits
+  /// under capacity at every tick of the window; otherwise leaves the
+  /// calendar untouched and returns the counteroffer. Throws
+  /// std::invalid_argument for non-finite or negative times, end <=
+  /// start, rate <= 0, or windows beyond max_ticks.
+  Offer reserve(double start, double end, double rate);
+
+  /// Largest rate a [start, end) booking could get right now (0 when a
+  /// tick of the window is full). Same argument validation as reserve.
+  [[nodiscard]] double available(double start, double end) const;
+
+  /// Release a live reservation from `from_time` onward — the early-
+  /// teardown path a departure uses; `from_time` at or before the
+  /// window start frees the whole window. Commitments already in the
+  /// past stay recorded (history is append-only). Returns false for
+  /// unknown, expired, or already-released ids.
+  bool release(std::uint64_t id, double from_time);
+
+  /// Expiry sweep: drop the index entries of reservations whose window
+  /// ends at or before `now` (their commitments are history and stay).
+  /// Returns how many expired. Idempotent; cheap when nothing expires.
+  std::size_t expire_until(double now);
+
+  /// Bandwidth committed during the tick containing `time`.
+  [[nodiscard]] double committed_at(double time) const;
+
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double tick() const { return tick_; }
+  /// Live (admitted, not yet released or expired) reservations.
+  [[nodiscard]] std::size_t active() const;
+
+  /// Lifetime operation counts (reserve calls, counteroffers issued,
+  /// expiry-sweep drops); the admission engine flushes these into the
+  /// obs registry as admission/* counters.
+  [[nodiscard]] std::uint64_t offers() const;
+  [[nodiscard]] std::uint64_t counteroffers() const;
+  [[nodiscard]] std::uint64_t expirations() const;
+
+ private:
+  struct Reservation {
+    std::size_t start_tick = 0;
+    std::size_t end_tick = 0;  ///< exclusive; also the expiry tick
+    double rate = 0.0;
+  };
+
+  /// [first_tick, last_tick) of a validated [start, end) window.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> window_ticks(
+      double start, double end) const;
+  [[nodiscard]] double min_free_locked(std::size_t first,
+                                       std::size_t last) const;
+  void commit_locked(std::size_t first, std::size_t last, double delta);
+
+  const double capacity_;
+  const double tick_;
+  const std::size_t max_ticks_;
+
+  mutable std::mutex mutex_;
+  std::vector<double> committed_;  ///< per-tick committed bandwidth
+  std::unordered_map<std::uint64_t, Reservation> live_;
+  /// (end_tick, id) min-heap driving expire_until's sweep.
+  std::priority_queue<std::pair<std::size_t, std::uint64_t>,
+                      std::vector<std::pair<std::size_t, std::uint64_t>>,
+                      std::greater<>>
+      expiry_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t offers_ = 0;
+  std::uint64_t counteroffers_ = 0;
+  std::uint64_t expirations_ = 0;
+  obs::Gauge occupancy_gauge_;  ///< admission/calendar/occupancy
+};
+
+}  // namespace bevr::admission

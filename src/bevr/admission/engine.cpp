@@ -1,0 +1,143 @@
+#include "bevr/admission/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bevr/obs/metrics.h"
+#include "bevr/sim/event_queue.h"
+#include "bevr/sim/metrics.h"
+
+namespace bevr::admission {
+
+namespace {
+
+/// Mutable run state shared by the event closures.
+struct Runner {
+  AdmissionPolicy& policy;
+  const utility::UtilityFunction& pi;
+  const EngineConfig& config;
+
+  sim::EventQueue queue{};
+
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t counteroffers_accepted = 0;
+  std::uint64_t active = 0;
+  std::uint64_t peak_active = 0;
+  sim::RunningStats utility{};
+  sim::RunningStats allocated_rate{};
+
+  [[nodiscard]] bool scored(const FlowRequest& req) const {
+    return req.submit >= config.warmup;
+  }
+
+  void depart(const FlowRequest& req, const AdmissionPolicy::Decision& d,
+              double rate) {
+    policy.on_end(req, d, queue.now());
+    if (active > 0) --active;
+    if (scored(req)) {
+      utility.add(pi.value(rate));
+      allocated_rate.add(rate);
+    }
+  }
+
+  void start(const FlowRequest& req, const AdmissionPolicy::Decision& d) {
+    const double rate = policy.on_start(req, d);
+    ++active;
+    peak_active = std::max(peak_active, active);
+    queue.schedule(d.start + req.duration,
+                   [this, req, d, rate] { depart(req, d, rate); });
+  }
+
+  void submit(const FlowRequest& req) {
+    const auto decision = policy.request(req);
+    const bool in_window = scored(req);
+    if (in_window) ++offered;
+    if (!decision.admitted) {
+      if (in_window) {
+        ++blocked;
+        utility.add(0.0);  // blocked flows get zero bandwidth
+      }
+      return;
+    }
+    if (in_window) {
+      ++admitted;
+      if (decision.countered) ++counteroffers_accepted;
+    }
+    const auto start_token = queue.schedule(
+        decision.start, [this, req, decision] { start(req, decision); });
+    if (req.cancel < decision.start) {
+      // Pre-start retraction: the start event must never fire — this
+      // is the event queue's cancellation path doing real work.
+      queue.schedule(std::max(req.cancel, queue.now()),
+                     [this, req, decision, start_token] {
+                       queue.cancel(start_token);
+                       policy.on_cancel(req, decision, queue.now());
+                       if (scored(req)) ++cancelled;
+                     });
+    }
+  }
+};
+
+}  // namespace
+
+AdmissionReport run_admission(const ArrivalTrace& trace,
+                              AdmissionPolicy& policy,
+                              const utility::UtilityFunction& pi,
+                              const EngineConfig& config) {
+  if (!(config.warmup >= 0.0)) {
+    throw std::invalid_argument("run_admission: warmup must be >= 0");
+  }
+  Runner runner{policy, pi, config};
+  // The trace is sorted by submit, so scheduling in trace order gives
+  // simultaneous submits FIFO treatment matching their trace order.
+  for (const FlowRequest& req : trace.requests) {
+    if (req.submit < 0.0 || req.start < req.submit || !(req.duration > 0.0) ||
+        !(req.rate > 0.0)) {
+      throw std::invalid_argument("run_admission: malformed trace request");
+    }
+    runner.queue.schedule(req.submit,
+                          [&runner, req] { runner.submit(req); });
+  }
+  while (runner.queue.step()) {
+  }
+
+  AdmissionReport report;
+  report.offered = runner.offered;
+  report.admitted = runner.admitted;
+  report.blocked = runner.blocked;
+  report.cancelled = runner.cancelled;
+  report.counteroffers_accepted = runner.counteroffers_accepted;
+  if (const CapacityCalendar* cal = policy.calendar()) {
+    report.calendar_offers = cal->offers();
+    report.counteroffers = cal->counteroffers();
+    report.expirations = cal->expirations();
+  }
+  report.mean_utility = runner.utility.mean();
+  const std::uint64_t decided = runner.offered - runner.cancelled;
+  report.blocking_probability =
+      decided > 0
+          ? static_cast<double>(runner.blocked) / static_cast<double>(decided)
+          : 0.0;
+  report.mean_allocated_rate = runner.allocated_rate.mean();
+  report.peak_active = runner.peak_active;
+
+  // Counters batch locally during the event loop and flush here once,
+  // mirroring the flow simulator's instrumentation pattern.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (config.flush_obs && registry.enabled()) {
+    registry.counter("admission/offered").add(report.offered);
+    registry.counter("admission/admitted").add(report.admitted);
+    registry.counter("admission/blocked").add(report.blocked);
+    registry.counter("admission/cancelled").add(report.cancelled);
+    registry.counter("admission/counteroffers").add(report.counteroffers);
+    registry.counter("admission/counteroffers_accepted")
+        .add(report.counteroffers_accepted);
+    registry.counter("admission/expirations").add(report.expirations);
+  }
+  return report;
+}
+
+}  // namespace bevr::admission

@@ -20,6 +20,40 @@ double erlang_b(double offered_load, std::int64_t servers) {
   return blocking;
 }
 
+double erlang_b_offered_load(std::int64_t servers, double target_blocking) {
+  if (servers < 1) {
+    throw std::invalid_argument("erlang_b_offered_load: servers must be >= 1");
+  }
+  if (!(target_blocking > 0.0) || !(target_blocking < 1.0)) {
+    throw std::invalid_argument(
+        "erlang_b_offered_load: target must lie in (0, 1)");
+  }
+  // Bracket the root: B(0, m) = 0 <= target; double hi until it blocks
+  // harder than the target. B -> 1 as E -> inf, so this terminates.
+  double lo = 0.0;
+  double hi = static_cast<double>(servers) + 1.0;
+  while (erlang_b(hi, servers) <= target_blocking) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e18) {
+      throw std::runtime_error("erlang_b_offered_load: runaway bracket");
+    }
+  }
+  // Bisect to machine-level width; keep the invariant B(lo) <= target
+  // < B(hi) so returning lo preserves the "largest E with B <= target"
+  // contract exactly.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // interval no longer splits
+    if (erlang_b(mid, servers) <= target_blocking) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 std::int64_t erlang_b_servers(double offered_load, double target_blocking) {
   if (!(target_blocking > 0.0) || !(target_blocking < 1.0)) {
     throw std::invalid_argument("erlang_b_servers: target must lie in (0, 1)");

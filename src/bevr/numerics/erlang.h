@@ -22,4 +22,16 @@ namespace bevr::numerics {
 [[nodiscard]] std::int64_t erlang_b_servers(double offered_load,
                                             double target_blocking);
 
+/// Inverse of erlang_b in its load argument: the largest offered load
+/// E (erlangs) with erlang_b(E, servers) ≤ target. B(E, m) is
+/// continuous and strictly increasing in E for m ≥ 1, so this is the
+/// root of B(E, m) = target, found by bisection over the same stable
+/// recurrence; the returned bracket end satisfies
+/// erlang_b(result, servers) ≤ target exactly. The admission scenarios
+/// use it to place operating points ("the load a C-server link carries
+/// at 1% blocking"). Throws std::invalid_argument unless servers ≥ 1
+/// and 0 < target < 1.
+[[nodiscard]] double erlang_b_offered_load(std::int64_t servers,
+                                           double target_blocking);
+
 }  // namespace bevr::numerics

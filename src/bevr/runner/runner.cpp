@@ -1,15 +1,20 @@
 #include "bevr/runner/runner.h"
 
 #include <atomic>
-#include <limits>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <cstdio>
 #include <functional>
 #include <span>
 #include <stdexcept>
 
+#include "bevr/admission/engine.h"
+#include "bevr/admission/policy.h"
+#include "bevr/admission/trace.h"
 #include "bevr/core/fixed_load.h"
 #include "bevr/core/welfare.h"
+#include "bevr/numerics/erlang.h"
 #include "bevr/dist/algebraic.h"
 #include "bevr/kernels/sweep_evaluator.h"
 #include "bevr/kernels/warm_kmax.h"
@@ -203,6 +208,96 @@ Plan plan_simulation(const ScenarioSpec& spec, const std::vector<double>& grid,
       }};
 }
 
+Plan plan_admission(const ScenarioSpec& spec, const std::vector<double>& grid,
+                    std::vector<ResultRow>& rows, std::uint64_t base_seed,
+                    bool use_kernels) {
+  auto pi = make_utility(spec);
+  const AdmissionSpec adm = spec.admission;
+  return Plan{[&rows, &grid, pi, adm, base_seed, use_kernels](std::int64_t i) {
+    // Per-task trace from an index-keyed sub-stream: bit-identical at
+    // any thread count, and identical for every policy replaying it.
+    admission::TraceSpec tspec = adm.trace;
+    const double x = grid[static_cast<std::size_t>(i)];
+    switch (adm.sweep) {
+      case AdmissionSweep::kArrivalRate:
+        tspec.arrival_rate = x;
+        break;
+      case AdmissionSweep::kBookAhead:
+        tspec.book_ahead = x;
+        break;
+      case AdmissionSweep::kErlangCheck:
+        // The grid is offered load E = λ·τ; with τ fixed this is λ.
+        tspec.arrival_rate = x / tspec.mean_duration;
+        break;
+    }
+    const sim::Rng root(base_seed);
+    const auto trace = admission::generate_trace(
+        tspec, root.split(static_cast<std::uint64_t>(i)));
+    admission::EngineConfig engine_config;
+    engine_config.warmup = adm.warmup;
+
+    admission::PolicyConfig pc;
+    pc.capacity = adm.capacity;
+    pc.pi = pi;
+    pc.tick = adm.tick;
+    pc.use_warm_kmax = use_kernels;
+
+    auto& values = rows[static_cast<std::size_t>(i)].values;
+    if (adm.sweep == AdmissionSweep::kErlangCheck) {
+      // Rigid immediate reservations on the calendar are exactly an
+      // M/M/C/C loss system (releases happen at exact departure
+      // times, so tick quantization never leaks into admission);
+      // compare the simulated blocking with Erlang-B.
+      pc.min_rate_fraction = 1.0;
+      pc.max_start_shift = 0.0;
+      const auto policy =
+          admission::make_policy(admission::PolicyKind::kAdvanceBooking, pc);
+      const auto report =
+          admission::run_admission(trace, *policy, *pi, engine_config);
+      const double offered_load = tspec.arrival_rate * tspec.mean_duration;
+      const auto servers = static_cast<std::int64_t>(
+          std::floor(adm.capacity / tspec.rate + 1e-9));
+      const double model = numerics::erlang_b(offered_load, servers);
+      // 3σ binomial half-width at the model's blocking probability.
+      // Arrivals within one mean holding time see nearly the same
+      // occupancy, so blocking indicators are strongly correlated and
+      // the effective number of independent observations is the count
+      // of scored holding-time epochs — NOT the offered-arrival count
+      // (which would understate the CI by ~√E). The M/M/C/C validation
+      // test asserts abs_error <= ci3 per row.
+      const double epochs =
+          (tspec.horizon - adm.warmup) / tspec.mean_duration;
+      const double ci3 =
+          epochs > 0.0
+              ? 3.0 * std::sqrt(model * (1.0 - model) / epochs)
+              : std::numeric_limits<double>::infinity();
+      values = {offered_load, report.blocking_probability, model,
+                std::abs(report.blocking_probability - model), ci3};
+      return;
+    }
+
+    const auto run_policy = [&](admission::PolicyKind kind) {
+      const auto policy = admission::make_policy(kind, pc);
+      return admission::run_admission(trace, *policy, *pi, engine_config);
+    };
+    const auto best_effort = run_policy(admission::PolicyKind::kBestEffort);
+    const auto online = run_policy(admission::PolicyKind::kOnlineKmax);
+    pc.min_rate_fraction = adm.min_rate_fraction;
+    pc.max_start_shift = adm.max_start_shift;
+    pc.shift_step = adm.shift_step;
+    const auto advance = run_policy(admission::PolicyKind::kAdvanceBooking);
+
+    values = {x,
+              best_effort.mean_utility,
+              online.mean_utility,
+              advance.mean_utility,
+              online.blocking_probability,
+              advance.blocking_probability,
+              static_cast<double>(advance.counteroffers_accepted),
+              static_cast<double>(advance.cancelled)};
+  }};
+}
+
 }  // namespace
 
 std::shared_ptr<MemoizedVariableLoad> make_memoized_model(
@@ -237,6 +332,25 @@ std::vector<std::string> scenario_columns(const ScenarioSpec& spec) {
       return {"capacity", "admission_limit", "sim_best_effort",
               "sim_reservation", "model_best_effort", "model_reservation",
               "sim_blocking", "model_blocking"};
+    case ModelKind::kAdmission:
+      switch (spec.admission.sweep) {
+        case AdmissionSweep::kErlangCheck:
+          return {"offered_load", "sim_blocking", "erlang_b", "abs_error",
+                  "ci3"};
+        case AdmissionSweep::kArrivalRate:
+        case AdmissionSweep::kBookAhead:
+          return {spec.admission.sweep == AdmissionSweep::kArrivalRate
+                      ? "arrival_rate"
+                      : "book_ahead",
+                  "best_effort_util",
+                  "online_kmax_util",
+                  "advance_util",
+                  "online_blocking",
+                  "advance_blocking",
+                  "advance_countered",
+                  "advance_cancelled"};
+      }
+      throw std::invalid_argument("scenario_columns: unknown admission sweep");
   }
   throw std::invalid_argument("scenario_columns: unknown model kind");
 }
@@ -341,6 +455,9 @@ RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
         case ModelKind::kSimulation:
           return plan_simulation(spec, grid, rows, cache, options.base_seed,
                                  options.use_kernels);
+        case ModelKind::kAdmission:
+          return plan_admission(spec, grid, rows, options.base_seed,
+                                options.use_kernels);
       }
       throw std::invalid_argument("run_scenario: unknown model kind");
     }();

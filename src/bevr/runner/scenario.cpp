@@ -38,6 +38,16 @@ std::string to_string(ModelKind kind) {
     case ModelKind::kContinuum: return "continuum";
     case ModelKind::kWelfare: return "welfare";
     case ModelKind::kSimulation: return "simulation";
+    case ModelKind::kAdmission: return "admission";
+  }
+  return "?";
+}
+
+std::string to_string(AdmissionSweep sweep) {
+  switch (sweep) {
+    case AdmissionSweep::kArrivalRate: return "arrival_rate";
+    case AdmissionSweep::kBookAhead: return "book_ahead";
+    case AdmissionSweep::kErlangCheck: return "erlang_check";
   }
   return "?";
 }
@@ -89,6 +99,25 @@ void ScenarioSpec::validate() const {
   if (model == ModelKind::kSimulation && !(sim_horizon > sim_warmup)) {
     throw std::invalid_argument("ScenarioSpec '" + name +
                                 "': sim horizon must exceed warmup");
+  }
+  if (model == ModelKind::kAdmission) {
+    admission.trace.validate();  // swept field is overridden per point
+    if (util == UtilityFamily::kElastic) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': admission scenarios need an inelastic utility (the online "
+          "k_max policy has no threshold for elastic apps)");
+    }
+    if (!(admission.capacity > 0.0) || !(admission.tick > 0.0)) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': admission capacity and tick must be > 0");
+    }
+    if (!(admission.warmup >= 0.0) ||
+        !(admission.warmup < admission.trace.horizon)) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': admission warmup must lie in [0, trace horizon)");
+    }
   }
 }
 
@@ -322,6 +351,59 @@ ScenarioRegistry build_paper_suite() {
     spec.grid = GridSpec{60.0, 180.0, 7, false};
     spec.sim_horizon = 2000.0;
     spec.sim_warmup = 200.0;
+    registry.add(spec);
+  }
+
+  // Admission-control scenarios: three policies (best effort, online
+  // k_max, malleable advance booking) replayed on bit-identical traces
+  // per grid point, plus an M/M/C/C cross-check against Erlang-B.
+  {
+    ScenarioSpec spec;
+    spec.name = "admission_policy_load";
+    spec.description =
+        "Admission: best-effort vs online k_max vs advance booking across "
+        "arrival rates (shared traces)";
+    spec.model = ModelKind::kAdmission;
+    spec.util = UtilityFamily::kRigid;
+    spec.util_param = 1.0;
+    spec.grid = GridSpec{40.0, 160.0, 7, false};
+    spec.admission.sweep = AdmissionSweep::kArrivalRate;
+    spec.admission.trace.kind = admission::TraceKind::kPoisson;
+    spec.admission.trace.mean_duration = 1.0;
+    spec.admission.trace.rate = 1.0;
+    spec.admission.trace.book_ahead = 1.0;
+    spec.admission.trace.cancel_p = 0.05;
+    spec.admission.trace.horizon = 300.0;
+    spec.admission.warmup = 30.0;
+    spec.admission.min_rate_fraction = 0.5;
+    spec.admission.max_start_shift = 2.0;
+    registry.add(spec);
+
+    spec.name = "admission_bookahead_sweep";
+    spec.description =
+        "Admission: policy utilities vs mean book-ahead lead at fixed "
+        "overload (adaptive apps, counteroffers on)";
+    spec.util = UtilityFamily::kPiecewiseLinear;
+    spec.util_param = 0.5;
+    spec.grid = GridSpec{0.25, 8.0, 7, true};
+    spec.admission.sweep = AdmissionSweep::kBookAhead;
+    spec.admission.trace.arrival_rate = 110.0;
+    spec.admission.trace.cancel_p = 0.1;
+    spec.admission.min_rate_fraction = 0.6;
+    registry.add(spec);
+
+    spec.name = "admission_mmcc_erlang";
+    spec.description =
+        "Admission: rigid immediate reservations vs Erlang-B blocking "
+        "(M/M/C/C cross-check)";
+    spec.util = UtilityFamily::kRigid;
+    spec.util_param = 1.0;
+    spec.grid = GridSpec{60.0, 140.0, 5, false};
+    spec.admission.sweep = AdmissionSweep::kErlangCheck;
+    spec.admission.trace.book_ahead = 0.0;
+    spec.admission.trace.cancel_p = 0.0;
+    spec.admission.trace.horizon = 400.0;
+    spec.admission.warmup = 50.0;
     registry.add(spec);
   }
 

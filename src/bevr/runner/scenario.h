@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bevr/admission/trace.h"
 #include "bevr/core/continuum.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/discrete.h"
@@ -36,6 +37,32 @@ enum class ModelKind {
   kContinuum,      ///< closed-form/numeric continuum per capacity (§3.2)
   kWelfare,        ///< C(p), W(p), γ(p) per price (§4)
   kSimulation,     ///< flow-level sim vs model per capacity
+  kAdmission,      ///< admission policies on shared arrival traces
+};
+
+/// Which knob an admission scenario sweeps over its grid.
+enum class AdmissionSweep {
+  kArrivalRate,  ///< trace arrival rate; compares the three policies
+  kBookAhead,    ///< mean submit-to-start lead; compares the policies
+  kErlangCheck,  ///< offered load; rigid calendar vs Erlang-B (M/M/C/C)
+};
+
+[[nodiscard]] std::string to_string(AdmissionSweep sweep);
+
+/// Admission-scenario knobs (ModelKind::kAdmission). The grid value
+/// overrides the swept TraceSpec field per point; everything else in
+/// `trace` is shared, so each grid point replays its three policies on
+/// one bit-identical trace.
+struct AdmissionSpec {
+  admission::TraceSpec trace;
+  AdmissionSweep sweep = AdmissionSweep::kArrivalRate;
+  double capacity = 100.0;
+  double tick = 0.25;   ///< calendar slice width
+  double warmup = 50.0; ///< requests submitting earlier are unscored
+  /// Advance-booking malleability (ignored by the other policies).
+  double min_rate_fraction = 0.5;
+  double max_start_shift = 2.0;
+  double shift_step = 0.5;
 };
 
 [[nodiscard]] std::string to_string(LoadFamily family);
@@ -81,6 +108,9 @@ struct ScenarioSpec {
   /// Simulation-only knobs (ModelKind::kSimulation).
   double sim_horizon = 4000.0;
   double sim_warmup = 400.0;
+
+  /// Admission-only knobs (ModelKind::kAdmission).
+  AdmissionSpec admission;
 
   /// Throws std::invalid_argument with a precise message when the spec
   /// is not executable (bad grid, unsupported model/family combo, ...).

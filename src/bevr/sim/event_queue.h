@@ -1,12 +1,18 @@
 // Discrete-event scheduler: a time-ordered queue of callbacks with
-// FIFO tie-breaking. Shared by the flow-level simulator (bevr::sim)
-// and the RSVP soft-state machinery (bevr::net).
+// FIFO tie-breaking and O(1) cancellation. Shared by the flow-level
+// simulator (bevr::sim), the RSVP soft-state machinery (bevr::net),
+// and the admission engine (bevr::admission), whose reservation
+// expiry/teardown paths need to retract events that are already
+// scheduled (e.g. cancel the safety-net calendar expiry once the flow
+// has departed and released its booking).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 namespace bevr::sim {
@@ -14,39 +20,64 @@ namespace bevr::sim {
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Token identifying one scheduled event; valid until the event
+  /// fires or is cancelled. Tokens are never reused within a queue.
+  using EventId = std::uint64_t;
 
   /// Schedule `action` at absolute time `when` (must not precede now()).
-  void schedule(double when, Action action) {
+  /// Returns a token that cancel() accepts; callers that never cancel
+  /// can ignore it, so the pre-cancellation call sites are unchanged.
+  EventId schedule(double when, Action action) {
     if (when < now_) {
       throw std::invalid_argument("EventQueue: cannot schedule in the past");
     }
-    heap_.push(Event{when, next_seq_++, std::move(action)});
+    const EventId id = next_seq_++;
+    heap_.push(Event{when, id, std::move(action)});
+    live_.insert(id);
+    return id;
   }
 
   /// Schedule `action` `delay` after the current time.
-  void schedule_in(double delay, Action action) {
-    schedule(now_ + delay, std::move(action));
+  EventId schedule_in(double delay, Action action) {
+    return schedule(now_ + delay, std::move(action));
   }
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] double now() const { return now_; }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Retract a pending event: it will never fire (lazy deletion — the
+  /// heap entry is discarded when it reaches the top). Returns false
+  /// when the token is unknown, already fired, or already cancelled,
+  /// so double-cancel and cancel-after-fire are harmless no-ops.
+  bool cancel(EventId id) { return live_.erase(id) == 1; }
 
-  /// Pop and run the earliest event; advances now(). Returns false when
-  /// the queue is empty.
+  /// True when no live (uncancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] double now() const { return now_; }
+  /// Live events only; cancelled entries still parked in the heap do
+  /// not count.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+  /// Pop and run the earliest live event; advances now(). Cancelled
+  /// events are skipped silently (they advance neither the clock nor
+  /// the FIFO order of survivors). Returns false when no live event
+  /// remains.
   bool step() {
+    purge_cancelled();
     if (heap_.empty()) return false;
     // Copy out before pop so the action may schedule further events.
     Event event = heap_.top();
     heap_.pop();
+    live_.erase(event.seq);
     now_ = event.time;
     event.action();
     return true;
   }
 
-  /// Run until the queue drains or the clock passes `horizon`.
+  /// Run until the live queue drains or the clock passes `horizon`.
   void run_until(double horizon) {
-    while (!heap_.empty() && heap_.top().time <= horizon) step();
+    for (;;) {
+      purge_cancelled();
+      if (heap_.empty() || heap_.top().time > horizon) break;
+      step();
+    }
     now_ = std::max(now_, horizon);
   }
 
@@ -61,7 +92,16 @@ class EventQueue {
     }
   };
 
+  /// Drop cancelled entries sitting at the top of the heap so top()
+  /// always describes the next event that will actually fire.
+  void purge_cancelled() {
+    while (!heap_.empty() && live_.count(heap_.top().seq) == 0) {
+      heap_.pop();
+    }
+  }
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_set<EventId> live_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -155,12 +155,18 @@ struct Runner {
     // Blocked.
     if (attempt_number == 1) ++first_attempt_blocked;
     if (config.retry.enabled && attempt_number < config.retry.max_attempts) {
-      flow.retries = attempt_number;  // retries made so far
-      queue.schedule_in(rng.exponential(config.retry.backoff_mean),
-                        [this, flow, attempt_number]() mutable {
-                          attempt(flow, attempt_number + 1);
-                        });
-      return;
+      const double delay = rng.exponential(config.retry.backoff_mean);
+      // A retry landing beyond the horizon cannot be served by this
+      // run: arrivals have stopped, so the flow would be admitted onto
+      // a draining link and score an unrepresentative utility. Resolve
+      // it as abandoned now instead of leaking that into the metrics.
+      if (queue.now() + delay <= config.horizon) {
+        flow.retries = attempt_number;  // retries made so far
+        queue.schedule_in(delay, [this, flow, attempt_number]() mutable {
+          attempt(flow, attempt_number + 1);
+        });
+        return;
+      }
     }
     // Lost (no retries, or gave up): zero bandwidth, zero raw utility.
     flow.retries = attempt_number - 1;

@@ -36,6 +36,18 @@ enum class UtilityMode {
 };
 
 /// Retry behaviour for blocked reservation requests (§5.2).
+///
+/// Edge semantics (pinned by tests/sim/test_retry_edges.cpp):
+///  * max_attempts counts total attempts, so 0 and 1 both mean "give
+///    up after the first blocked attempt" — the flow accounting is
+///    identical to enabled=false (blocked flows resolve as abandoned
+///    with zero utility either way);
+///  * a retry whose backoff would land beyond the simulation horizon
+///    resolves as abandoned at the moment of the blocked attempt:
+///    arrivals stop at the horizon, so post-horizon attempts would hit
+///    a draining link and leak unrepresentative utilities into the
+///    metrics. Every scored-window flow therefore resolves exactly
+///    once, within the horizon's load regime.
 struct RetryPolicy {
   bool enabled = false;
   double penalty = 0.1;        ///< utility cost per retry (paper's α)

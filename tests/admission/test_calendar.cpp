@@ -1,0 +1,213 @@
+#include "bevr/admission/calendar.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bevr::admission {
+namespace {
+
+CapacityCalendar::Options small_options() {
+  CapacityCalendar::Options options;
+  options.capacity = 10.0;
+  options.tick = 0.5;
+  return options;
+}
+
+TEST(CapacityCalendar, AdmitsUntilCapacityThenCounters) {
+  CapacityCalendar calendar(small_options());
+  for (int i = 0; i < 10; ++i) {
+    const auto offer = calendar.reserve(0.0, 2.0, 1.0);
+    EXPECT_TRUE(offer.admitted) << "i=" << i;
+    EXPECT_GT(offer.id, 0u);
+  }
+  const auto full = calendar.reserve(0.0, 2.0, 1.0);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.id, 0u);
+  EXPECT_NEAR(full.suggested, 0.0, 1e-9);
+  EXPECT_EQ(calendar.active(), 10u);
+  EXPECT_EQ(calendar.offers(), 11u);
+  EXPECT_EQ(calendar.counteroffers(), 1u);
+}
+
+TEST(CapacityCalendar, CounteroffersLargestFeasibleRate) {
+  CapacityCalendar calendar(small_options());
+  ASSERT_TRUE(calendar.reserve(0.0, 4.0, 6.0).admitted);
+  const auto offer = calendar.reserve(0.0, 4.0, 6.0);
+  EXPECT_FALSE(offer.admitted);
+  EXPECT_NEAR(offer.suggested, 4.0, 1e-12);
+  // The counteroffer is actually bookable.
+  EXPECT_TRUE(calendar.reserve(0.0, 4.0, offer.suggested).admitted);
+}
+
+TEST(CapacityCalendar, SuggestedIsMinOverWindow) {
+  CapacityCalendar calendar(small_options());
+  ASSERT_TRUE(calendar.reserve(1.0, 2.0, 7.0).admitted);  // mid-window spike
+  const auto offer = calendar.reserve(0.0, 3.0, 5.0);
+  EXPECT_FALSE(offer.admitted);
+  EXPECT_NEAR(offer.suggested, 3.0, 1e-12);
+  EXPECT_NEAR(calendar.available(0.0, 3.0), 3.0, 1e-12);
+  EXPECT_NEAR(calendar.available(2.0, 3.0), 10.0, 1e-12);
+}
+
+TEST(CapacityCalendar, NonOverlappingWindowsShareNothing) {
+  CapacityCalendar calendar(small_options());
+  EXPECT_TRUE(calendar.reserve(0.0, 2.0, 10.0).admitted);
+  EXPECT_TRUE(calendar.reserve(2.0, 4.0, 10.0).admitted);
+  EXPECT_FALSE(calendar.reserve(1.5, 2.5, 0.5).admitted);
+}
+
+TEST(CapacityCalendar, ReleaseFreesTheRemainderOfTheWindow) {
+  CapacityCalendar calendar(small_options());
+  const auto offer = calendar.reserve(0.0, 4.0, 10.0);
+  ASSERT_TRUE(offer.admitted);
+  EXPECT_FALSE(calendar.reserve(2.0, 3.0, 1.0).admitted);
+  // Early departure at t=2 frees [2, 4) but keeps [0, 2) committed.
+  EXPECT_TRUE(calendar.release(offer.id, 2.0));
+  EXPECT_EQ(calendar.active(), 0u);
+  EXPECT_TRUE(calendar.reserve(2.0, 4.0, 10.0).admitted);
+  EXPECT_NEAR(calendar.committed_at(1.0), 10.0, 1e-12);  // history stays
+}
+
+TEST(CapacityCalendar, ReleaseBeforeStartFreesWholeWindow) {
+  CapacityCalendar calendar(small_options());
+  const auto offer = calendar.reserve(5.0, 8.0, 10.0);
+  ASSERT_TRUE(offer.admitted);
+  EXPECT_TRUE(calendar.release(offer.id, 0.0));
+  EXPECT_TRUE(calendar.reserve(5.0, 8.0, 10.0).admitted);
+}
+
+TEST(CapacityCalendar, ReleaseUnknownOrTwiceReturnsFalse) {
+  CapacityCalendar calendar(small_options());
+  const auto offer = calendar.reserve(0.0, 1.0, 1.0);
+  ASSERT_TRUE(offer.admitted);
+  EXPECT_FALSE(calendar.release(offer.id + 100, 0.0));
+  EXPECT_TRUE(calendar.release(offer.id, 0.0));
+  EXPECT_FALSE(calendar.release(offer.id, 0.0));
+}
+
+TEST(CapacityCalendar, ExpiryDropsEndedReservations) {
+  CapacityCalendar calendar(small_options());
+  ASSERT_TRUE(calendar.reserve(0.0, 1.0, 1.0).admitted);
+  ASSERT_TRUE(calendar.reserve(0.0, 2.0, 1.0).admitted);
+  ASSERT_TRUE(calendar.reserve(0.0, 9.0, 1.0).admitted);
+  EXPECT_EQ(calendar.expire_until(2.0), 2u);
+  EXPECT_EQ(calendar.active(), 1u);
+  EXPECT_EQ(calendar.expirations(), 2u);
+  // Idempotent: nothing else has ended.
+  EXPECT_EQ(calendar.expire_until(2.0), 0u);
+  // Released reservations never double-count as expirations.
+  const auto offer = calendar.reserve(3.0, 4.0, 1.0);
+  ASSERT_TRUE(calendar.release(offer.id, 3.0));
+  EXPECT_EQ(calendar.expire_until(100.0), 1u);  // only the t=9 one
+}
+
+TEST(CapacityCalendar, SubTickWindowStillBooksASlice) {
+  CapacityCalendar calendar(small_options());
+  ASSERT_TRUE(calendar.reserve(0.1, 0.2, 10.0).admitted);
+  EXPECT_FALSE(calendar.reserve(0.3, 0.4, 1.0).admitted);  // same tick
+  EXPECT_TRUE(calendar.reserve(0.5, 0.6, 10.0).admitted);  // next tick
+}
+
+TEST(CapacityCalendar, FullLinkNeverRejectsRatesThatFitByConstruction) {
+  // Pack/unpack cycles accumulate float residue; the admission slack
+  // must keep "capacity/k fits k times" true indefinitely.
+  CapacityCalendar::Options options;
+  options.capacity = 100.0;
+  options.tick = 0.25;
+  CapacityCalendar calendar(options);
+  const double share = options.capacity / 7.0;  // not representable
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 7; ++i) {
+      const auto offer = calendar.reserve(0.0, 1.0, share);
+      ASSERT_TRUE(offer.admitted) << "cycle=" << cycle << " i=" << i;
+      ids.push_back(offer.id);
+    }
+    for (const auto id : ids) ASSERT_TRUE(calendar.release(id, 0.0));
+  }
+  EXPECT_NEAR(calendar.committed_at(0.5), 0.0, 1e-6);
+}
+
+TEST(CapacityCalendar, InvalidArgumentsThrow) {
+  CapacityCalendar calendar(small_options());
+  EXPECT_THROW((void)calendar.reserve(-1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(2.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(0.0, 1.0, -2.0), std::invalid_argument);
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)calendar.reserve(nan, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(0.0, inf, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(0.0, 1.0, nan), std::invalid_argument);
+  EXPECT_THROW((void)calendar.available(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)calendar.committed_at(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.expire_until(nan), std::invalid_argument);
+
+  CapacityCalendar::Options bad = small_options();
+  bad.capacity = 0.0;
+  EXPECT_THROW(CapacityCalendar{bad}, std::invalid_argument);
+  bad = small_options();
+  bad.tick = -0.5;
+  EXPECT_THROW(CapacityCalendar{bad}, std::invalid_argument);
+  bad = small_options();
+  bad.max_ticks = 0;
+  EXPECT_THROW(CapacityCalendar{bad}, std::invalid_argument);
+}
+
+TEST(CapacityCalendar, WindowBeyondMaxTicksThrows) {
+  CapacityCalendar::Options options = small_options();
+  options.max_ticks = 100;  // 50 time units at tick 0.5
+  CapacityCalendar calendar(options);
+  EXPECT_TRUE(calendar.reserve(0.0, 50.0, 1.0).admitted);
+  EXPECT_THROW((void)calendar.reserve(0.0, 50.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)calendar.reserve(1e18, 1e18 + 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(CapacityCalendarConcurrent, ParallelReserveReleaseConserves) {
+  // Hammer one calendar from several threads (the TSan leg runs this
+  // under thread sanitizer). Each thread books and releases its own
+  // reservations; capacity must never oversubscribe and the final
+  // state must be empty.
+  CapacityCalendar::Options options;
+  options.capacity = 64.0;
+  options.tick = 1.0;
+  CapacityCalendar calendar(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&calendar, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const double start = static_cast<double>((t * 7 + round) % 32);
+        const auto offer = calendar.reserve(start, start + 3.0, 2.0);
+        if (offer.admitted) {
+          EXPECT_TRUE(calendar.release(offer.id, start));
+        } else {
+          EXPECT_GE(offer.suggested, 0.0);
+        }
+        (void)calendar.available(start, start + 1.0);
+        (void)calendar.committed_at(start);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(calendar.active(), 0u);
+  for (double t = 0.0; t < 36.0; t += 1.0) {
+    EXPECT_NEAR(calendar.committed_at(t), 0.0, 1e-9) << "t=" << t;
+  }
+  EXPECT_EQ(calendar.offers(), static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace bevr::admission

@@ -1,0 +1,119 @@
+// Hostile-input coverage for the trace file reader: every malformed
+// line must raise std::invalid_argument naming the offending line —
+// never undefined behaviour, never a silently skipped record.
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bevr/admission/trace.h"
+
+namespace bevr::admission {
+namespace {
+
+ArrivalTrace parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+/// The reader must throw std::invalid_argument whose message mentions
+/// "line <n>".
+void expect_rejects(const std::string& text, std::size_t line) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected std::invalid_argument for: " << text;
+  } catch (const std::invalid_argument& error) {
+    const std::string needle = "line " + std::to_string(line);
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "message '" << error.what() << "' does not name " << needle;
+  }
+}
+
+TEST(ParseTrace, WellFormedRoundTrip) {
+  const auto trace = parse(
+      "# submit start duration rate\n"
+      "\n"
+      "0.0 0.0 1.5 2.0\n"
+      "  0.5   1.25 0.75 1.0  \n"
+      "\t0.5 3.0 2.0 4.0\n");
+  ASSERT_EQ(trace.requests.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.requests[0].duration, 1.5);
+  EXPECT_DOUBLE_EQ(trace.requests[1].start, 1.25);
+  EXPECT_DOUBLE_EQ(trace.requests[2].rate, 4.0);
+  EXPECT_DOUBLE_EQ(trace.horizon, 3.0);
+  EXPECT_TRUE(std::isinf(trace.requests[0].cancel));
+}
+
+TEST(ParseTrace, EmptyAndCommentOnlyInputsYieldEmptyTraces) {
+  EXPECT_TRUE(parse("").requests.empty());
+  EXPECT_TRUE(parse("# nothing\n\n   \n\t\n# more\n").requests.empty());
+  EXPECT_DOUBLE_EQ(parse("").horizon, 0.0);
+}
+
+TEST(ParseTrace, TruncatedLines) {
+  expect_rejects("0 0 1 1\n0.5\n", 2);
+  expect_rejects("0 0 1\n", 1);          // three fields
+  expect_rejects("0 0\n", 1);            // two fields
+  expect_rejects("7\n", 1);              // one field
+}
+
+TEST(ParseTrace, TrailingFields) {
+  expect_rejects("0 0 1 1 9\n", 1);
+  expect_rejects("0 0 1 1\n1 1 1 1 bogus\n", 2);
+}
+
+TEST(ParseTrace, NonNumericTokens) {
+  expect_rejects("zero 0 1 1\n", 1);
+  expect_rejects("0 x 1 1\n", 1);
+  expect_rejects("0 0 1,5 1\n", 1);  // locale comma = trailing junk
+  expect_rejects("0 0 1 --2\n", 1);
+}
+
+TEST(ParseTrace, NonFiniteValues) {
+  expect_rejects("nan 0 1 1\n", 1);
+  expect_rejects("0 inf 1 1\n", 1);
+  expect_rejects("0 0 -inf 1\n", 1);
+  expect_rejects("0 0 1 nan\n", 1);
+}
+
+TEST(ParseTrace, DomainViolations) {
+  expect_rejects("-1 0 1 1\n", 1);       // negative submit
+  expect_rejects("5 4 1 1\n", 1);        // start precedes submit
+  expect_rejects("0 0 0 1\n", 1);        // zero duration
+  expect_rejects("0 0 -3 1\n", 1);       // negative duration
+  expect_rejects("0 0 1 0\n", 1);        // zero rate
+  expect_rejects("0 0 1 -1\n", 1);       // negative rate
+}
+
+TEST(ParseTrace, OutOfOrderSubmits) {
+  expect_rejects("2 2 1 1\n1 1 1 1\n", 2);
+  // Equal submits are allowed (stable order preserved).
+  const auto trace = parse("1 1 1 1\n1 2 1 1\n");
+  ASSERT_EQ(trace.requests.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.requests[1].start, 2.0);
+}
+
+TEST(ParseTrace, LineNumbersCountCommentsAndBlanks) {
+  // The reported line number must match the file, not the record count.
+  expect_rejects("# header\n\n0 0 1 1\n# mid\nbroken\n", 5);
+}
+
+TEST(ParseTrace, HugeValuesSurviveWithoutOverflowUB) {
+  // Extreme magnitudes parse as finite doubles and obey the contract.
+  const auto trace = parse("0 1e300 1e300 1e300\n");
+  ASSERT_EQ(trace.requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.horizon, 1e300);
+  // Overflowing literals read as inf → rejected, not UB.
+  expect_rejects("0 0 1 1e400\n", 1);
+}
+
+TEST(LoadTrace, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/definitely/not/here.trace"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bevr::admission

@@ -185,6 +185,10 @@ std::vector<runner::ScenarioSpec> shrunken_registry_pairings() {
       small.sim_horizon = 300.0;
       small.sim_warmup = 50.0;
     }
+    if (small.model == runner::ModelKind::kAdmission) {
+      small.admission.trace.horizon = 150.0;
+      small.admission.warmup = 20.0;
+    }
     specs.push_back(std::move(small));
   }
   return specs;

@@ -72,5 +72,54 @@ TEST(ErlangBServers, KnownPlanningValue) {
   EXPECT_THROW((void)erlang_b_servers(1.0, 1.0), std::invalid_argument);
 }
 
+TEST(ErlangBOfferedLoad, RoundTripStaysAtOrBelowTarget) {
+  // The contract: the largest E with B(E, m) <= target. So the round
+  // trip must satisfy the target exactly, and any slightly larger load
+  // must exceed it (B is continuous and strictly increasing in E).
+  for (const std::int64_t m : {5LL, 20LL, 100LL}) {
+    for (const double target : {0.1, 0.01, 0.001}) {
+      const double e = erlang_b_offered_load(m, target);
+      EXPECT_LE(erlang_b(e, m), target) << "m=" << m << " target=" << target;
+      EXPECT_GT(erlang_b(e * (1.0 + 1e-9) + 1e-12, m), target)
+          << "m=" << m << " target=" << target;
+      EXPECT_NEAR(erlang_b(e, m), target, target * 1e-6)
+          << "m=" << m << " target=" << target;
+    }
+  }
+}
+
+TEST(ErlangBOfferedLoad, TabulatedTrafficValues) {
+  // Classic Erlang-B planning tables at 1% blocking.
+  EXPECT_NEAR(erlang_b_offered_load(5, 0.01), 1.361, 0.02);
+  EXPECT_NEAR(erlang_b_offered_load(10, 0.01), 4.461, 0.03);
+  EXPECT_NEAR(erlang_b_offered_load(20, 0.01), 12.03, 0.06);
+  EXPECT_NEAR(erlang_b_offered_load(100, 0.01), 84.06, 0.3);
+}
+
+TEST(ErlangBOfferedLoad, ConsistentWithServerInverse) {
+  // erlang_b_servers(E, t) = m means m servers suffice for load E at
+  // target t; therefore the largest load m servers can carry at t must
+  // be at least E.
+  for (const double e : {10.0, 50.0, 100.0}) {
+    const auto m = erlang_b_servers(e, 0.01);
+    EXPECT_GE(erlang_b_offered_load(m, 0.01), e);
+    // And one server fewer cannot carry E at the target.
+    EXPECT_LT(erlang_b_offered_load(m - 1, 0.01), e);
+  }
+}
+
+TEST(ErlangBOfferedLoad, MonotoneInServersAndTarget) {
+  EXPECT_LT(erlang_b_offered_load(10, 0.01), erlang_b_offered_load(20, 0.01));
+  EXPECT_LT(erlang_b_offered_load(10, 0.001), erlang_b_offered_load(10, 0.1));
+}
+
+TEST(ErlangBOfferedLoad, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)erlang_b_offered_load(0, 0.01), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b_offered_load(-3, 0.01), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b_offered_load(5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b_offered_load(5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)erlang_b_offered_load(5, -0.1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bevr::numerics

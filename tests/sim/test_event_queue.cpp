@@ -72,5 +72,125 @@ TEST(EventQueue, EmptyBehaviour) {
   EXPECT_DOUBLE_EQ(queue.now(), 0.0);
 }
 
+TEST(EventQueueCancel, CancelledEventNeverFires) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&order] { order.push_back(1); });
+  const auto doomed = queue.schedule(2.0, [&order] { order.push_back(2); });
+  queue.schedule(3.0, [&order] { order.push_back(3); });
+  EXPECT_TRUE(queue.cancel(doomed));
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueCancel, DoubleCancelAndCancelAfterFireReturnFalse) {
+  EventQueue queue;
+  const auto id = queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));  // already cancelled
+
+  const auto fired = queue.schedule(2.0, [] {});
+  while (queue.step()) {
+  }
+  EXPECT_FALSE(queue.cancel(fired));       // already fired
+  EXPECT_FALSE(queue.cancel(9999999));     // never existed
+}
+
+TEST(EventQueueCancel, FifoPreservedAroundInterleavedCancels) {
+  // Cancelling events between simultaneous survivors must not perturb
+  // the survivors' FIFO order (cancellation is lazy; the heap entries
+  // are skipped, not reshuffled).
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> doomed;
+  for (int i = 0; i < 6; ++i) {
+    const auto id =
+        queue.schedule(1.0, [&order, i] { order.push_back(i); });
+    if (i % 2 == 1) doomed.push_back(id);
+  }
+  for (const auto id : doomed) EXPECT_TRUE(queue.cancel(id));
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(EventQueueCancel, PendingAndEmptyCountLiveEventsOnly) {
+  EventQueue queue;
+  const auto a = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_TRUE(queue.cancel(a));
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_FALSE(queue.empty());
+  queue.step();
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_TRUE(queue.empty());
+  // The cancelled entry still parked in the heap must not make step()
+  // report progress.
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueueCancel, CancelledTopDoesNotAdvanceClock) {
+  // step() skips cancelled events without running the clock forward to
+  // their timestamps.
+  EventQueue queue;
+  const auto a = queue.schedule(1.0, [] {});
+  queue.schedule(5.0, [] {});
+  queue.cancel(a);
+  EXPECT_TRUE(queue.step());
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+}
+
+TEST(EventQueueCancel, RunUntilIgnoresCancelledBeyondHorizon) {
+  // A cancelled event inside the horizon and a live one beyond it:
+  // run_until must fire nothing and still land on the horizon.
+  EventQueue queue;
+  int fired = 0;
+  const auto a = queue.schedule(1.0, [&fired] { ++fired; });
+  queue.schedule(10.0, [&fired] { ++fired; });
+  queue.cancel(a);
+  queue.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueCancel, EventsCanCancelOtherEvents) {
+  // The admission engine's pattern: a cancel event retracts a pending
+  // start event at runtime.
+  EventQueue queue;
+  std::vector<int> order;
+  const auto start =
+      queue.schedule(3.0, [&order] { order.push_back(3); });
+  queue.schedule(1.0, [&order, &queue, start] {
+    order.push_back(1);
+    EXPECT_TRUE(queue.cancel(start));
+  });
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(EventQueueCancel, DeterministicAcrossIdenticalRuns) {
+  // Same schedule/cancel sequence → same firing order and clock, run
+  // after run (tokens are assigned deterministically).
+  const auto run = [] {
+    EventQueue queue;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(queue.schedule(static_cast<double>(i % 5),
+                                   [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 20; i += 3) queue.cancel(ids[static_cast<std::size_t>(i)]);
+    while (queue.step()) {
+    }
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 }  // namespace
 }  // namespace bevr::sim

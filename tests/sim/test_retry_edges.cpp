@@ -1,0 +1,115 @@
+// Edge semantics of sim::RetryPolicy, pinned per the doc comment in
+// simulator.h: max_attempts 0 and 1 both mean one attempt total, and
+// retries whose backoff lands past the horizon resolve as abandoned at
+// block time instead of leaking post-horizon utilities.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bevr/sim/simulator.h"
+
+namespace bevr::sim {
+namespace {
+
+SimulationConfig overloaded_config() {
+  SimulationConfig config;
+  config.capacity = 100.0;
+  config.architecture = Architecture::kReservation;
+  config.admission_limit = 60;  // heavily under-provisioned: real blocking
+  config.horizon = 1000.0;
+  config.warmup = 100.0;
+  config.seed = 777;
+  return config;
+}
+
+SimulationReport run_with(SimulationConfig config) {
+  const FlowSimulator simulator(
+      config, std::make_shared<utility::Rigid>(1.0),
+      std::make_shared<PoissonArrivals>(100.0),
+      std::make_shared<ExponentialHolding>(1.0));
+  return simulator.run();
+}
+
+TEST(RetryEdges, MaxAttemptsZeroAndOneBehaveAsSingleAttempt) {
+  // max_attempts counts total attempts, so 0 and 1 both exhaust after
+  // the first block — identical flow accounting, and every blocked
+  // flow is an abandonment (no retries ever happen).
+  auto config = overloaded_config();
+  config.retry.enabled = true;
+  config.retry.max_attempts = 0;
+  const auto zero = run_with(config);
+  config.retry.max_attempts = 1;
+  const auto one = run_with(config);
+
+  EXPECT_EQ(zero.flows_blocked, one.flows_blocked);
+  EXPECT_EQ(zero.flows_abandoned, one.flows_abandoned);
+  EXPECT_EQ(zero.flows_scored, one.flows_scored);
+  EXPECT_DOUBLE_EQ(zero.mean_utility, one.mean_utility);
+  EXPECT_GT(one.flows_blocked, 0u);
+  EXPECT_EQ(one.flows_abandoned, one.flows_blocked);
+  EXPECT_DOUBLE_EQ(one.mean_retries, 0.0);
+}
+
+TEST(RetryEdges, SingleAttemptMatchesDisabledRetries) {
+  // enabled with max_attempts <= 1 is the same process as disabled:
+  // no retry is ever scheduled, no backoff variate is ever drawn, so
+  // every report field matches exactly.
+  auto config = overloaded_config();
+  config.retry.enabled = false;
+  const auto disabled = run_with(config);
+  config.retry.enabled = true;
+  config.retry.max_attempts = 1;
+  const auto single = run_with(config);
+
+  EXPECT_EQ(disabled.flows_blocked, single.flows_blocked);
+  EXPECT_EQ(disabled.flows_scored, single.flows_scored);
+  EXPECT_DOUBLE_EQ(disabled.mean_utility, single.mean_utility);
+  EXPECT_EQ(disabled.flows_abandoned, single.flows_abandoned);
+  EXPECT_EQ(single.flows_abandoned, single.flows_blocked);
+}
+
+TEST(RetryEdges, BackoffPastHorizonResolvesAsAbandoned) {
+  // With a backoff ten times the horizon, a blocked flow's retry draw
+  // lands inside the horizon with probability at most
+  // 1 − e^{−horizon/backoff_mean} ≈ 9.5% (less in practice: the flow
+  // is blocked mid-run with even less horizon left). The rest must
+  // resolve as abandoned at block time — none may leak events past the
+  // horizon into a drained link.
+  auto config = overloaded_config();
+  config.retry.enabled = true;
+  config.retry.max_attempts = 50;
+  config.retry.backoff_mean = 10.0 * config.horizon;
+  const auto report = run_with(config);
+
+  EXPECT_GT(report.flows_blocked, 0u);
+  EXPECT_LE(report.flows_abandoned, report.flows_blocked);
+  EXPECT_GE(static_cast<double>(report.flows_abandoned),
+            0.85 * static_cast<double>(report.flows_blocked));
+  // Retries are correspondingly rare.
+  EXPECT_LT(report.mean_retries, 0.05);
+}
+
+TEST(RetryEdges, AccountingConservedWithRetriesAcrossHorizon) {
+  // Every post-warmup flow resolves exactly once: scored flows =
+  // admitted + abandoned (blocked flows that retried successfully are
+  // scored once as admitted; the rest are scored once as abandoned).
+  auto config = overloaded_config();
+  config.retry.enabled = true;
+  config.retry.max_attempts = 5;
+  config.retry.backoff_mean = 2.0;
+  const auto report = run_with(config);
+
+  EXPECT_GT(report.flows_blocked, 0u);
+  EXPECT_GT(report.flows_abandoned, 0u);
+  // Abandonment cannot exceed first-attempt blocking plus the flows
+  // blocked only on retries; it must be positive but bounded by the
+  // blocked count (retries only help).
+  EXPECT_LE(report.flows_abandoned, report.flows_blocked);
+  // Utility stays a probability-weighted mix of {0, 1} minus retry
+  // penalties: within [0, 1] strictly.
+  EXPECT_GT(report.mean_utility, 0.0);
+  EXPECT_LE(report.mean_utility, 1.0);
+}
+
+}  // namespace
+}  // namespace bevr::sim
