@@ -3,13 +3,18 @@
 // Measures the obs layer's hot paths with hand-rolled ns/op loops —
 //  * counter increment and histogram observe, enabled and disabled;
 //  * trace span enter/exit, enabled and disabled;
+//  * flight-recorder record (always on — there is no disable switch),
+//    rolling-window observe and SLO record;
 //  * a no-op baseline loop for the noise floor —
 // then times a welfare sweep end to end with observability fully on
-// vs fully off. Two contracts are asserted (nonzero exit on failure,
-// so ctest catches a regression):
+// vs fully off. Three contracts are asserted (nonzero exit on
+// failure, so ctest and the CI gate catch a regression):
 //  1. the disabled path is within noise of the no-op baseline;
-//  2. full instrumentation costs < 25% on the sweep (target < 5%; the
-//     loose bound keeps loaded CI machines from flaking).
+//  2. the always-on paths (flight record, window observe, SLO record)
+//     stay under a generous absolute ns/op ceiling;
+//  3. full instrumentation costs < 5% on the sweep in full mode (the
+//     committed baseline measures ~1%); --smoke loosens the bound to
+//     25% so loaded CI machines running tiny workloads do not flake.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -19,8 +24,11 @@
 
 #include "bevr/bench/bench_util.h"
 #include "bevr/bench/registry.h"
+#include "bevr/obs/flight_recorder.h"
 #include "bevr/obs/metrics.h"
+#include "bevr/obs/slo.h"
 #include "bevr/obs/trace.h"
+#include "bevr/obs/window.h"
 #include "bevr/runner/runner.h"
 
 namespace {
@@ -142,6 +150,36 @@ BEVR_BENCHMARK(obs, "obs hot-path ns/op + sweep overhead contracts") {
       });
   results.push_back({"trace_span_disabled", span_disabled});
 
+  // Always-on diagnosis paths: the flight recorder has no disable
+  // switch by design, and the windows/SLO trackers sit on the service
+  // respond path. Each is a handful of relaxed atomic stores.
+  obs::FlightRecorder flight(/*ring_capacity=*/4096);
+  const double flight_record =
+      measure_ns(ops, repeats, [&](std::uint64_t i) {
+        flight.record(obs::FlightCode::kMark, i, "bench",
+                      static_cast<double>(i & 1023));
+        keep(i);
+      });
+  results.push_back({"flight_record", flight_record});
+
+  obs::RollingWindow window(obs::HistogramSpec::latency_us(),
+                            /*bucket_ns=*/1'000'000'000ULL,
+                            /*bucket_count=*/16);
+  const double window_observe =
+      measure_ns(ops, repeats, [&](std::uint64_t i) {
+        window.observe(static_cast<double>(i & 1023),
+                       /*now=*/1'000'000'000ULL + i);
+        keep(i);
+      });
+  results.push_back({"window_observe", window_observe});
+
+  obs::SloTracker slo("bench/slo", 0.99);
+  const double slo_record = measure_ns(ops, repeats, [&](std::uint64_t i) {
+    slo.record((i & 7) != 0, /*now=*/1'000'000'000ULL + i);
+    keep(i);
+  });
+  results.push_back({"slo_record", slo_record});
+
   bench::print_columns({"metric", "ns_per_op"});
   for (const Result& result : results) {
     std::printf("%30s %10.2f\n", result.name.c_str(), result.ns_per_op);
@@ -166,7 +204,22 @@ BEVR_BENCHMARK(obs, "obs hot-path ns/op + sweep overhead contracts") {
     bench::print_note("disabled paths within noise of the no-op baseline");
   }
 
-  // Contract 2: full instrumentation on a real sweep. Metrics are on by
+  // Contract 2: the always-on paths stay cheap in absolute terms. The
+  // ceiling is generous (measured values are a few ns) — it exists to
+  // catch an accidental lock or allocation on these paths, not drift.
+  const double always_on_bound_ns = 200.0 + baseline;
+  for (const auto& [name, ns] :
+       {std::pair<const char*, double>{"flight_record", flight_record},
+        {"window_observe", window_observe},
+        {"slo_record", slo_record}}) {
+    if (ns > always_on_bound_ns) {
+      ctx.fail(std::string(name) + " = " + std::to_string(ns) +
+               " ns/op exceeds always-on bound " +
+               std::to_string(always_on_bound_ns) + " ns/op");
+    }
+  }
+
+  // Contract 3: full instrumentation on a real sweep. Metrics are on by
   // default; tracing is the opt-in extra — measure with both.
   const bool metrics_were_enabled = obs::MetricsRegistry::global().enabled();
   obs::MetricsRegistry::global().set_enabled(false);
@@ -178,13 +231,17 @@ BEVR_BENCHMARK(obs, "obs hot-path ns/op + sweep overhead contracts") {
   obs::TraceCollector::global().set_enabled(false);
   obs::MetricsRegistry::global().set_enabled(metrics_were_enabled);
   const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
+  // The ISSUE-level gate: <= 5% fully instrumented in full mode (the
+  // workload is long enough to average out scheduler noise). Smoke
+  // sweeps finish in milliseconds, so the bound loosens to 25% there.
+  const double ratio_bound = ctx.pick(1.05, 1.25);
   std::printf("\nwelfare sweep: obs off %.4fs, obs on %.4fs, ratio %.3f "
-              "(target < 1.05, bound < 1.25)\n",
-              off_seconds, on_seconds, ratio);
-  if (ratio >= 1.25) {
-    ctx.fail("instrumented sweep ratio " + std::to_string(ratio) +
-             " >= 1.25");
+              "(bound < %.2f)\n",
+              off_seconds, on_seconds, ratio, ratio_bound);
+  if (ratio >= ratio_bound) {
+    ctx.fail("instrumented sweep ratio " + std::to_string(ratio) + " >= " +
+             std::to_string(ratio_bound));
   }
-  // 7 hot-path measurements + 2 sweeps per repetition.
-  ctx.set_items(7 * ops + 2);
+  // 10 hot-path measurements + 2 sweeps per repetition.
+  ctx.set_items(10 * ops + 2);
 }

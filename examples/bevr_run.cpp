@@ -32,6 +32,9 @@
 //                 into a JSONL time series of the run's instrumentation
 //   --trace-out   record trace spans and write a Chrome/Perfetto
 //                 trace-event JSON file (open at https://ui.perfetto.dev)
+//   --flight-dump FILE
+//                 write the always-on flight recorder's ring contents
+//                 as bevr.flight.v1 JSON after the run
 //
 // All value flags also accept the --flag=value spelling.
 //
@@ -52,8 +55,10 @@
 #include <string>
 #include <vector>
 
+#include "bevr/obs/flight_recorder.h"
 #include "bevr/obs/metrics.h"
 #include "bevr/obs/report.h"
+#include "bevr/obs/slo.h"
 #include "bevr/obs/trace.h"
 #include "bevr/runner/runner.h"
 
@@ -86,7 +91,8 @@ int usage(const char* argv0, const char* error) {
                "          [--format csv|jsonl] [--output FILE] [--no-cache] "
                "[--no-gap] [--no-kernels]\n"
                "          [--report text|json|prom] [--metrics-out FILE] "
-               "[--snapshot-every N] [--trace-out FILE]\n",
+               "[--snapshot-every N] [--trace-out FILE] "
+               "[--flight-dump FILE]\n",
                argv0, argv0);
   return 2;
 }
@@ -110,6 +116,7 @@ int main(int argc, char** argv) try {
   std::string output_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string flight_path;
   std::string report_name;
   bool list_only = false;
   bool skip_gap = false;
@@ -186,6 +193,10 @@ int main(int argc, char** argv) try {
       const char* value = next_value("--trace-out");
       if (value == nullptr) return usage(argv[0], nullptr);
       trace_path = value;
+    } else if (arg == "--flight-dump") {
+      const char* value = next_value("--flight-dump");
+      if (value == nullptr) return usage(argv[0], nullptr);
+      flight_path = value;
     } else if (arg == "--report") {
       const char* value = next_value("--report");
       if (value == nullptr) return usage(argv[0], nullptr);
@@ -257,6 +268,7 @@ int main(int argc, char** argv) try {
 
   // Tracing is opt-in (span recording costs a few ns even when nobody
   // reads the buffers); metrics stay on at their batched default cost.
+  bevr::obs::TraceCollector::set_thread_track("main", 1);
   if (!trace_path.empty()) {
     bevr::obs::TraceCollector::global().set_enabled(true);
   }
@@ -307,6 +319,16 @@ int main(int argc, char** argv) try {
     bevr::obs::TraceCollector::global().write_chrome_trace(trace_file);
   }
 
+  if (!flight_path.empty()) {
+    std::ofstream flight_file(flight_path);
+    if (!flight_file) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   flight_path.c_str());
+      return 1;
+    }
+    bevr::obs::FlightRecorder::global().write_json(flight_file, "on-demand");
+  }
+
   if (!report_name.empty() || (!metrics_path.empty() && snapshot_every == 0)) {
     // A metrics file with no explicit format gets Prometheus exposition
     // (what a scraper expects); on stderr the human-readable text wins.
@@ -317,7 +339,9 @@ int main(int argc, char** argv) try {
             !report_name.empty() ? report_name
                                  : (metrics_path.empty() ? "text" : "prom"));
     const std::string report = bevr::obs::render_report(
-        bevr::obs::MetricsRegistry::global().snapshot(), report_format);
+        bevr::obs::ReportData{bevr::obs::MetricsRegistry::global().snapshot(),
+                              bevr::obs::SloRegistry::global().snapshot_all()},
+        report_format);
     if (!metrics_path.empty() && snapshot_every == 0) {
       std::ofstream metrics_file(metrics_path);
       if (!metrics_file) {

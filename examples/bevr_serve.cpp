@@ -10,18 +10,44 @@
 //      service *reserves* capacity for the requests it admits and
 //      cleanly rejects the rest, instead of best-effort-degrading
 //      everyone.
-// Finishes by dumping the service's observability counters.
+// Finishes by dumping the service's observability counters, rolling
+// latency window and SLO burn rates.
+//
+// Diagnosis hooks:
+//   --flight-dump FILE   write the always-on flight recorder as
+//                        bevr.flight.v1 JSON at exit; FILE.storm is
+//                        armed as the automatic overload-storm dump,
+//                        which phase 3 deliberately triggers.
+//   --trace-out FILE     enable causal tracing and write a Chrome/
+//                        Perfetto trace at exit (open in ui.perfetto.dev).
+//   --report FORMAT      final report as text (default), json or prom.
+//   SIGUSR2              request a flight dump mid-run; the main loop
+//                        honours it at the next phase boundary (the
+//                        handler itself only sets a flag — JSON
+//                        serialisation is not async-signal-safe).
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bevr/obs/flight_recorder.h"
 #include "bevr/obs/metrics.h"
+#include "bevr/obs/report.h"
+#include "bevr/obs/slo.h"
+#include "bevr/obs/trace.h"
+#include "bevr/obs/window.h"
 #include "bevr/service/client.h"
 #include "bevr/service/loadgen.h"
 #include "bevr/service/server.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void on_sigusr2(int) { g_dump_requested = 1; }
 
 void print_report(const char* label, const bevr::service::LoadGenReport& r) {
   std::printf("%s\n", label);
@@ -37,11 +63,71 @@ void print_report(const char* label, const bevr::service::LoadGenReport& r) {
               r.p50_us, r.p95_us, r.p99_us);
 }
 
+/// Write the flight recorder to `path`; complain but keep running on
+/// failure (a diagnosis dump must never take the service down with it).
+bool dump_flight(const std::string& path, const char* reason) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bevr_serve: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  bevr::obs::FlightRecorder::global().write_json(file, reason);
+  std::fprintf(stderr, "bevr_serve: flight dump (%s) -> %s\n", reason,
+               path.c_str());
+  return true;
+}
+
+/// Phase-boundary check for a pending SIGUSR2 dump request.
+void service_dump_request(const std::string& flight_path) {
+  if (g_dump_requested == 0) return;
+  g_dump_requested = 0;
+  dump_flight(flight_path.empty() ? "bevr_serve.flight.json" : flight_path,
+              "sigusr2");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--flight-dump FILE] [--trace-out FILE] "
+               "[--report text|json|prom]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bevr;
   namespace svc = bevr::service;
+
+  std::string flight_path;
+  std::string trace_path;
+  obs::ReportFormat report_format = obs::ReportFormat::kText;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight-dump" && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      const std::string format = argv[++i];
+      if (format == "text") {
+        report_format = obs::ReportFormat::kText;
+      } else if (format == "json") {
+        report_format = obs::ReportFormat::kJson;
+      } else if (format == "prom") {
+        report_format = obs::ReportFormat::kProm;
+      } else {
+        return usage(argv[0]);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  obs::TraceCollector::set_thread_track("main", 1);
+  if (!trace_path.empty()) obs::TraceCollector::global().set_enabled(true);
+  std::signal(SIGUSR2, on_sigusr2);
 
   // ---- 1. point queries through the blocking client ---------------------
   svc::Server server(svc::Server::Options{});
@@ -56,6 +142,7 @@ int main() {
                 response.best_effort, response.reservation,
                 response.performance_gap, response.k_max);
   }
+  service_dump_request(flight_path);
 
   // ---- 2. closed-loop population ----------------------------------------
   svc::LoadGenOptions closed;
@@ -70,14 +157,23 @@ int main() {
   closed.requests_per_thread = 200;
   print_report("\nClosed loop (8 clients x 200 requests, 24-query workset):",
                svc::run_closed_loop(server, closed));
+  service_dump_request(flight_path);
 
   // ---- 3. open-loop overload against a tiny server ----------------------
   // One worker, a queue of 8 tickets, arrivals at 4000/s with 5 ms
   // budgets: offered load far exceeds service capacity, so admission
   // control and deadlines must shed — cleanly, every request resolved.
+  // The storm detector is armed: 16 consecutive queue-full rejections
+  // trigger an automatic flight dump, the post-incident record.
   svc::Server::Options tiny;
   tiny.workers = 1;
   tiny.queue_capacity = 8;
+  tiny.overload_storm_threshold = 16;
+  const std::string storm_path =
+      (flight_path.empty() ? std::string("bevr_serve.flight.json")
+                           : flight_path) +
+      ".storm";
+  obs::FlightRecorder::global().set_auto_dump_path(storm_path);
   svc::Server small_server(tiny);
   svc::LoadGenOptions open;
   for (int i = 0; i < 64; ++i) {
@@ -91,6 +187,14 @@ int main() {
   print_report("\nOpen-loop overload (1 worker, queue 8, 4000 req/s, "
                "5 ms budgets):",
                svc::run_open_loop(small_server, open));
+  const obs::WindowSnapshot rolling = small_server.rolling_latency();
+  std::printf("  rolling     : %.0f req/s over last %.0fs window, "
+              "p50 %.0f us, p99 %.0f us\n",
+              rolling.rate_per_sec,
+              static_cast<double>(rolling.window_ns) * 1e-9,
+              rolling.histogram.quantile(0.50),
+              rolling.histogram.quantile(0.99));
+  service_dump_request(flight_path);
 
   // ---- service metrics ---------------------------------------------------
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
@@ -112,5 +216,42 @@ int main() {
     std::printf("  %-28s mean %.2f rows per kernel call\n",
                 "service/batch_rows", hist->mean());
   }
+
+  // SLO burn: the deadline SLO should be bleeding after phase 3 — that
+  // is the demo working, not failing.
+  std::printf("\nSLO status:\n");
+  for (const obs::SloStatus& slo : obs::SloRegistry::global().snapshot_all()) {
+    std::printf("  %-20s target %.3f  good %llu  bad %llu  %s\n",
+                slo.name.c_str(), slo.target,
+                static_cast<unsigned long long>(slo.total_good),
+                static_cast<unsigned long long>(slo.total_bad),
+                slo.healthy ? "ok" : "BURNING");
+    for (const obs::SloWindowStatus& w : slo.windows) {
+      std::printf("    %6.0fs window: burn %.2f\n",
+                  static_cast<double>(w.window_ns) * 1e-9, w.burn_rate);
+    }
+  }
+
+  if (report_format != obs::ReportFormat::kText) {
+    std::printf("\n%s", obs::render_report(
+                            obs::ReportData{
+                                snap,
+                                obs::SloRegistry::global().snapshot_all()},
+                            report_format)
+                            .c_str());
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "bevr_serve: cannot open '%s' for writing\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::TraceCollector::global().write_chrome_trace(trace_file);
+    std::fprintf(stderr, "bevr_serve: chrome trace -> %s\n",
+                 trace_path.c_str());
+  }
+  if (!flight_path.empty()) dump_flight(flight_path, "exit");
   return 0;
 }

@@ -53,6 +53,18 @@ else
   echo "(no bench/baselines/BENCH_admission.json — skipping baseline compare)"
 fi
 
+echo "== bench full: obs overhead gate vs committed baseline =="
+# Full mode on purpose: the obs suite's sweep-overhead contract only
+# enforces the <= 5% fully-instrumented bound when the workload is big
+# enough to average out scheduler noise (--smoke loosens it to 25%).
+./build/bench/bevr_bench obs --json-out BENCH_obs.json
+if [ -f bench/baselines/BENCH_obs.json ]; then
+  ./build/bench/bevr_bench --compare BENCH_obs.json \
+    --baseline bench/baselines/BENCH_obs.json --threshold 1.0
+else
+  echo "(no bench/baselines/BENCH_obs.json — skipping baseline compare)"
+fi
+
 echo "== sanitized: ASan+UBSan runner + sim tests =="
 cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bevr/obs/flight_recorder.h"
 #include "bevr/obs/metrics.h"
+#include "bevr/obs/trace.h"
 #include "bevr/sim/event_queue.h"
 #include "bevr/sim/metrics.h"
 
@@ -26,11 +28,59 @@ struct Runner {
   std::uint64_t counteroffers_accepted = 0;
   std::uint64_t active = 0;
   std::uint64_t peak_active = 0;
+  std::uint64_t next_flow = 0;          ///< trace-order flow index
+  std::uint64_t seen_expirations = 0;   ///< calendar sweep watermark
   sim::RunningStats utility{};
   sim::RunningStats allocated_rate{};
 
   [[nodiscard]] bool scored(const FlowRequest& req) const {
     return req.submit >= config.warmup;
+  }
+
+  /// Calendar occupancy (committed/capacity at sim-now) when the
+  /// policy has a calendar; fraction of flows in service is the best
+  /// stand-in otherwise. Purely observational.
+  [[nodiscard]] double occupancy() const {
+    if (const CapacityCalendar* cal = policy.calendar()) {
+      return cal->capacity() > 0.0
+                 ? cal->committed_at(queue.now()) / cal->capacity()
+                 : 0.0;
+    }
+    return static_cast<double>(active);
+  }
+
+  /// One per-flow decision event, mirrored to the flight recorder
+  /// (always on) and the trace collector (when enabled), each carrying
+  /// the occupancy the decision saw. The calendar retires expired
+  /// reservations in batched sweeps, so expirations surface here as a
+  /// delta against the last decision's watermark.
+  void record_decision(const char* name, obs::FlightCode code,
+                       const obs::TraceContext& trace,
+                       std::uint64_t flow_index) {
+    const double seen = occupancy();
+    obs::FlightRecorder::global().record(code, trace.trace_id, nullptr, seen,
+                                         static_cast<double>(flow_index));
+    if (const CapacityCalendar* cal = policy.calendar()) {
+      const std::uint64_t expirations = cal->expirations();
+      if (expirations != seen_expirations) {
+        obs::FlightRecorder::global().record(
+            obs::FlightCode::kExpireSweep, trace.trace_id, nullptr,
+            static_cast<double>(expirations - seen_expirations));
+        seen_expirations = expirations;
+      }
+    }
+    obs::TraceCollector& collector = obs::TraceCollector::global();
+    if (collector.enabled()) {
+      obs::TraceEvent event;
+      event.name = name;
+      event.begin_ns = obs::now_ns();
+      event.end_ns = event.begin_ns;
+      event.trace_id = trace.trace_id;
+      event.span_id = trace.span_id;
+      event.value = seen;
+      event.flags = obs::TraceEvent::kInstant | obs::TraceEvent::kHasValue;
+      collector.record(event);
+    }
   }
 
   void depart(const FlowRequest& req, const AdmissionPolicy::Decision& d,
@@ -52,16 +102,26 @@ struct Runner {
   }
 
   void submit(const FlowRequest& req) {
+    const std::uint64_t flow_index = next_flow++;
+    const obs::TraceContext trace =
+        obs::TraceContext::derive(config.trace_seed, flow_index);
     const auto decision = policy.request(req);
     const bool in_window = scored(req);
     if (in_window) ++offered;
     if (!decision.admitted) {
+      record_decision("admission/block", obs::FlightCode::kBlock, trace,
+                      flow_index);
       if (in_window) {
         ++blocked;
         utility.add(0.0);  // blocked flows get zero bandwidth
       }
       return;
     }
+    record_decision(
+        decision.countered ? "admission/counteroffer" : "admission/admit",
+        decision.countered ? obs::FlightCode::kCounteroffer
+                           : obs::FlightCode::kAdmit,
+        trace, flow_index);
     if (in_window) {
       ++admitted;
       if (decision.countered) ++counteroffers_accepted;
@@ -72,9 +132,12 @@ struct Runner {
       // Pre-start retraction: the start event must never fire — this
       // is the event queue's cancellation path doing real work.
       queue.schedule(std::max(req.cancel, queue.now()),
-                     [this, req, decision, start_token] {
+                     [this, req, decision, start_token, trace, flow_index] {
                        queue.cancel(start_token);
                        policy.on_cancel(req, decision, queue.now());
+                       record_decision("admission/cancel",
+                                       obs::FlightCode::kCancel, trace,
+                                       flow_index);
                        if (scored(req)) ++cancelled;
                      });
     }

@@ -33,6 +33,12 @@ namespace bevr::admission {
 struct EngineConfig {
   double warmup = 0.0;    ///< requests submitting earlier are unscored
   bool flush_obs = true;  ///< batch admission/* counters at run end
+  /// Seed for per-flow trace ids (obs::TraceContext::derive over the
+  /// flow's trace order). Decision events (admit / block /
+  /// counteroffer / cancel) are recorded against these ids in the
+  /// flight recorder always, and in the trace collector when tracing
+  /// is enabled — write-only side channels; outcomes are unchanged.
+  std::uint64_t trace_seed = 0;
 };
 
 struct AdmissionReport {

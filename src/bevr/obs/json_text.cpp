@@ -1,0 +1,89 @@
+#include "bevr/obs/json_text.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace bevr::obs {
+
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at text[i], or 0
+/// when the bytes there are not a valid sequence (RFC 3629 rules:
+/// shortest-form only, no surrogates, nothing above U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view text, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(text[k]);
+  };
+  const unsigned char lead = byte(i);
+  if (lead < 0x80) return 1;
+  std::size_t length = 0;
+  std::uint32_t min_code = 0;
+  if ((lead & 0xE0) == 0xC0) {
+    length = 2;
+    min_code = 0x80;
+  } else if ((lead & 0xF0) == 0xE0) {
+    length = 3;
+    min_code = 0x800;
+  } else if ((lead & 0xF8) == 0xF0) {
+    length = 4;
+    min_code = 0x10000;
+  } else {
+    return 0;  // stray continuation byte or 0xF8..0xFF
+  }
+  if (i + length > text.size()) return 0;  // truncated at end of input
+  std::uint32_t code = lead & (0x7Fu >> length);
+  for (std::size_t k = 1; k < length; ++k) {
+    const unsigned char cont = byte(i + k);
+    if ((cont & 0xC0) != 0x80) return 0;
+    code = (code << 6) | (cont & 0x3Fu);
+  }
+  if (code < min_code) return 0;                    // overlong encoding
+  if (code >= 0xD800 && code <= 0xDFFF) return 0;   // surrogate half
+  if (code > 0x10FFFF) return 0;
+  return length;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size() + 8);
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c == '"') {
+      escaped += "\\\"";
+      ++i;
+    } else if (c == '\\') {
+      escaped += "\\\\";
+      ++i;
+    } else if (c < 0x20) {
+      switch (c) {
+        case '\b': escaped += "\\b"; break;
+        case '\f': escaped += "\\f"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\r': escaped += "\\r"; break;
+        case '\t': escaped += "\\t"; break;
+        default: {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          escaped += buffer;
+        }
+      }
+      ++i;
+    } else if (c < 0x80) {
+      escaped += static_cast<char>(c);
+      ++i;
+    } else if (const std::size_t length = utf8_sequence_length(text, i);
+               length > 0) {
+      escaped.append(text.substr(i, length));
+      i += length;
+    } else {
+      escaped += "\xEF\xBF\xBD";  // U+FFFD REPLACEMENT CHARACTER
+      ++i;
+    }
+  }
+  return escaped;
+}
+
+}  // namespace bevr::obs

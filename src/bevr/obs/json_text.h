@@ -1,0 +1,30 @@
+// Hardened JSON string escaping shared by every obs exporter (trace
+// JSON, flight-recorder dumps, metric reports).
+//
+// Span and metric names are usually tame string literals, but the
+// exporters are a hostile-input surface all the same: a name carrying
+// control characters, embedded quotes, or invalid UTF-8 must still
+// produce RFC 8259-valid output, because a single bad byte would
+// invalidate the *whole* trace or dump — the one artifact you need
+// when something already went wrong. The contract (fuzzed by
+// tests/obs/test_trace_hostile.cpp, with the bench JSON reader as the
+// round-trip oracle):
+//  * '"', '\\' and control bytes < 0x20 are escaped ('\n', '\t', ...
+//    by their short forms, the rest as \u00XX);
+//  * well-formed UTF-8 sequences pass through byte-for-byte;
+//  * malformed UTF-8 (stray continuation bytes, truncated or overlong
+//    sequences, 0xFE/0xFF) is replaced with U+FFFD, one replacement
+//    per rejected byte, so the output is always valid UTF-8.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bevr::obs {
+
+/// Escape `text` for inclusion inside a JSON string (the surrounding
+/// quotes are the caller's). Total: never throws, output is always a
+/// valid RFC 8259 string body in valid UTF-8.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace bevr::obs

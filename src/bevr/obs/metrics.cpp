@@ -241,6 +241,11 @@ Histogram MetricsRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
+  snap.captured_steady_ns = now_ns();
+  snap.captured_wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   snap.counters.reserve(counters_.size());
   for (const auto& [name, slot] : counters_) {
     snap.counters.emplace_back(name, merged(slot));

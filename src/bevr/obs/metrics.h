@@ -77,6 +77,13 @@ struct HistogramSnapshot {
 
 /// Everything a registry holds, merged across shards at one instant.
 struct MetricsSnapshot {
+  /// Capture time on both clocks: steady (now_ns()'s process-local
+  /// epoch) orders snapshots within a run; wall (system_clock ns since
+  /// the Unix epoch) anchors a snapshot to real time so JSONL streams
+  /// from different runs can be laid on one timeline.
+  std::uint64_t captured_steady_ns = 0;
+  std::uint64_t captured_wall_ns = 0;
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bevr/obs/json_text.h"
+
 namespace bevr::obs {
 
 namespace {
@@ -26,21 +28,16 @@ std::string format_double(double value) {
   return buffer;
 }
 
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      default: escaped += c;
-    }
-  }
-  return escaped;
+/// Human-scale window label: "5s", "60s", "0.25s".
+std::string window_label(std::uint64_t window_ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%gs",
+                static_cast<double>(window_ns) * 1e-9);
+  return buffer;
 }
 
-std::string render_text(const MetricsSnapshot& snapshot) {
+std::string render_text(const ReportData& data) {
+  const MetricsSnapshot& snapshot = data.metrics;
   std::ostringstream out;
   out << "== run report ==\n";
   if (!snapshot.counters.empty()) {
@@ -75,12 +72,41 @@ std::string render_text(const MetricsSnapshot& snapshot) {
       out << line;
     }
   }
+  if (!data.slos.empty()) {
+    out << "slos:                                    "
+           "  target  bad-ratio    health\n";
+    for (const SloStatus& slo : data.slos) {
+      const std::uint64_t total = slo.total_good + slo.total_bad;
+      const double bad_ratio =
+          total == 0 ? 0.0
+                     : static_cast<double>(slo.total_bad) /
+                           static_cast<double>(total);
+      char line[200];
+      std::snprintf(line, sizeof line, "  %-36s %9.4g %10.4g %9s\n",
+                    slo.name.c_str(), slo.target, bad_ratio,
+                    slo.healthy ? "ok" : "BURNING");
+      out << line;
+      for (const SloWindowStatus& window : slo.windows) {
+        std::snprintf(line, sizeof line,
+                      "    last %-8s good %10llu bad %10llu burn %9.4g\n",
+                      window_label(window.window_ns).c_str(),
+                      static_cast<unsigned long long>(window.good),
+                      static_cast<unsigned long long>(window.bad),
+                      window.burn_rate);
+        out << line;
+      }
+    }
+  }
   return out.str();
 }
 
-std::string render_json(const MetricsSnapshot& snapshot) {
+std::string render_json(const ReportData& data) {
+  const MetricsSnapshot& snapshot = data.metrics;
   std::ostringstream out;
-  out << "{\"counters\":{";
+  out << "{\"schema\":\"bevr.snapshot.v1\",\"captured_steady_ns\":"
+      << snapshot.captured_steady_ns
+      << ",\"captured_wall_ns\":" << snapshot.captured_wall_ns
+      << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
     if (!first) out << ",";
@@ -113,6 +139,26 @@ std::string render_json(const MetricsSnapshot& snapshot) {
     }
     out << "]}";
   }
+  out << "},\"slos\":{";
+  first = true;
+  for (const SloStatus& slo : data.slos) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(slo.name)
+        << "\":{\"target\":" << format_double(slo.target)
+        << ",\"good\":" << slo.total_good << ",\"bad\":" << slo.total_bad
+        << ",\"healthy\":" << (slo.healthy ? "true" : "false")
+        << ",\"windows\":[";
+    for (std::size_t i = 0; i < slo.windows.size(); ++i) {
+      const SloWindowStatus& window = slo.windows[i];
+      if (i != 0) out << ",";
+      out << "{\"window_ns\":" << window.window_ns
+          << ",\"good\":" << window.good << ",\"bad\":" << window.bad
+          << ",\"bad_fraction\":" << format_double(window.bad_fraction)
+          << ",\"burn_rate\":" << format_double(window.burn_rate) << "}";
+    }
+    out << "]}";
+  }
   out << "}}\n";
   return out.str();
 }
@@ -136,7 +182,8 @@ class PromNamer {
   std::set<std::string> used_;
 };
 
-std::string render_prom(const MetricsSnapshot& snapshot) {
+std::string render_prom(const ReportData& data) {
+  const MetricsSnapshot& snapshot = data.metrics;
   std::ostringstream out;
   PromNamer namer;
   for (const auto& [name, value] : snapshot.counters) {
@@ -162,6 +209,31 @@ std::string render_prom(const MetricsSnapshot& snapshot) {
     }
     out << prom << "_sum " << format_double(hist.sum) << "\n"
         << prom << "_count " << hist.count << "\n";
+  }
+  if (!data.slos.empty()) {
+    // SLO families are labeled (slo=, window=), so each family's TYPE
+    // line is emitted once and the trackers become label values.
+    out << "# TYPE bevr_slo_target gauge\n"
+        << "# TYPE bevr_slo_good_total counter\n"
+        << "# TYPE bevr_slo_bad_total counter\n"
+        << "# TYPE bevr_slo_healthy gauge\n"
+        << "# TYPE bevr_slo_burn_rate gauge\n";
+    for (const SloStatus& slo : data.slos) {
+      const std::string label = prom_label_value(slo.name);
+      out << "bevr_slo_target{slo=\"" << label << "\"} "
+          << format_double(slo.target) << "\n"
+          << "bevr_slo_good_total{slo=\"" << label << "\"} " << slo.total_good
+          << "\n"
+          << "bevr_slo_bad_total{slo=\"" << label << "\"} " << slo.total_bad
+          << "\n"
+          << "bevr_slo_healthy{slo=\"" << label << "\"} "
+          << (slo.healthy ? 1 : 0) << "\n";
+      for (const SloWindowStatus& window : slo.windows) {
+        out << "bevr_slo_burn_rate{slo=\"" << label << "\",window=\""
+            << prom_label_value(window_label(window.window_ns)) << "\"} "
+            << format_double(window.burn_rate) << "\n";
+      }
+    }
   }
   return out.str();
 }
@@ -202,10 +274,14 @@ std::string prom_label_value(const std::string& value) {
 
 std::string render_report(const MetricsSnapshot& snapshot,
                           ReportFormat format) {
+  return render_report(ReportData{snapshot, {}}, format);
+}
+
+std::string render_report(const ReportData& data, ReportFormat format) {
   switch (format) {
-    case ReportFormat::kText: return render_text(snapshot);
-    case ReportFormat::kJson: return render_json(snapshot);
-    case ReportFormat::kProm: return render_prom(snapshot);
+    case ReportFormat::kText: return render_text(data);
+    case ReportFormat::kJson: return render_json(data);
+    case ReportFormat::kProm: return render_prom(data);
   }
   throw std::invalid_argument("render_report: unknown format");
 }

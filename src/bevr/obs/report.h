@@ -10,12 +10,23 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bevr/obs/metrics.h"
+#include "bevr/obs/slo.h"
 
 namespace bevr::obs {
 
 enum class ReportFormat { kText, kJson, kProm };
+
+/// Everything a report can carry: the metrics snapshot plus any SLO
+/// readings taken alongside it (usually SloRegistry::global()
+/// .snapshot_all()). The snapshot-only render_report overload is the
+/// same as passing empty slos.
+struct ReportData {
+  MetricsSnapshot metrics;
+  std::vector<SloStatus> slos;
+};
 
 /// Parse "text" / "json" / "prom"; throws std::invalid_argument.
 [[nodiscard]] ReportFormat parse_report_format(const std::string& name);
@@ -34,7 +45,16 @@ enum class ReportFormat { kText, kJson, kProm };
 /// Render the snapshot in the requested format. Histograms report
 /// count/mean/p50/p95/p99 in text and JSON, and cumulative buckets
 /// (le="..." ... le="+Inf", _sum, _count) in Prometheus exposition.
+/// JSON output carries schema "bevr.snapshot.v1" plus the snapshot's
+/// capture timestamps; adding fields is a compatible change within
+/// the v1 schema, removing or renaming them bumps it.
 [[nodiscard]] std::string render_report(const MetricsSnapshot& snapshot,
+                                        ReportFormat format);
+
+/// Same, with SLO readings: text gains an "slos:" section (per-window
+/// burn rates), JSON an "slos" object, Prometheus bevr_slo_* gauges
+/// with slo=/window= labels.
+[[nodiscard]] std::string render_report(const ReportData& data,
                                         ReportFormat format);
 
 }  // namespace bevr::obs

@@ -1,0 +1,133 @@
+#include "bevr/obs/slo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bevr::obs {
+
+std::vector<std::uint64_t> SloTracker::default_windows() {
+  return {5ULL * 1'000'000'000ULL, 60ULL * 1'000'000'000ULL};
+}
+
+SloTracker::SloTracker(std::string name, double target,
+                       std::vector<std::uint64_t> window_ns)
+    : name_(std::move(name)), target_(target) {
+  if (!(target > 0.0) || !(target < 1.0)) {
+    throw std::invalid_argument("SloTracker: target must be in (0, 1)");
+  }
+  if (window_ns.empty()) {
+    throw std::invalid_argument("SloTracker: need at least one window");
+  }
+  windows_.reserve(window_ns.size());
+  for (const std::uint64_t span : window_ns) {
+    if (span == 0) {
+      throw std::invalid_argument("SloTracker: windows must be positive");
+    }
+    Window window;
+    window.span_ns = span;
+    window.bucket_ns = std::max<std::uint64_t>(
+        1, (span + kBucketsPerWindow - 1) / kBucketsPerWindow);
+    window.buckets = std::make_unique<Bucket[]>(kBucketsPerWindow);
+    windows_.push_back(std::move(window));
+  }
+}
+
+void SloTracker::record(bool good, std::uint64_t now) noexcept {
+  (good ? total_good_ : total_bad_).fetch_add(1, std::memory_order_relaxed);
+  for (Window& window : windows_) {
+    const std::uint64_t slice = now / window.bucket_ns;
+    Bucket& bucket = window.buckets[slice % kBucketsPerWindow];
+    std::uint64_t current = bucket.slice.load(std::memory_order_relaxed);
+    if (current != slice) {
+      // Same rotate-on-write claim as RollingWindow.
+      if (bucket.slice.compare_exchange_strong(current, slice,
+                                               std::memory_order_relaxed)) {
+        bucket.good.store(0, std::memory_order_relaxed);
+        bucket.bad.store(0, std::memory_order_relaxed);
+      } else if (current != slice) {
+        continue;
+      }
+    }
+    (good ? bucket.good : bucket.bad).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SloStatus SloTracker::status(std::uint64_t now) const {
+  SloStatus status;
+  status.name = name_;
+  status.target = target_;
+  status.total_good = total_good_.load(std::memory_order_relaxed);
+  status.total_bad = total_bad_.load(std::memory_order_relaxed);
+  const double budget = 1.0 - target_;
+  for (const Window& window : windows_) {
+    const std::uint64_t newest = now / window.bucket_ns;
+    const std::uint64_t oldest = newest >= kBucketsPerWindow - 1
+                                     ? newest - (kBucketsPerWindow - 1)
+                                     : 0;
+    SloWindowStatus reading;
+    reading.window_ns = window.bucket_ns * kBucketsPerWindow;
+    for (std::size_t i = 0; i < kBucketsPerWindow; ++i) {
+      const Bucket& bucket = window.buckets[i];
+      const std::uint64_t slice = bucket.slice.load(std::memory_order_relaxed);
+      if (slice == kIdle || slice < oldest || slice > newest) continue;
+      reading.good += bucket.good.load(std::memory_order_relaxed);
+      reading.bad += bucket.bad.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t total = reading.good + reading.bad;
+    if (total > 0) {
+      reading.bad_fraction =
+          static_cast<double>(reading.bad) / static_cast<double>(total);
+      reading.burn_rate = reading.bad_fraction / budget;
+    }
+    if (reading.burn_rate > 1.0) status.healthy = false;
+    status.windows.push_back(reading);
+  }
+  return status;
+}
+
+void SloTracker::clear() noexcept {
+  total_good_.store(0, std::memory_order_relaxed);
+  total_bad_.store(0, std::memory_order_relaxed);
+  for (Window& window : windows_) {
+    for (std::size_t i = 0; i < kBucketsPerWindow; ++i) {
+      window.buckets[i].slice.store(kIdle, std::memory_order_relaxed);
+      window.buckets[i].good.store(0, std::memory_order_relaxed);
+      window.buckets[i].bad.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+SloRegistry& SloRegistry::global() {
+  static SloRegistry registry;
+  return registry;
+}
+
+SloTracker& SloRegistry::tracker(const std::string& name, double target,
+                                 std::vector<std::uint64_t> window_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tracker : trackers_) {
+    if (tracker->name() == name) return *tracker;
+  }
+  trackers_.push_back(
+      std::make_unique<SloTracker>(name, target, std::move(window_ns)));
+  return *trackers_.back();
+}
+
+std::vector<SloStatus> SloRegistry::snapshot_all(std::uint64_t now) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> statuses;
+  statuses.reserve(trackers_.size());
+  for (const auto& tracker : trackers_) {
+    statuses.push_back(tracker->status(now));
+  }
+  return statuses;
+}
+
+void SloRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tracker : trackers_) {
+    tracker->clear();
+  }
+}
+
+}  // namespace bevr::obs

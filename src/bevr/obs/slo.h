@@ -1,0 +1,122 @@
+// SLO tracking: is the service meeting its objective *right now*, and
+// how fast is it spending error budget?
+//
+// An SloTracker counts good/bad outcomes (deadline hits vs misses,
+// admissions vs blocks) against a target good-fraction, over several
+// rolling windows at once. The headline number per window is the
+// *burn rate*: bad_fraction / (1 - target) — the ratio of the observed
+// error rate to the error budget the target allows. Burn 1.0 means
+// spending budget exactly as fast as the objective permits; burn 10
+// over a short window plus burn >1 over a long window is the classic
+// page-worthy signature (fast burn that is not just a blip). Tracking
+// short and long windows together is what makes the number actionable,
+// which is why a tracker takes a window *list*.
+//
+// Concurrency mirrors RollingWindow: relaxed-atomic time buckets with
+// CAS rotation — record() is lock-free, readings are approximate at
+// bucket boundaries under concurrency, exact once writers quiesce.
+// Both record() and status() accept injected timestamps for
+// deterministic tests.
+//
+// SloRegistry is the process-wide named collection, so a server can
+// register "service/deadline" while the CLI later snapshots every SLO
+// for the report without holding tracker references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bevr/obs/metrics.h"  // now_ns()
+
+namespace bevr::obs {
+
+/// One rolling window's reading at status() time.
+struct SloWindowStatus {
+  std::uint64_t window_ns = 0;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  double bad_fraction = 0.0;  ///< bad / (good + bad); 0 when empty
+  double burn_rate = 0.0;     ///< bad_fraction / (1 - target)
+};
+
+struct SloStatus {
+  std::string name;
+  double target = 0.0;  ///< required good fraction, e.g. 0.99
+  std::uint64_t total_good = 0;  ///< lifetime, not windowed
+  std::uint64_t total_bad = 0;
+  /// Every window's burn_rate <= 1 (vacuously true with no data).
+  bool healthy = true;
+  std::vector<SloWindowStatus> windows;
+};
+
+class SloTracker {
+ public:
+  /// `target` in (0, 1): required good fraction. `window_ns` lists the
+  /// rolling windows to burn-track (default 5s fast + 60s slow).
+  SloTracker(std::string name, double target,
+             std::vector<std::uint64_t> window_ns = default_windows());
+
+  [[nodiscard]] static std::vector<std::uint64_t> default_windows();
+
+  /// Count one outcome at time `now`. Lock-free.
+  void record(bool good, std::uint64_t now = now_ns()) noexcept;
+
+  [[nodiscard]] SloStatus status(std::uint64_t now = now_ns()) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double target() const noexcept { return target_; }
+
+  /// Forget all outcomes (windows and lifetime totals).
+  void clear() noexcept;
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr std::size_t kBucketsPerWindow = 16;
+
+  struct Bucket {
+    std::atomic<std::uint64_t> slice{kIdle};
+    std::atomic<std::uint64_t> good{0};
+    std::atomic<std::uint64_t> bad{0};
+  };
+  struct Window {
+    std::uint64_t span_ns = 0;
+    std::uint64_t bucket_ns = 0;
+    std::unique_ptr<Bucket[]> buckets;  ///< kBucketsPerWindow of them
+  };
+
+  std::string name_;
+  double target_;
+  std::vector<Window> windows_;
+  std::atomic<std::uint64_t> total_good_{0};
+  std::atomic<std::uint64_t> total_bad_{0};
+};
+
+class SloRegistry {
+ public:
+  [[nodiscard]] static SloRegistry& global();
+
+  /// Create-or-get by name. An existing tracker is returned as-is
+  /// (target/windows arguments ignored), matching MetricsRegistry's
+  /// handle-registration semantics. References stay valid for the
+  /// registry's lifetime.
+  [[nodiscard]] SloTracker& tracker(
+      const std::string& name, double target,
+      std::vector<std::uint64_t> window_ns = SloTracker::default_windows());
+
+  /// Every tracker's status at one instant, registration order.
+  [[nodiscard]] std::vector<SloStatus> snapshot_all(
+      std::uint64_t now = now_ns()) const;
+
+  /// Clear every tracker's outcomes (registrations survive).
+  void reset() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<SloTracker>> trackers_;
+};
+
+}  // namespace bevr::obs

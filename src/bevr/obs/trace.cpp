@@ -1,33 +1,87 @@
 #include "bevr/obs/trace.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+
+#include "bevr/obs/json_text.h"
 
 namespace bevr::obs {
 
 namespace {
 
-// Minimal JSON string escape for span names (ASCII literals).
-std::string json_escape(const char* text) {
-  std::string escaped;
-  for (const char* p = text; *p != '\0'; ++p) {
-    switch (*p) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      default: escaped += *p;
-    }
-  }
-  return escaped;
-}
-
-}  // namespace
-
-namespace {
 std::uint64_t next_collector_id() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+/// Track identity a thread claims for itself (set_thread_track).
+/// Thread-global rather than per-collector: a worker is "service
+/// worker 3" no matter which collector it records into. Buffers
+/// snapshot these at registration.
+struct ThreadTrack {
+  std::string name;
+  std::uint32_t track = 0;
+  bool claimed = false;
+};
+
+ThreadTrack& this_thread_track() {
+  thread_local ThreadTrack track;
+  return track;
+}
+
+/// Unnamed threads get registration-order tracks from here upward, so
+/// they can never collide with the small stable ids named threads
+/// claim (main = 1, pool/service workers = 100/200 + index).
+constexpr std::uint32_t kUnnamedTrackBase = 1000;
+
+/// One-entry per-thread cache: the common case is every span in a
+/// thread hitting the same collector (the global one). A different
+/// collector (tests) falls through to the registration slow path.
+struct BufferCache {
+  std::uint64_t collector_id = 0;  // 0: never assigned
+  std::shared_ptr<void> buffer;    // the owning collector's Buffer
+};
+
+BufferCache& this_thread_cache() {
+  thread_local BufferCache cache;
+  return cache;
+}
+
+void append_hex_arg(std::string& out, const char* key, std::uint64_t value,
+                    bool& first) {
+  if (value == 0) return;
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%s\"%s\":\"0x%016" PRIx64 "\"",
+                first ? "" : ",", key, value);
+  out += buffer;
+  first = false;
+}
+
+/// Shared causal/value args for X and i events; "" when there are none.
+std::string event_args(const TraceEvent& event) {
+  bool first = true;
+  std::string args;
+  append_hex_arg(args, "trace", event.trace_id, first);
+  append_hex_arg(args, "span", event.span_id, first);
+  append_hex_arg(args, "parent", event.parent_span_id, first);
+  if ((event.flags & TraceEvent::kHasValue) != 0) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%s\"v\":%.17g", first ? "" : ",",
+                  event.value);
+    args += buffer;
+    first = false;
+  }
+  if (first) return {};
+  return ",\"args\":{" + args + "}";
+}
+
+void write_timestamp(std::ostream& out, std::uint64_t ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.3f", static_cast<double>(ns) * 1e-3);
+  out << buffer;
+}
+
 }  // namespace
 
 TraceCollector::TraceCollector(std::size_t buffer_capacity)
@@ -39,32 +93,59 @@ TraceCollector& TraceCollector::global() {
   return collector;
 }
 
+void TraceCollector::set_thread_track(std::string name, std::uint32_t track) {
+  ThreadTrack& attrs = this_thread_track();
+  attrs.name = std::move(name);
+  attrs.track = track;
+  attrs.claimed = true;
+  // A buffer this thread already registered keeps serving: re-label it
+  // so future events (and the export metadata) use the claimed track.
+  BufferCache& cache = this_thread_cache();
+  if (cache.buffer != nullptr) {
+    auto* buffer = static_cast<Buffer*>(cache.buffer.get());
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->tid = attrs.track;
+    buffer->name = attrs.name;
+  }
+}
+
+std::uint32_t TraceCollector::thread_track_id(std::uint32_t fallback) noexcept {
+  const ThreadTrack& attrs = this_thread_track();
+  return attrs.claimed ? attrs.track : fallback;
+}
+
 TraceCollector::Buffer& TraceCollector::this_thread_buffer() {
-  // One-entry thread-local cache: the common case is every span in a
-  // thread hitting the same collector (the global one). A different
-  // collector (tests) falls through to the registration slow path.
-  struct Cache {
-    std::uint64_t collector_id = 0;  // 0: never assigned
-    std::shared_ptr<Buffer> buffer;
-  };
-  thread_local Cache cache;
+  BufferCache& cache = this_thread_cache();
   if (cache.collector_id == id_ && cache.buffer != nullptr) {
-    return *cache.buffer;
+    return *static_cast<Buffer*>(cache.buffer.get());
   }
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto buffer = std::make_shared<Buffer>(
-      buffer_capacity_, static_cast<std::uint32_t>(buffers_.size()));
+  const ThreadTrack& attrs = this_thread_track();
+  const std::uint32_t tid =
+      attrs.claimed ? attrs.track
+                    : kUnnamedTrackBase +
+                          static_cast<std::uint32_t>(buffers_.size());
+  auto buffer = std::make_shared<Buffer>(buffer_capacity_, tid,
+                                         attrs.claimed ? attrs.name : "");
   buffers_.push_back(buffer);
   cache.collector_id = id_;
-  cache.buffer = std::move(buffer);
-  return *cache.buffer;
+  cache.buffer = buffer;
+  return *buffer;
 }
 
 void TraceCollector::record(const char* name, std::uint64_t begin_ns,
                             std::uint64_t end_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.begin_ns = begin_ns;
+  event.end_ns = end_ns;
+  record(event);
+}
+
+void TraceCollector::record(TraceEvent event) {
   Buffer& buffer = this_thread_buffer();
   const std::lock_guard<std::mutex> lock(buffer.mutex);
-  TraceEvent event{name, begin_ns, end_ns, buffer.tid};
+  event.tid = buffer.tid;
   if (buffer.events.size() < buffer.capacity) {
     buffer.events.push_back(event);
     return;
@@ -73,6 +154,21 @@ void TraceCollector::record(const char* name, std::uint64_t begin_ns,
   buffer.events[buffer.next] = event;
   buffer.next = (buffer.next + 1) % buffer.capacity;
   ++buffer.dropped;
+}
+
+void TraceCollector::record_instant(const char* name,
+                                    const TraceContext& context,
+                                    std::uint8_t flow_flags) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.begin_ns = now_ns();
+  event.end_ns = event.begin_ns;
+  event.trace_id = context.trace_id;
+  event.span_id = context.span_id;
+  event.parent_span_id = context.parent_span_id;
+  event.flags = static_cast<std::uint8_t>(TraceEvent::kInstant | flow_flags);
+  record(event);
 }
 
 std::vector<TraceEvent> TraceCollector::events() const {
@@ -109,23 +205,80 @@ std::uint64_t TraceCollector::dropped() const {
 }
 
 void TraceCollector::write_chrome_trace(std::ostream& out) const {
-  const std::vector<TraceEvent> merged = events();
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buffer[64];
   bool first = true;
-  for (const TraceEvent& event : merged) {
+  const auto separator = [&] {
     if (!first) out << ",";
     first = false;
-    // Complete events; ts/dur in (fractional) microseconds, as the
-    // trace-event format specifies.
-    out << "{\"name\":\"" << json_escape(event.name)
-        << "\",\"cat\":\"bevr\",\"ph\":\"X\",\"ts\":";
-    std::snprintf(buffer, sizeof buffer, "%.3f",
-                  static_cast<double>(event.begin_ns) * 1e-3);
-    out << buffer << ",\"dur\":";
-    std::snprintf(buffer, sizeof buffer, "%.3f",
-                  static_cast<double>(event.end_ns - event.begin_ns) * 1e-3);
-    out << buffer << ",\"pid\":1,\"tid\":" << event.tid + 1 << "}";
+  };
+
+  // Metadata first: process name, then one thread_name +
+  // thread_sort_index pair per named track, so Perfetto shows labeled
+  // tracks in stable (claimed-id) order instead of bare tids.
+  separator();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"bevr\"}}";
+  {
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      buffers = buffers_;
+    }
+    for (const auto& buffer : buffers) {
+      std::string name;
+      std::uint32_t tid = 0;
+      {
+        const std::lock_guard<std::mutex> lock(buffer->mutex);
+        name = buffer->name;
+        tid = buffer->tid;
+      }
+      if (name.empty()) continue;
+      separator();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+      separator();
+      out << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
+    }
+  }
+
+  for (const TraceEvent& event : events()) {
+    const std::string args = event_args(event);
+    separator();
+    if ((event.flags & TraceEvent::kInstant) != 0) {
+      out << "{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"bevr\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      write_timestamp(out, event.begin_ns);
+      out << ",\"pid\":1,\"tid\":" << event.tid << args << "}";
+    } else {
+      // Complete events; ts/dur in (fractional) microseconds, as the
+      // trace-event format specifies.
+      out << "{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"bevr\",\"ph\":\"X\",\"ts\":";
+      write_timestamp(out, event.begin_ns);
+      out << ",\"dur\":";
+      write_timestamp(out, event.end_ns - event.begin_ns);
+      out << ",\"pid\":1,\"tid\":" << event.tid << args << "}";
+    }
+    // Flow records: "s" starts an arrow keyed by the trace id at this
+    // event's begin; "f" (bp:"e") lands it on the slice enclosing that
+    // timestamp. The paired records share one id, which is how N
+    // submit spans fan into one evaluation span.
+    if (event.trace_id != 0 && (event.flags & TraceEvent::kFlowOut) != 0) {
+      separator();
+      out << "{\"name\":\"req\",\"cat\":\"bevr.flow\",\"ph\":\"s\",\"id\":"
+          << event.trace_id << ",\"ts\":";
+      write_timestamp(out, event.begin_ns);
+      out << ",\"pid\":1,\"tid\":" << event.tid << "}";
+    }
+    if (event.trace_id != 0 && (event.flags & TraceEvent::kFlowIn) != 0) {
+      separator();
+      out << "{\"name\":\"req\",\"cat\":\"bevr.flow\",\"ph\":\"f\",\"bp\":\"e\""
+             ",\"id\":"
+          << event.trace_id << ",\"ts\":";
+      write_timestamp(out, event.begin_ns);
+      out << ",\"pid\":1,\"tid\":" << event.tid << "}";
+    }
   }
   out << "]}\n";
   out.flush();

@@ -1,0 +1,58 @@
+// Causal identity for request tracing: a (trace id, span id) pair that
+// rides with a request through queues, coalescing, and worker threads,
+// so every event a request touches can be stitched back into one
+// causal chain after the fact.
+//
+// Ids are *derived*, never drawn: TraceContext::derive(seed, index)
+// puts the request's ids through the same SplitMix64 finalising mix
+// the runner uses for task sub-seeding, so a rerun of the same
+// workload (same seeds, same submit order) produces byte-identical
+// trace ids. Deterministic ids are what make traces diffable — two
+// runs of one golden scenario can be compared span-for-span.
+//
+// A zero trace_id means "no causal context"; all-default contexts are
+// what instrumentation records when tracing is disabled, and the
+// exporters omit the causal fields for them.
+#pragma once
+
+#include <cstdint>
+
+namespace bevr::obs {
+
+/// SplitMix64 finalising mix (Steele, Lea & Flood 2014) — the same
+/// bijective scrambler as sim::splitmix64, duplicated here so the obs
+/// layer stays dependency-free below everything it instruments.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;        ///< one per request; 0 = no context
+  std::uint64_t span_id = 0;         ///< this span within the trace
+  std::uint64_t parent_span_id = 0;  ///< 0 = root span
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return trace_id != 0; }
+
+  /// Root context for logical request `index` of a workload seeded
+  /// with `seed`. Deterministic; distinct (seed, index) pairs get
+  /// decorrelated ids. trace_id is never 0 (0 is reserved for "no
+  /// context"): the mix is bijective, so exactly one input maps to 0
+  /// and it is nudged to 1.
+  [[nodiscard]] static constexpr TraceContext derive(
+      std::uint64_t seed, std::uint64_t index) noexcept {
+    std::uint64_t trace = mix64(mix64(seed) ^ mix64(~index));
+    if (trace == 0) trace = 1;
+    return TraceContext{trace, mix64(trace), 0};
+  }
+
+  /// Child context: a new span under this one, same trace. `slot`
+  /// distinguishes siblings (evaluate = 0, respond = 1, ...).
+  [[nodiscard]] constexpr TraceContext child(std::uint64_t slot) const noexcept {
+    return TraceContext{trace_id, mix64(span_id ^ mix64(slot + 1)), span_id};
+  }
+};
+
+}  // namespace bevr::obs

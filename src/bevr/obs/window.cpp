@@ -1,0 +1,113 @@
+#include "bevr/obs/window.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace bevr::obs {
+
+RollingWindow::RollingWindow(HistogramSpec spec, std::uint64_t bucket_ns,
+                             std::size_t bucket_count)
+    : bounds_(std::move(spec.bounds)),
+      bucket_ns_(bucket_ns),
+      bucket_count_(bucket_count) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument(
+        "RollingWindow: bounds must be nonempty and ascending");
+  }
+  if (bucket_ns_ == 0 || bucket_count_ == 0) {
+    throw std::invalid_argument(
+        "RollingWindow: bucket_ns and bucket_count must be positive");
+  }
+  buckets_ = std::make_unique<Bucket[]>(bucket_count_);
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    buckets_[i].cells =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 2);
+    reset_bucket(buckets_[i]);
+  }
+}
+
+RollingWindow RollingWindow::over_seconds(double seconds) {
+  if (!(seconds > 0.0)) {
+    throw std::invalid_argument("RollingWindow: window must be positive");
+  }
+  constexpr std::size_t kBuckets = 16;
+  const auto window_ns = static_cast<std::uint64_t>(seconds * 1e9);
+  const std::uint64_t bucket_ns = std::max<std::uint64_t>(
+      1, (window_ns + kBuckets - 1) / kBuckets);
+  return RollingWindow(HistogramSpec::latency_us(), bucket_ns, kBuckets);
+}
+
+void RollingWindow::reset_bucket(Bucket& bucket) noexcept {
+  for (std::size_t i = 0; i < bounds_.size() + 2; ++i) {
+    bucket.cells[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void RollingWindow::observe(double value, std::uint64_t now) noexcept {
+  const std::uint64_t slice = now / bucket_ns_;
+  Bucket& bucket = buckets_[slice % bucket_count_];
+  std::uint64_t current = bucket.slice.load(std::memory_order_relaxed);
+  if (current != slice) {
+    // Rotate-on-write: first writer into a stale bucket claims it and
+    // zeroes the cells. A load between the claim and the zeroing can
+    // see the old slice's residue — the documented approximation.
+    if (bucket.slice.compare_exchange_strong(current, slice,
+                                             std::memory_order_relaxed)) {
+      reset_bucket(bucket);
+    } else if (current != slice) {
+      return;  // raced with an even newer slice; drop rather than taint
+    }
+  }
+  std::uint32_t value_bucket = 0;
+  while (value_bucket < bounds_.size() && value > bounds_[value_bucket]) {
+    ++value_bucket;
+  }
+  bucket.cells[value_bucket].fetch_add(1, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>& sum_cell = bucket.cells[bounds_.size() + 1];
+  std::uint64_t observed = sum_cell.load(std::memory_order_relaxed);
+  while (!sum_cell.compare_exchange_weak(
+      observed,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+WindowSnapshot RollingWindow::snapshot(std::uint64_t now) const {
+  const std::uint64_t newest = now / bucket_ns_;
+  const std::uint64_t oldest =
+      newest >= bucket_count_ - 1 ? newest - (bucket_count_ - 1) : 0;
+  WindowSnapshot snap;
+  snap.window_ns = window_ns();
+  snap.histogram.bounds = bounds_;
+  snap.histogram.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    const Bucket& bucket = buckets_[i];
+    const std::uint64_t slice = bucket.slice.load(std::memory_order_relaxed);
+    if (slice == kIdle || slice < oldest || slice > newest) continue;
+    for (std::size_t b = 0; b < bounds_.size() + 1; ++b) {
+      snap.histogram.counts[b] +=
+          bucket.cells[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += std::bit_cast<double>(
+        bucket.cells[bounds_.size() + 1].load(std::memory_order_relaxed));
+  }
+  for (const std::uint64_t count : snap.histogram.counts) {
+    snap.count += count;
+  }
+  snap.histogram.count = snap.count;
+  snap.histogram.sum = snap.sum;
+  snap.rate_per_sec =
+      static_cast<double>(snap.count) /
+      (static_cast<double>(snap.window_ns) * 1e-9);
+  return snap;
+}
+
+void RollingWindow::clear() noexcept {
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    buckets_[i].slice.store(kIdle, std::memory_order_relaxed);
+    reset_bucket(buckets_[i]);
+  }
+}
+
+}  // namespace bevr::obs

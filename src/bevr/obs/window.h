@@ -1,0 +1,86 @@
+// Rolling-window histograms: "what did latency look like over the
+// last K seconds", as opposed to the cumulative since-process-start
+// view MetricsRegistry gives.
+//
+// A RollingWindow is a ring of N time buckets, each covering a fixed
+// slice of wall time. observe() lands the value in the bucket for the
+// current slice, lazily recycling buckets whose slice has scrolled out
+// of the window (rotate-on-write: there is no timer thread). A
+// snapshot merges only the buckets still inside the window, yielding
+// rolling count / rate / p50 / p95 / p99.
+//
+// Concurrency: buckets are relaxed atomics and rotation is a CAS
+// claim, so observe() is lock-free and safe from any thread. Around a
+// rotation, a racing writer can land its value in a bucket that is
+// being recycled — rolling numbers are approximate at bucket
+// boundaries under concurrency, and exact when writers are
+// single-threaded or quiesced (which is how the tests drive it).
+//
+// Determinism: both observe() and snapshot() take the timestamp as an
+// argument (defaulted to now_ns()), so tests and deterministic
+// harnesses inject logical time and get bit-stable windows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bevr/obs/metrics.h"
+
+namespace bevr::obs {
+
+/// A rolling reading: everything inside the window at snapshot time.
+struct WindowSnapshot {
+  std::uint64_t window_ns = 0;   ///< bucket_ns * bucket_count
+  std::uint64_t count = 0;       ///< observations in the window
+  double sum = 0.0;
+  double rate_per_sec = 0.0;     ///< count / window seconds
+  /// Merged bucket counts; reuses HistogramSnapshot's quantile/mean.
+  HistogramSnapshot histogram;
+};
+
+class RollingWindow {
+ public:
+  /// A window of `bucket_count` buckets, each `bucket_ns` wide, with
+  /// value buckets from `spec` (bounds must be nonempty ascending;
+  /// throws std::invalid_argument otherwise, as MetricsRegistry does).
+  RollingWindow(HistogramSpec spec, std::uint64_t bucket_ns,
+                std::size_t bucket_count);
+
+  /// Convenience: latency_us() bounds, `seconds`-long window split
+  /// into 16 buckets.
+  [[nodiscard]] static RollingWindow over_seconds(double seconds);
+
+  /// Record `value` at time `now`. Lock-free; see the rotation caveat.
+  void observe(double value, std::uint64_t now = now_ns()) noexcept;
+
+  /// Merge the buckets still inside the window ending at `now`.
+  [[nodiscard]] WindowSnapshot snapshot(std::uint64_t now = now_ns()) const;
+
+  [[nodiscard]] std::uint64_t window_ns() const noexcept {
+    return bucket_ns_ * bucket_count_;
+  }
+
+  /// Forget everything (buckets return to idle).
+  void clear() noexcept;
+
+ private:
+  /// Sentinel slice meaning "bucket holds nothing".
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  struct Bucket {
+    std::atomic<std::uint64_t> slice{kIdle};
+    /// bounds.size()+1 value-bucket counts, then the sum (double bits).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+  };
+
+  void reset_bucket(Bucket& bucket) noexcept;
+
+  std::vector<double> bounds_;
+  std::uint64_t bucket_ns_;
+  std::size_t bucket_count_;
+  std::unique_ptr<Bucket[]> buckets_;
+};
+
+}  // namespace bevr::obs

@@ -140,9 +140,13 @@ void SnapshottingSink::finish(const RunSummary& summary) {
 
 void SnapshottingSink::emit_snapshot(const char* phase) {
   // render_report's JSON is a single object with a trailing newline;
-  // strip it so the snapshot stays one JSONL line.
+  // strip it so the snapshot stays one JSONL line. The report carries
+  // the bevr.snapshot.v1 schema tag, capture timestamps and any SLO
+  // readings alongside the metrics.
   std::string metrics = obs::render_report(
-      obs::MetricsRegistry::global().snapshot(), obs::ReportFormat::kJson);
+      obs::ReportData{obs::MetricsRegistry::global().snapshot(),
+                      obs::SloRegistry::global().snapshot_all()},
+      obs::ReportFormat::kJson);
   while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
   out_ << "{\"type\":\"snapshot\",\"scenario\":\"" << json_escape(scenario_)
        << "\",\"phase\":\"" << phase << "\",\"rows\":" << rows_seen_

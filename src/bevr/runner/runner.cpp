@@ -490,7 +490,13 @@ RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
     BEVR_TRACE_SPAN("runner/execute");
     parallel_for(pool, static_cast<std::int64_t>(grid.size()),
                  [&](std::int64_t i) {
-                   BEVR_TRACE_SPAN("runner/task");
+                   // Causal id per grid point, derived from the same
+                   // base seed the task sub-streams use — rerunning a
+                   // scenario yields byte-identical task trace ids.
+                   BEVR_TRACE_SPAN_CTX(
+                       "runner/task",
+                       obs::TraceContext::derive(
+                           options.base_seed, static_cast<std::uint64_t>(i)));
                    const auto task_start = Clock::now();
                    plan(i);
                    const auto elapsed = static_cast<std::uint64_t>(

@@ -5,7 +5,10 @@
 #include <exception>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "bevr/obs/trace.h"
 
 namespace bevr::runner {
 
@@ -26,7 +29,13 @@ ThreadPool::ThreadPool(unsigned threads) {
   threads = std::min(threads, kMaxThreads);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Stable Perfetto tracks: pool workers at 100+, so a trace of a
+      // sweep shows "runner/pool0..N" rows in a fixed order every run.
+      obs::TraceCollector::set_thread_track("runner/pool" + std::to_string(i),
+                                            100 + i);
+      worker_loop();
+    });
   }
 }
 

@@ -68,6 +68,11 @@ struct Response {
   std::uint32_t batch_rows = 0;  ///< rows in the kernel call that served this
   double queue_us = 0.0;       ///< admission → evaluation start
   double total_us = 0.0;       ///< admission → response resolution
+  /// Deterministic causal id of this request (obs::TraceContext::
+  /// derive of the server's trace_seed and the submit index): the key
+  /// for finding this request's spans in a trace export or flight
+  /// dump. Always set, even when tracing is disabled.
+  std::uint64_t trace_id = 0;
 };
 
 }  // namespace bevr::service

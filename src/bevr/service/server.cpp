@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "bevr/kernels/sweep_evaluator.h"
+#include "bevr/obs/flight_recorder.h"
+#include "bevr/obs/trace.h"
 #include "bevr/runner/memoized_model.h"
 #include "bevr/runner/runner.h"
 
@@ -64,6 +66,7 @@ struct Server::Waiter {
   Deadline deadline = kNoDeadline;
   std::uint64_t submit_ns = 0;
   bool coalesced = false;
+  obs::TraceContext trace;  ///< this request's causal identity
 };
 
 struct Server::Ticket {
@@ -112,12 +115,16 @@ Server::Server(Options options) : options_(std::move(options)) {
   batch_rows_ =
       registry.histogram("service/batch_rows",
                          obs::HistogramSpec::linear(1.0, 1.0, 64));
+  deadline_slo_ = &obs::SloRegistry::global().tracker(
+      "service/deadline", options_.deadline_slo_target);
+  admission_slo_ = &obs::SloRegistry::global().tracker(
+      "service/admission", options_.admission_slo_target);
 
   unsigned count = options_.workers;
   if (count == 0) count = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -158,19 +165,63 @@ std::string Server::scenario_key(const std::string& scenario) {
   return resolve_entry(scenario)->key;
 }
 
-void Server::respond(Waiter& waiter, Response response) const {
+void Server::respond(Waiter& waiter, Response response) {
+  response.trace_id = waiter.trace.trace_id;
   response.total_us = elapsed_us(waiter.submit_ns);
   latency_us_.observe(response.total_us);
+  latency_window_.observe(response.total_us);
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  switch (response.status) {
+    case StatusCode::kOk: {
+      // A response that arrives after its deadline still carries
+      // values, but it missed the objective — that is the SLO's "bad".
+      const bool on_time =
+          waiter.deadline == kNoDeadline || Clock::now() <= waiter.deadline;
+      deadline_slo_->record(on_time);
+      if (on_time) {
+        flight.record(obs::FlightCode::kRespond, waiter.trace.trace_id,
+                      nullptr, response.total_us);
+      } else {
+        flight.record(obs::FlightCode::kDeadlineMiss, waiter.trace.trace_id,
+                      "late delivery", response.total_us);
+      }
+      break;
+    }
+    case StatusCode::kDeadlineExceeded:
+      deadline_slo_->record(false);
+      flight.record(obs::FlightCode::kExpire, waiter.trace.trace_id, nullptr,
+                    response.total_us);
+      break;
+    case StatusCode::kOverloaded:
+      // An admission outcome, not a deadline one; the submit path
+      // already recorded it against the admission SLO.
+      break;
+  }
+  obs::TraceCollector::global().record_instant("service/respond",
+                                               waiter.trace.child(1));
   waiter.promise.set_value(std::move(response));
 }
 
 std::future<Response> Server::submit(const Query& query, Deadline deadline) {
   requests_.inc();
+  // Causal identity first: every outcome of this submit — even a
+  // rejection — carries the same deterministic trace id.
+  const std::uint64_t request_index =
+      next_request_.fetch_add(1, std::memory_order_relaxed);
+  const obs::TraceContext trace =
+      obs::TraceContext::derive(options_.trace_seed, request_index);
+  // Flow-out: the arrow from this submit span lands on whichever
+  // evaluation span eventually serves (or expires) the request.
+  obs::TraceSpan submit_span("service/submit", trace,
+                             obs::TraceEvent::kFlowOut);
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+
   const std::shared_ptr<const Entry> entry = resolve_entry(query.scenario);
 
   Waiter waiter;
   waiter.deadline = deadline;
   waiter.submit_ns = obs::now_ns();
+  waiter.trace = trace;
   std::future<Response> future = waiter.promise.get_future();
 
   Response rejection;
@@ -186,6 +237,10 @@ std::future<Response> Server::submit(const Query& query, Deadline deadline) {
   const CoalesceKey key{entry.get(),
                         std::bit_cast<std::uint64_t>(query.capacity),
                         query.with_bandwidth_gap};
+  bool coalesced = false;
+  bool enqueued = false;
+  bool shed_overload = false;
+  std::size_t depth_at_rejection = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!stopping_) {
@@ -194,9 +249,9 @@ std::future<Response> Server::submit(const Query& query, Deadline deadline) {
         coalesced_.inc();
         admitted_.inc();
         it->second->waiters.push_back(std::move(waiter));
-        return future;
-      }
-      if (queue_.size() < options_.queue_capacity) {
+        coalesced = true;
+        enqueued = true;
+      } else if (queue_.size() < options_.queue_capacity) {
         auto ticket = std::make_unique<Ticket>();
         ticket->entry = entry;
         ticket->capacity = query.capacity;
@@ -207,11 +262,46 @@ std::future<Response> Server::submit(const Query& query, Deadline deadline) {
         admitted_.inc();
         queue_depth_gauge_.set(static_cast<double>(queue_.size()));
         work_ready_.notify_one();
-        return future;
+        enqueued = true;
+      } else {
+        rejected_overload_.inc();
+        shed_overload = true;
+        depth_at_rejection = queue_.size();
       }
-      rejected_overload_.inc();
     } else {
       rejected_shutdown_.inc();
+      flight.record(obs::FlightCode::kShed, trace.trace_id, "shutdown");
+    }
+  }
+  if (enqueued) {
+    admission_slo_->record(true);
+    consecutive_overloads_.store(0, std::memory_order_relaxed);
+    if (coalesced) {
+      flight.record(obs::FlightCode::kCoalesce, trace.trace_id);
+      obs::TraceCollector::global().record_instant("service/coalesce", trace);
+    } else {
+      flight.record(obs::FlightCode::kSubmit, trace.trace_id);
+      obs::TraceCollector::global().record_instant("service/enqueue", trace);
+    }
+    return future;
+  }
+  admission_slo_->record(false);
+  if (shed_overload) {
+    flight.record(obs::FlightCode::kOverloaded, trace.trace_id, nullptr,
+                  static_cast<double>(depth_at_rejection));
+    // Storm detection: a run of back-to-back sheds means the server is
+    // not just momentarily full — preserve the flight into the storm.
+    // Shutdown rejections don't count; an emptying server is not a
+    // storm.
+    const std::uint64_t streak =
+        consecutive_overloads_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.overload_storm_threshold != 0 &&
+        streak == options_.overload_storm_threshold) {
+      flight.record(obs::FlightCode::kStorm, trace.trace_id, nullptr,
+                    static_cast<double>(streak));
+      obs::TraceCollector::global().record_instant("service/overload_storm",
+                                                   trace);
+      flight.auto_dump("overload-storm");
     }
   }
   rejection.status = StatusCode::kOverloaded;
@@ -219,7 +309,11 @@ std::future<Response> Server::submit(const Query& query, Deadline deadline) {
   return future;
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(unsigned worker_index) {
+  // Stable track ids: service workers live at 200+, distinct from the
+  // runner pool's 100+ block and the main thread's 1.
+  obs::TraceCollector::set_thread_track(
+      "service/worker" + std::to_string(worker_index), 200 + worker_index);
   for (;;) {
     std::vector<std::unique_ptr<Ticket>> batch;
     {
@@ -265,6 +359,8 @@ void Server::process_batch(std::vector<std::unique_ptr<Ticket>> batch) {
 
   // Resolve waiters that aged out in the queue; they cost no
   // evaluation. A ticket with no live waiter left is dropped whole.
+  // Expired waiters still count toward the queue-time histogram —
+  // every request that reached a worker is observed exactly once.
   std::vector<std::unique_ptr<Ticket>> live;
   live.reserve(batch.size());
   for (auto& ticket : batch) {
@@ -277,6 +373,11 @@ void Server::process_batch(std::vector<std::unique_ptr<Ticket>> batch) {
         expired.status = StatusCode::kDeadlineExceeded;
         expired.capacity = ticket->capacity;
         expired.queue_us = elapsed_us(waiter.submit_ns);
+        queue_us_.observe(expired.queue_us);
+        // Terminate the request's flow arrow at its expiry point so
+        // the trace shows where the wait ended.
+        obs::TraceCollector::global().record_instant(
+            "service/expire", waiter.trace, obs::TraceEvent::kFlowIn);
         respond(waiter, std::move(expired));
       } else {
         keep.push_back(std::move(waiter));
@@ -298,6 +399,16 @@ void Server::process_batch(std::vector<std::unique_ptr<Ticket>> batch) {
 
   const Entry& entry = *live.front()->entry;
   const bool with_gap = live.front()->with_gap;
+
+  // The evaluation span adopts the first waiter's trace as its causal
+  // parent; every waiter's fan-in arrow (flow-in instants recorded
+  // inside the span, below) terminates on this one slice.
+  const obs::TraceContext eval_trace = live.front()->waiters.front().trace;
+  obs::TraceSpan eval_span("service/evaluate", eval_trace.child(0));
+  obs::FlightRecorder::global().record(
+      obs::FlightCode::kEvaluate, eval_trace.trace_id, nullptr,
+      static_cast<double>(live.size()));
+
   std::vector<kernels::SweepEvaluator::Row> rows;
   {
     obs::Histogram::Timer timer(eval_us_);
@@ -349,6 +460,10 @@ void Server::process_batch(std::vector<std::unique_ptr<Ticket>> batch) {
       copy.queue_us =
           static_cast<double>(eval_start_ns - waiter.submit_ns) * 1e-3;
       queue_us_.observe(copy.queue_us);
+      // One flow-in instant per waiter, recorded while the evaluation
+      // span is still open: N submit arrows fan into this one slice.
+      obs::TraceCollector::global().record_instant(
+          "service/serve", waiter.trace, obs::TraceEvent::kFlowIn);
       respond(waiter, std::move(copy));
     }
   }

@@ -37,7 +37,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "bevr/obs/metrics.h"
+#include "bevr/obs/slo.h"
+#include "bevr/obs/trace_context.h"
+#include "bevr/obs/window.h"
 #include "bevr/runner/memo_cache.h"
 #include "bevr/runner/scenario.h"
 #include "bevr/service/request.h"
@@ -67,6 +72,18 @@ class Server {
     /// until resume(). For deterministic tests of queue-state paths
     /// (coalescing, overflow, in-queue expiry).
     bool paused = false;
+    /// Seed for deriving per-request trace ids (TraceContext::derive):
+    /// same seed + same submit order = byte-identical trace ids.
+    std::uint64_t trace_seed = 0;
+    /// Consecutive overload rejections that constitute an overload
+    /// storm: crossing it records a STORM flight event and fires the
+    /// flight recorder's auto-dump latch. 0 disables detection.
+    std::size_t overload_storm_threshold = 0;
+    /// Required good fractions for the SLO trackers: deadline = the
+    /// fraction of resolved requests that must meet their deadline,
+    /// admission = the fraction of submits that must not be shed.
+    double deadline_slo_target = 0.99;
+    double admission_slo_target = 0.95;
   };
 
   explicit Server(Options options);
@@ -95,6 +112,12 @@ class Server {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// Rolling view of response latency (µs) over the last ~10 seconds,
+  /// as opposed to the cumulative service/latency_us histogram.
+  [[nodiscard]] obs::WindowSnapshot rolling_latency() const {
+    return latency_window_.snapshot();
+  }
+
   /// Coalescing/batching identity of a scenario's evaluation context —
   /// the kernels batch key when kernels are on (content-fingerprinted,
   /// so distinct scenario names sharing one model coalesce), an exact
@@ -118,11 +141,11 @@ class Server {
 
   [[nodiscard]] std::shared_ptr<const Entry> resolve_entry(
       const std::string& scenario);
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
   /// Evaluate a claimed batch and resolve every waiter. Called with no
   /// locks held.
   void process_batch(std::vector<std::unique_ptr<Ticket>> batch);
-  void respond(Waiter& waiter, Response response) const;
+  void respond(Waiter& waiter, Response response);
 
   Options options_;
 
@@ -159,6 +182,15 @@ class Server {
   obs::Histogram latency_us_;
   obs::Histogram eval_us_;
   obs::Histogram batch_rows_;
+
+  // Diagnosis layer: deterministic request ids, storm detection, SLO
+  // burn tracking and a rolling latency window. All side channels —
+  // none of these feed back into scheduling or values.
+  std::atomic<std::uint64_t> next_request_{0};
+  std::atomic<std::uint64_t> consecutive_overloads_{0};
+  obs::SloTracker* deadline_slo_ = nullptr;   // registry-owned
+  obs::SloTracker* admission_slo_ = nullptr;  // registry-owned
+  obs::RollingWindow latency_window_ = obs::RollingWindow::over_seconds(10.0);
 };
 
 }  // namespace bevr::service

@@ -1,0 +1,166 @@
+// FlightRecorder: always-on black box — record/readback, ring wrap
+// accounting, cross-thread merge, JSON dump schema, and the one-shot
+// auto-dump latch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bevr/obs/flight_recorder.h"
+#include "json_lite.h"
+
+namespace bevr::obs {
+namespace {
+
+TEST(FlightRecorder, RecordsRoundTripInOrder) {
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kSubmit, /*trace_id=*/0xABCD);
+  recorder.record(FlightCode::kEvaluate, 0xABCD, nullptr, /*a=*/3.0);
+  recorder.record(FlightCode::kRespond, 0xABCD, "done", 120.5, 2.0);
+  const std::vector<FlightRecord> records = recorder.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].code, FlightCode::kSubmit);
+  EXPECT_EQ(records[0].trace_id, 0xABCDu);
+  EXPECT_EQ(records[1].code, FlightCode::kEvaluate);
+  EXPECT_EQ(records[1].a, 3.0);
+  EXPECT_EQ(records[2].code, FlightCode::kRespond);
+  EXPECT_STREQ(records[2].detail, "done");
+  EXPECT_EQ(records[2].a, 120.5);
+  EXPECT_EQ(records[2].b, 2.0);
+  // Single writer: timestamps are monotone within the ring.
+  EXPECT_LE(records[0].ts_ns, records[1].ts_ns);
+  EXPECT_LE(records[1].ts_ns, records[2].ts_ns);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDrops) {
+  FlightRecorder recorder(/*ring_capacity=*/8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    recorder.record(FlightCode::kMark, /*trace_id=*/i);
+  }
+  const std::vector<FlightRecord> records = recorder.records();
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  for (const FlightRecord& record : records) {
+    EXPECT_GE(record.trace_id, 12u);  // survivors are the newest eight
+  }
+}
+
+TEST(FlightRecorder, ThreadsGetDistinctTracksMergedBackTogether) {
+  FlightRecorder recorder;
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&recorder, t] {
+      recorder.record(FlightCode::kMark, static_cast<std::uint64_t>(t + 1));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<FlightRecord> records = recorder.records();
+  ASSERT_EQ(records.size(), 3u);
+  std::set<std::uint32_t> tracks;
+  std::set<std::uint64_t> traces;
+  for (const FlightRecord& record : records) {
+    tracks.insert(record.track);
+    traces.insert(record.trace_id);
+  }
+  EXPECT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(traces, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(FlightRecorder, JsonDumpHasSchemaAndCodeNames) {
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kOverloaded, 0x1234, nullptr, 8.0);
+  recorder.record(FlightCode::kStorm, 0x1234, nullptr, 16.0);
+  std::ostringstream out;
+  recorder.write_json(out, "unit-test");
+  const std::string json = out.str();
+  EXPECT_TRUE(bevr::test_json::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"bevr.flight.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"OVERLOADED\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"STORM\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":\"0x0000000000001234\""), std::string::npos);
+}
+
+TEST(FlightRecorder, EmptyDumpIsStillValidJson) {
+  FlightRecorder recorder;
+  std::ostringstream out;
+  recorder.write_json(out, "empty");
+  EXPECT_TRUE(bevr::test_json::valid_json(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"records\":[]"), std::string::npos);
+}
+
+TEST(FlightRecorder, AutoDumpFiresOncePerArming) {
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kContractFail, 0, "first failure");
+  const std::string path = ::testing::TempDir() + "flight_auto_dump.json";
+  recorder.set_auto_dump_path(path);
+  EXPECT_TRUE(recorder.auto_dump("contract-fail"));
+  // The latch is one-shot: the second failure must not overwrite the
+  // first flight.
+  EXPECT_FALSE(recorder.auto_dump("contract-fail-again"));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_TRUE(bevr::test_json::valid_json(content.str()));
+  EXPECT_NE(content.str().find("\"reason\":\"contract-fail\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("CONTRACT_FAIL"), std::string::npos);
+  // Re-arming resets the latch.
+  recorder.set_auto_dump_path(path);
+  EXPECT_TRUE(recorder.auto_dump("re-armed"));
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, AutoDumpUnarmedIsANoOp) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.auto_dump("nothing-armed"));
+}
+
+TEST(FlightRecorder, ClearDiscardsRecordsButKeepsRecording) {
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kMark, 1);
+  recorder.clear();
+  EXPECT_TRUE(recorder.records().empty());
+  recorder.record(FlightCode::kMark, 2);
+  ASSERT_EQ(recorder.records().size(), 1u);
+  EXPECT_EQ(recorder.records()[0].trace_id, 2u);
+}
+
+TEST(FlightRecorder, ConcurrentRecordAndDumpStaysWellFormed) {
+  // The reader walks rings while writers append (torn records are
+  // acceptable; crashes and invalid JSON are not). This is a TSan
+  // target: the value is executing the race, not just the asserts.
+  FlightRecorder recorder(/*ring_capacity=*/64);
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder] {
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        recorder.record(FlightCode::kMark, i + 1, nullptr,
+                        static_cast<double>(i));
+      }
+    });
+  }
+  for (int reads = 0; reads < 20; ++reads) {
+    std::ostringstream out;
+    recorder.write_json(out, "concurrent");
+    EXPECT_TRUE(bevr::test_json::valid_json(out.str()));
+  }
+  for (std::thread& writer : writers) writer.join();
+  // Quiesced: exact accounting resumes. 8000 records through 4 rings
+  // of 64 — everything beyond the ring capacity is counted as dropped.
+  EXPECT_EQ(recorder.records().size(), 4u * 64u);
+  EXPECT_EQ(recorder.dropped(), 4u * (2000u - 64u));
+}
+
+}  // namespace
+}  // namespace bevr::obs

@@ -1,0 +1,126 @@
+// SloTracker: burn-rate arithmetic, multi-window readings, the healthy
+// flag, and the registry's create-or-get semantics — all under
+// injected logical time.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bevr/obs/slo.h"
+
+namespace bevr::obs {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ULL;
+
+TEST(SloTracker, BurnRateIsBadFractionOverBudget) {
+  // target 0.75 → 25% error budget (binary-exact, so burn == 1.0 is
+  // representable). 1 bad in 4 = exactly budget: burn 1.0, still
+  // healthy (spending as fast as allowed, not faster).
+  SloTracker tracker("test/deadline", 0.75, {16 * kSecond});
+  for (int i = 0; i < 3; ++i) tracker.record(true, kSecond);
+  tracker.record(false, kSecond);
+  const SloStatus status = tracker.status(kSecond);
+  EXPECT_EQ(status.total_good, 3u);
+  EXPECT_EQ(status.total_bad, 1u);
+  ASSERT_EQ(status.windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(status.windows[0].bad_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(status.windows[0].burn_rate, 1.0);
+  EXPECT_TRUE(status.healthy);
+  // One more miss tips the fraction past the budget.
+  tracker.record(false, kSecond);
+  EXPECT_FALSE(tracker.status(kSecond).healthy);
+}
+
+TEST(SloTracker, NoDataIsVacuouslyHealthy) {
+  SloTracker tracker("test/empty", 0.99);
+  const SloStatus status = tracker.status(kSecond);
+  EXPECT_TRUE(status.healthy);
+  for (const SloWindowStatus& window : status.windows) {
+    EXPECT_EQ(window.good + window.bad, 0u);
+    EXPECT_DOUBLE_EQ(window.burn_rate, 0.0);
+  }
+}
+
+TEST(SloTracker, ShortWindowForgetsWhatTheLongWindowRemembers) {
+  // 16x1s fast window, 16x16s slow window. A burst of misses at t=1s
+  // scrolls out of the fast window by t=30s but stays in the slow one
+  // — the classic "was it just a blip" distinction.
+  SloTracker tracker("test/two_windows", 0.5, {16 * kSecond, 256 * kSecond});
+  for (int i = 0; i < 8; ++i) tracker.record(false, 1 * kSecond);
+  const SloStatus during = tracker.status(2 * kSecond);
+  ASSERT_EQ(during.windows.size(), 2u);
+  EXPECT_EQ(during.windows[0].bad, 8u);
+  EXPECT_EQ(during.windows[1].bad, 8u);
+  EXPECT_FALSE(during.healthy);
+  const SloStatus later = tracker.status(30 * kSecond);
+  EXPECT_EQ(later.windows[0].bad, 0u);  // blip scrolled out
+  EXPECT_EQ(later.windows[1].bad, 8u);  // still burning the long budget
+  EXPECT_EQ(later.total_bad, 8u);       // lifetime totals never forget
+  EXPECT_FALSE(later.healthy);
+}
+
+TEST(SloTracker, ClearResetsWindowsAndTotals) {
+  SloTracker tracker("test/clear", 0.9, {16 * kSecond});
+  tracker.record(false, kSecond);
+  tracker.clear();
+  const SloStatus status = tracker.status(kSecond);
+  EXPECT_EQ(status.total_bad, 0u);
+  EXPECT_TRUE(status.healthy);
+}
+
+TEST(SloTracker, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(SloTracker("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW(SloTracker("bad", 1.0), std::invalid_argument);
+  EXPECT_THROW(SloTracker("bad", 0.9, {}), std::invalid_argument);
+  EXPECT_THROW(SloTracker("bad", 0.9, {0}), std::invalid_argument);
+}
+
+TEST(SloTracker, ConcurrentRecordsAllLand) {
+  // Single slice, many writers: totals and window counts must be
+  // exact. (TSan target.)
+  SloTracker tracker("test/concurrent", 0.9, {16 * kSecond});
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&tracker, t] {
+      for (int i = 0; i < 1000; ++i) tracker.record(t % 2 == 0, kSecond);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  const SloStatus status = tracker.status(kSecond);
+  EXPECT_EQ(status.total_good, 2000u);
+  EXPECT_EQ(status.total_bad, 2000u);
+  EXPECT_EQ(status.windows[0].good, 2000u);
+  EXPECT_EQ(status.windows[0].bad, 2000u);
+}
+
+TEST(SloRegistry, TrackerIsCreateOrGet) {
+  SloRegistry& registry = SloRegistry::global();
+  SloTracker& first = registry.tracker("test/registry_slo", 0.95);
+  // Second registration with a different target returns the original
+  // as-is, mirroring MetricsRegistry handle semantics.
+  SloTracker& second = registry.tracker("test/registry_slo", 0.5);
+  EXPECT_EQ(&first, &second);
+  EXPECT_DOUBLE_EQ(second.target(), 0.95);
+}
+
+TEST(SloRegistry, SnapshotAllSeesEveryTracker) {
+  SloRegistry& registry = SloRegistry::global();
+  SloTracker& tracker = registry.tracker("test/registry_snapshot", 0.9);
+  tracker.record(true, kSecond);
+  bool found = false;
+  for (const SloStatus& status : registry.snapshot_all(kSecond)) {
+    if (status.name == "test/registry_snapshot") {
+      found = true;
+      EXPECT_GE(status.total_good, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  tracker.clear();
+}
+
+}  // namespace
+}  // namespace bevr::obs

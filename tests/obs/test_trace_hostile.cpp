@@ -1,0 +1,180 @@
+// Hostile-input hardening for the obs exporters: span names, flight
+// details and dump reasons carrying quotes, control bytes and invalid
+// UTF-8 must still yield RFC 8259-valid JSON. Two oracles:
+//  * the strict bench JSON reader (bevr::bench::json::parse), which
+//    throws on raw control bytes, bad escapes and malformed documents
+//    — if it accepts a dump, a real consumer can read it back;
+//  * the obs tests' own grammar checker (json_lite.h) as a second,
+//    independently written opinion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bevr/bench/json.h"
+#include "bevr/obs/flight_recorder.h"
+#include "bevr/obs/json_text.h"
+#include "bevr/obs/trace.h"
+#include "bevr/obs/trace_context.h"
+#include "json_lite.h"
+
+namespace bevr::obs {
+namespace {
+
+// U+FFFD REPLACEMENT CHARACTER as UTF-8 bytes.
+const std::string kReplacement = "\xEF\xBF\xBD";
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // NUL inside a string_view must survive as an escape, not truncate.
+  EXPECT_EQ(json_escape(std::string_view("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscape, WellFormedUtf8PassesThrough) {
+  const std::string two_byte = "caf\xC3\xA9";           // café
+  const std::string three_byte = "\xE2\x86\x92";        // →
+  const std::string four_byte = "\xF0\x9F\x9A\x80";     // rocket
+  EXPECT_EQ(json_escape(two_byte), two_byte);
+  EXPECT_EQ(json_escape(three_byte), three_byte);
+  EXPECT_EQ(json_escape(four_byte), four_byte);
+}
+
+TEST(JsonEscape, MalformedUtf8BecomesReplacementPerByte) {
+  // Stray continuation byte.
+  EXPECT_EQ(json_escape("\x80"), kReplacement);
+  // Truncated two-byte sequence: one bad lead byte, one replacement.
+  EXPECT_EQ(json_escape("\xC3"), kReplacement);
+  // Overlong encoding of '/': both bytes rejected individually.
+  EXPECT_EQ(json_escape("\xC0\xAF"), kReplacement + kReplacement);
+  // CESU-8 style surrogate half (U+D800): three rejected bytes.
+  EXPECT_EQ(json_escape("\xED\xA0\x80"),
+            kReplacement + kReplacement + kReplacement);
+  // Beyond U+10FFFF.
+  EXPECT_EQ(json_escape("\xF4\x90\x80\x80"),
+            kReplacement + kReplacement + kReplacement + kReplacement);
+  // 0xFE / 0xFF never appear in UTF-8 at all.
+  EXPECT_EQ(json_escape("\xFE\xFF"), kReplacement + kReplacement);
+  // Valid text around the damage survives untouched.
+  EXPECT_EQ(json_escape("ok\x80tail"), "ok" + kReplacement + "tail");
+}
+
+// Deterministic byte-string generator for the fuzz loops below:
+// SplitMix64-driven, biased toward the troublesome ranges.
+std::string hostile_bytes(std::uint64_t seed, std::size_t length) {
+  std::string bytes;
+  bytes.reserve(length);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < length; ++i) {
+    state = mix64(state);
+    switch (state % 4) {
+      case 0: bytes.push_back(static_cast<char>(state % 0x20)); break;
+      case 1: bytes.push_back(static_cast<char>(0x80 + state % 0x80)); break;
+      case 2: bytes.push_back("\"\\/\b\f\n"[state % 6]); break;
+      default: bytes.push_back(static_cast<char>(0x20 + state % 0x5f)); break;
+    }
+  }
+  return bytes;
+}
+
+void expect_valid_json(const std::string& json) {
+  EXPECT_NO_THROW((void)bench::json::parse(json)) << json;
+  EXPECT_TRUE(bevr::test_json::valid_json(json)) << json;
+}
+
+TEST(TraceHostile, HostileSpanNamesExportAsValidChromeTrace) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  // Names live until after the export: the collector stores pointers.
+  std::vector<std::string> names;
+  names.reserve(64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    names.push_back(hostile_bytes(/*seed=*/i, 1 + i % 24));
+  }
+  for (std::uint64_t i = 0; i < names.size(); ++i) {
+    collector.record(names[i].c_str(), i * 10, i * 10 + 5);
+    collector.record_instant(names[i].c_str(),
+                             TraceContext::derive(1, i),
+                             TraceEvent::kFlowIn);
+  }
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  expect_valid_json(out.str());
+}
+
+TEST(TraceHostile, HostileThreadNamesExportAsValidMetadata) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  // Claim on a spawned thread: set_thread_track is sticky thread-local
+  // state, and the main thread must stay unclaimed for other tests.
+  std::thread worker([&collector] {
+    TraceCollector::set_thread_track("worker\x01\"\xFF\x80name", 7);
+    collector.record("test/span", 10, 20);
+  });
+  worker.join();
+  std::ostringstream out;
+  collector.write_chrome_trace(out);
+  expect_valid_json(out.str());
+  EXPECT_NE(out.str().find("\"thread_name\""), std::string::npos);
+}
+
+TEST(FlightHostile, HostileDetailsAndReasonDumpAsValidJson) {
+  FlightRecorder recorder;
+  std::vector<std::string> details;
+  details.reserve(32);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    details.push_back(hostile_bytes(/*seed=*/1000 + i, 1 + i % 16));
+  }
+  for (std::uint64_t i = 0; i < details.size(); ++i) {
+    recorder.record(FlightCode::kMark, i + 1, details[i].c_str(),
+                    static_cast<double>(i));
+  }
+  std::ostringstream out;
+  recorder.write_json(out, "reason \"with\"\n\x02\xC0\xAF bytes");
+  expect_valid_json(out.str());
+}
+
+TEST(FlightHostile, NonFiniteHostilePayloadsDoNotBreakTheDump) {
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kMark, 1, "nan payload",
+                  std::numeric_limits<double>::quiet_NaN(),
+                  std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  recorder.write_json(out, "non-finite");
+  expect_valid_json(out.str());
+  EXPECT_NE(out.str().find("\"a\":null"), std::string::npos);
+  EXPECT_NE(out.str().find("\"b\":null"), std::string::npos);
+}
+
+TEST(FlightHostile, DumpRoundTripsThroughTheBenchReader) {
+  // Full semantic round trip, not just "parses": the strict reader's
+  // DOM must show the schema, the reason, and a detail whose invalid
+  // bytes were replaced (never dropped silently).
+  FlightRecorder recorder;
+  recorder.record(FlightCode::kOverloaded, 0x42, "queue\x80 full", 8.0);
+  std::ostringstream out;
+  recorder.write_json(out, "round-trip");
+  const bench::json::ValuePtr doc = bench::json::parse(out.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  ASSERT_TRUE(doc->get("schema"));
+  EXPECT_EQ(doc->get("schema")->string, "bevr.flight.v1");
+  EXPECT_EQ(doc->get("reason")->string, "round-trip");
+  const bench::json::ValuePtr records = doc->get("records");
+  ASSERT_TRUE(records && records->is_array());
+  ASSERT_EQ(records->array.size(), 1u);
+  const bench::json::ValuePtr record = records->array[0];
+  EXPECT_EQ(record->get("code")->string, "OVERLOADED");
+  EXPECT_EQ(record->get("trace")->string, "0x0000000000000042");
+  EXPECT_EQ(record->get("detail")->string, "queue" + kReplacement + " full");
+  EXPECT_EQ(record->get("a")->number, 8.0);
+}
+
+}  // namespace
+}  // namespace bevr::obs

@@ -1,0 +1,125 @@
+// RollingWindow: time-bucketed histograms — in-window merging, scroll-
+// out, bucket recycling, and rate computation, all under injected
+// logical time so every expectation is exact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bevr/obs/window.h"
+
+namespace bevr::obs {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ULL;
+
+RollingWindow small_window() {
+  // 4 one-second buckets over value bounds {10, 20, 30}.
+  return RollingWindow(HistogramSpec::linear(10.0, 10.0, 3), kSecond, 4);
+}
+
+TEST(RollingWindow, MergesObservationsInsideTheWindow) {
+  RollingWindow window = small_window();
+  window.observe(5.0, /*now=*/0 * kSecond);
+  window.observe(15.0, 1 * kSecond);
+  window.observe(25.0, 2 * kSecond);
+  const WindowSnapshot snap = window.snapshot(3 * kSecond);
+  EXPECT_EQ(snap.window_ns, 4 * kSecond);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 45.0);
+  EXPECT_DOUBLE_EQ(snap.rate_per_sec, 3.0 / 4.0);
+  // Value buckets: one each in (<=10), (<=20), (<=30).
+  ASSERT_EQ(snap.histogram.counts.size(), 4u);
+  EXPECT_EQ(snap.histogram.counts[0], 1u);
+  EXPECT_EQ(snap.histogram.counts[1], 1u);
+  EXPECT_EQ(snap.histogram.counts[2], 1u);
+  EXPECT_EQ(snap.histogram.counts[3], 0u);
+}
+
+TEST(RollingWindow, OldBucketsScrollOutOfTheSnapshot) {
+  RollingWindow window = small_window();
+  window.observe(5.0, 0 * kSecond);
+  // Still visible while slice 0 is within the 4-bucket window...
+  EXPECT_EQ(window.snapshot(3 * kSecond).count, 1u);
+  // ...gone once the window has moved past it.
+  EXPECT_EQ(window.snapshot(4 * kSecond).count, 0u);
+}
+
+TEST(RollingWindow, RotationRecyclesStaleBuckets) {
+  RollingWindow window = small_window();
+  window.observe(5.0, 0 * kSecond);
+  window.observe(5.0, 0 * kSecond);
+  // Slice 4 maps to the same bucket index as slice 0; the write must
+  // recycle the bucket, not accumulate on top of the stale counts.
+  window.observe(25.0, 4 * kSecond);
+  const WindowSnapshot snap = window.snapshot(4 * kSecond);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 25.0);
+}
+
+TEST(RollingWindow, SnapshotIsDeterministicUnderInjectedTime) {
+  RollingWindow a = small_window();
+  RollingWindow b = small_window();
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const double value = static_cast<double>(i % 35);
+    const std::uint64_t now = i * (kSecond / 10);
+    a.observe(value, now);
+    b.observe(value, now);
+  }
+  const WindowSnapshot sa = a.snapshot(4 * kSecond);
+  const WindowSnapshot sb = b.snapshot(4 * kSecond);
+  EXPECT_EQ(sa.count, sb.count);
+  EXPECT_EQ(sa.sum, sb.sum);  // bitwise: same values, same order
+  EXPECT_EQ(sa.histogram.counts, sb.histogram.counts);
+}
+
+TEST(RollingWindow, ClearForgetsEverything) {
+  RollingWindow window = small_window();
+  window.observe(5.0, kSecond);
+  window.clear();
+  EXPECT_EQ(window.snapshot(kSecond).count, 0u);
+  window.observe(7.0, kSecond);
+  EXPECT_EQ(window.snapshot(kSecond).count, 1u);
+}
+
+TEST(RollingWindow, OverSecondsUsesLatencyBoundsAndSixteenBuckets) {
+  RollingWindow window = RollingWindow::over_seconds(8.0);
+  EXPECT_EQ(window.window_ns(), 8 * kSecond);
+  window.observe(100.0, kSecond);
+  const WindowSnapshot snap = window.snapshot(kSecond);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GT(snap.histogram.bounds.size(), 8u);  // latency_us() bounds
+  EXPECT_NEAR(snap.histogram.quantile(0.5), 100.0, 100.0);
+}
+
+TEST(RollingWindow, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(RollingWindow(HistogramSpec{}, kSecond, 4),
+               std::invalid_argument);
+  EXPECT_THROW(RollingWindow(HistogramSpec::linear(1, 1, 3), 0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(RollingWindow(HistogramSpec::linear(1, 1, 3), kSecond, 0),
+               std::invalid_argument);
+  EXPECT_THROW(RollingWindow::over_seconds(0.0), std::invalid_argument);
+}
+
+TEST(RollingWindow, ConcurrentObserversLandEveryInWindowValue) {
+  // All writers target the same slice, so there is no boundary race:
+  // the counts must be exact even under contention. (TSan target.)
+  RollingWindow window = small_window();
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&window] {
+      for (int i = 0; i < 1000; ++i) window.observe(15.0, 2 * kSecond);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  const WindowSnapshot snap = window.snapshot(2 * kSecond);
+  EXPECT_EQ(snap.count, 4000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 4000.0 * 15.0);
+}
+
+}  // namespace
+}  // namespace bevr::obs

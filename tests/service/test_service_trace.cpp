@@ -1,0 +1,291 @@
+// The service's diagnosis layer: deterministic trace ids, coalesced
+// fan-in in the causal trace, exactly-once accounting for coalesced
+// deadline misses (deterministic and storm-style — the latter is a
+// TSan target), and the overload-storm flight dump contract.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bevr/bench/json.h"
+#include "bevr/obs/flight_recorder.h"
+#include "bevr/obs/metrics.h"
+#include "bevr/obs/trace.h"
+#include "bevr/obs/trace_context.h"
+#include "bevr/service/server.h"
+
+namespace bevr::service {
+namespace {
+
+std::uint64_t counter_now(const std::string& name) {
+  return obs::MetricsRegistry::global().snapshot().counter(name);
+}
+
+std::uint64_t histogram_count_now(const std::string& name) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::HistogramSnapshot* histogram = snap.histogram(name);
+  return histogram != nullptr ? histogram->count : 0;
+}
+
+TEST(ServiceTrace, ResponseTraceIdsAreDeterministic) {
+  // Two servers, same trace seed, same submit order: byte-identical
+  // trace ids, each exactly TraceContext::derive(seed, submit index).
+  constexpr std::uint64_t kSeed = 42;
+  std::vector<std::uint64_t> first_ids;
+  for (int run = 0; run < 2; ++run) {
+    Server::Options options;
+    options.workers = 1;
+    options.trace_seed = kSeed;
+    Server server(options);
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const Response response =
+          server.submit({.scenario = "fig2_adaptive",
+                         .capacity = 80.0 + 10.0 * static_cast<double>(i)})
+              .get();
+      ASSERT_EQ(response.status, StatusCode::kOk);
+      EXPECT_EQ(response.trace_id,
+                obs::TraceContext::derive(kSeed, i).trace_id);
+      ids.push_back(response.trace_id);
+    }
+    if (run == 0) {
+      first_ids = ids;
+    } else {
+      EXPECT_EQ(ids, first_ids);
+    }
+    // Distinct requests decorrelate.
+    EXPECT_EQ(std::set<std::uint64_t>(ids.begin(), ids.end()).size(),
+              ids.size());
+  }
+}
+
+TEST(ServiceTrace, CoalescedDeadlineMissIsCountedExactlyOnce) {
+  // A paused server makes the queue state deterministic: one lead
+  // ticket, five coalesced waiters whose deadlines expire in queue.
+  // Each must be counted once — in deadline_in_queue, in queue_us, in
+  // latency_us — and the lead exactly once in responses_ok.
+  Server::Options options;
+  options.workers = 1;
+  options.paused = true;
+  Server server(options);
+
+  const std::uint64_t in_queue_before = counter_now("service/deadline_in_queue");
+  const std::uint64_t ok_before = counter_now("service/responses_ok");
+  const std::uint64_t coalesced_before = counter_now("service/coalesced");
+  const std::uint64_t queue_obs_before = histogram_count_now("service/queue_us");
+  const std::uint64_t latency_obs_before =
+      histogram_count_now("service/latency_us");
+
+  const Query query{.scenario = "fig2_adaptive", .capacity = 123.0};
+  std::future<Response> lead = server.submit(query);  // no deadline
+  std::vector<std::future<Response>> doomed;
+  doomed.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    // Generous enough that none can expire while still being submitted
+    // (which would divert it to deadline_at_submit), even under TSan.
+    doomed.push_back(
+        server.submit(query, Clock::now() + std::chrono::milliseconds(50)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  server.resume();
+
+  const Response ok = lead.get();
+  EXPECT_EQ(ok.status, StatusCode::kOk);
+  for (std::future<Response>& future : doomed) {
+    const Response expired = future.get();
+    EXPECT_EQ(expired.status, StatusCode::kDeadlineExceeded);
+    EXPECT_GT(expired.queue_us, 0.0);
+  }
+
+  EXPECT_EQ(counter_now("service/coalesced"), coalesced_before + 5);
+  EXPECT_EQ(counter_now("service/deadline_in_queue"), in_queue_before + 5);
+  EXPECT_EQ(counter_now("service/responses_ok"), ok_before + 1);
+  // Every request that reached the worker is observed in the queue-
+  // and latency histograms exactly once — expired waiters included.
+  EXPECT_EQ(histogram_count_now("service/queue_us"), queue_obs_before + 6);
+  EXPECT_EQ(histogram_count_now("service/latency_us"), latency_obs_before + 6);
+}
+
+TEST(ServiceTrace, StormStyleAccountingIsExactlyOnce) {
+  // Storm-style: many client threads, coalescing collisions, hopeless
+  // deadlines, a tiny queue. The exactly-once ledger must balance —
+  // every submit lands in exactly one terminal counter, and every
+  // response is observed exactly once in latency_us. (TSan target.)
+  const std::uint64_t requests_before = counter_now("service/requests");
+  const std::uint64_t ok_before = counter_now("service/responses_ok");
+  const std::uint64_t overload_before =
+      counter_now("service/rejected_overload");
+  const std::uint64_t shutdown_before =
+      counter_now("service/rejected_shutdown");
+  const std::uint64_t at_submit_before =
+      counter_now("service/deadline_at_submit");
+  const std::uint64_t in_queue_before =
+      counter_now("service/deadline_in_queue");
+  const std::uint64_t latency_obs_before =
+      histogram_count_now("service/latency_us");
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100;
+  std::atomic<std::uint64_t> resolved{0};
+  {
+    Server::Options options;
+    options.workers = 2;
+    options.queue_capacity = 8;
+    Server server(options);
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&server, &resolved, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          // Four capacities across eight threads: guaranteed coalesce
+          // collisions. Deadline mix includes already-expired and
+          // expires-in-queue budgets.
+          const double capacity = 60.0 + 30.0 * static_cast<double>(i % 4);
+          Deadline deadline = kNoDeadline;
+          switch ((t + i) % 3) {
+            case 0: break;
+            case 1:
+              deadline = Clock::now() + std::chrono::microseconds(200);
+              break;
+            case 2:
+              deadline = Clock::now() - std::chrono::microseconds(1);
+              break;
+          }
+          (void)server
+              .submit({.scenario = "fig3_adaptive", .capacity = capacity},
+                      deadline)
+              .get();
+          resolved.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }  // server destroyed: counters quiesced
+
+  const std::uint64_t submitted = kThreads * kPerThread;
+  EXPECT_EQ(resolved.load(), submitted);
+  EXPECT_EQ(counter_now("service/requests"), requests_before + submitted);
+  const std::uint64_t terminal =
+      (counter_now("service/responses_ok") - ok_before) +
+      (counter_now("service/rejected_overload") - overload_before) +
+      (counter_now("service/rejected_shutdown") - shutdown_before) +
+      (counter_now("service/deadline_at_submit") - at_submit_before) +
+      (counter_now("service/deadline_in_queue") - in_queue_before);
+  EXPECT_EQ(terminal, submitted);
+  EXPECT_EQ(histogram_count_now("service/latency_us"),
+            latency_obs_before + submitted);
+}
+
+TEST(ServiceTrace, CoalescedRequestsFanIntoOneEvaluationSpan) {
+  obs::TraceCollector& collector = obs::TraceCollector::global();
+  collector.clear();
+  collector.set_enabled(true);
+
+  {
+    Server::Options options;
+    options.workers = 1;
+    options.paused = true;
+    options.trace_seed = 7;
+    Server server(options);
+    const Query query{.scenario = "fig2_rigid", .capacity = 90.0};
+    std::vector<std::future<Response>> futures;
+    futures.reserve(4);
+    for (int i = 0; i < 4; ++i) futures.push_back(server.submit(query));
+    server.resume();
+    for (std::future<Response>& future : futures) {
+      ASSERT_EQ(future.get().status, StatusCode::kOk);
+    }
+  }  // server destroyed: workers joined, the evaluate span has closed
+  collector.set_enabled(false);
+
+  // Expected causal shape: four submit spans with flow-out arrows, one
+  // evaluation span, four serve instants with flow-in arrows whose
+  // trace ids are exactly the submit spans' trace ids.
+  std::set<std::uint64_t> submit_traces;
+  std::set<std::uint64_t> serve_traces;
+  std::size_t evaluate_spans = 0;
+  for (const obs::TraceEvent& event : collector.events()) {
+    const std::string name = event.name;
+    if (name == "service/submit") {
+      EXPECT_NE(event.flags & obs::TraceEvent::kFlowOut, 0);
+      EXPECT_NE(event.trace_id, 0u);
+      submit_traces.insert(event.trace_id);
+    } else if (name == "service/serve") {
+      EXPECT_NE(event.flags & obs::TraceEvent::kFlowIn, 0);
+      serve_traces.insert(event.trace_id);
+    } else if (name == "service/evaluate") {
+      ++evaluate_spans;
+    }
+  }
+  collector.clear();
+  EXPECT_EQ(submit_traces.size(), 4u);
+  EXPECT_EQ(evaluate_spans, 1u);
+  EXPECT_EQ(serve_traces, submit_traces);
+}
+
+TEST(ServiceTrace, OverloadStormAutoDumpsAFlightWithOverloadedEvents) {
+  // The acceptance contract: a flight dump captured during an overload
+  // storm parses (strict bench reader) and contains the OVERLOADED
+  // events plus the STORM marker that fired the dump.
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  const std::string path = ::testing::TempDir() + "service_storm_flight.json";
+  flight.set_auto_dump_path(path);
+
+  Server::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.paused = true;  // queue fills deterministically
+  options.overload_storm_threshold = 4;
+  Server server(options);
+  std::vector<std::future<Response>> admitted;
+  admitted.reserve(2);
+  for (int i = 0; i < 2; ++i) {
+    admitted.push_back(server.submit(
+        {.scenario = "fig2_adaptive", .capacity = 100.0 + i}));
+  }
+  std::vector<std::future<Response>> shed;
+  shed.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    shed.push_back(server.submit(
+        {.scenario = "fig2_adaptive", .capacity = 200.0 + i}));
+  }
+  for (std::future<Response>& future : shed) {
+    EXPECT_EQ(future.get().status, StatusCode::kOverloaded);
+  }
+  server.resume();
+  for (std::future<Response>& future : admitted) {
+    EXPECT_EQ(future.get().status, StatusCode::kOk);
+  }
+  flight.set_auto_dump_path("");  // disarm for the rest of the binary
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "storm did not auto-dump to " << path;
+  std::stringstream content;
+  content << file.rdbuf();
+  const bench::json::ValuePtr doc = bench::json::parse(content.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_EQ(doc->get("schema")->string, "bevr.flight.v1");
+  EXPECT_EQ(doc->get("reason")->string, "overload-storm");
+  std::size_t overloaded = 0;
+  std::size_t storms = 0;
+  for (const bench::json::ValuePtr& record : doc->get("records")->array) {
+    const std::string code = record->get("code")->string;
+    if (code == "OVERLOADED") ++overloaded;
+    if (code == "STORM") ++storms;
+  }
+  EXPECT_GE(overloaded, 4u);
+  EXPECT_EQ(storms, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bevr::service
