@@ -1,0 +1,216 @@
+// bench_net2: the multi-link network layer under load.
+//
+// Three suites:
+//  * net2_path_admission — hot-path microbench of the per-link ledger:
+//    atomic all-or-nothing path grabs cycled through both admission
+//    currencies (bandwidth with trunk-reservation headroom, counted
+//    k_max slots) on a full mesh; asserts the conservation laws on the
+//    traffic just pushed (every grab released, the ledger drains to
+//    zero, the invariant audit stays clean).
+//  * net2_dar_replay — end-to-end engine replay: one synthetic mesh
+//    trace evaluated under all three network policies; reports the
+//    policy comparison and asserts its contracts (best effort never
+//    blocks, offered splits exactly into admitted + blocked, trunk
+//    reservation never oversubscribes a link, and the whole pipeline
+//    is bit-deterministic run over run).
+//  * net2_fixed_point — the Erlang/GHK mean-field evaluator swept to
+//    C = 10⁵ circuits per link (the "millions of flows" path);
+//    asserts convergence everywhere and that trunk reservation lowers
+//    the loss probability under overload.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bevr/bench/bench_util.h"
+#include "bevr/bench/registry.h"
+#include "bevr/net2/engine.h"
+#include "bevr/net2/fixed_point.h"
+#include "bevr/net2/ledger.h"
+#include "bevr/net2/policy.h"
+#include "bevr/net2/topology.h"
+#include "bevr/net2/trace.h"
+#include "bevr/numerics/erlang.h"
+#include "bevr/sim/rng.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+using namespace bevr;
+
+}  // namespace
+
+BEVR_BENCHMARK(net2_path_admission,
+               "per-link ledger atomic path admission hot path") {
+  const net2::Topology topology = net2::build_topology(
+      {net2::TopologyKind::kFullMesh, 8, 16.0, {}});
+  net2::LinkLedger ledger(topology);
+
+  // Two-hop alternate paths through every intermediate of pair (0, 1):
+  // the DAR overflow shape, where rollback actually triggers.
+  std::vector<std::vector<net2::LinkId>> paths;
+  for (const net2::NodeId via : topology.two_hop_intermediates(0, 1)) {
+    paths.push_back({*topology.find_link(0, via),
+                     *topology.find_link(via, 1)});
+  }
+  const std::vector<std::int64_t> limits(topology.link_count(), 12);
+
+  const int cycles = ctx.pick(200'000, 5'000);
+  std::uint64_t bandwidth_admitted = 0;
+  std::uint64_t counted_admitted = 0;
+  std::uint64_t refused = 0;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const auto& path = paths[static_cast<std::size_t>(cycle) % paths.size()];
+    if (cycle % 2 == 0) {
+      // Trunk-reservation currency: grab one circuit, keep 2 free.
+      if (ledger.try_admit_bandwidth(path, 1.0, 2.0)) {
+        ++bandwidth_admitted;
+        ledger.release_bandwidth(path, 1.0);
+      } else {
+        ++refused;
+      }
+    } else {
+      // Reservation currency: one of k_max = 12 slots per link.
+      if (ledger.try_admit_counted(path, limits)) {
+        ++counted_admitted;
+        ledger.release_counted(path);
+      } else {
+        ++refused;
+      }
+    }
+  }
+  ctx.set_items(static_cast<std::uint64_t>(cycles));
+
+  bench::print_columns({"cycles", "paths", "bw_admits", "cnt_admits",
+                        "refused"});
+  bench::print_row({static_cast<double>(cycles),
+                    static_cast<double>(paths.size()),
+                    static_cast<double>(bandwidth_admitted),
+                    static_cast<double>(counted_admitted),
+                    static_cast<double>(refused)});
+
+  // Conservation contracts on the traffic just pushed.
+  if (bandwidth_admitted + counted_admitted + refused !=
+      static_cast<std::uint64_t>(cycles)) {
+    ctx.fail("every admission attempt must be admitted or refused");
+  }
+  if (refused != 0) {
+    ctx.fail("an empty ledger with headroom 2 on capacity 16 must admit");
+  }
+  for (net2::LinkId id = 0;
+       id < static_cast<net2::LinkId>(ledger.link_count()); ++id) {
+    if (ledger.used(id) != 0.0 || ledger.count(id) != 0) {
+      ctx.fail("ledger must drain to zero after matched releases");
+    }
+  }
+  ledger.audit();  // throws (⇒ bench failure) on any invariant break
+}
+
+BEVR_BENCHMARK(net2_dar_replay,
+               "one mesh trace replayed under all three network policies") {
+  const net2::Topology topology = net2::build_topology(
+      {net2::TopologyKind::kFullMesh, 6, 10.0, {}});
+  net2::NetTraceSpec spec;
+  spec.pair_arrival_rate = 11.0;  // past the knee: overflow is exercised
+  spec.horizon = ctx.pick(200.0, 20.0);
+  const net2::NetTrace trace =
+      net2::generate_net_trace(topology, spec, sim::Rng(42));
+
+  const utility::Rigid pi(1.0);
+  net2::NetEngineConfig engine;
+  engine.warmup = spec.horizon / 10.0;
+  engine.flush_obs = false;  // microbench: keep the registry quiet
+
+  const auto replay = [&](net2::NetPolicyKind kind, double trunk_reserve) {
+    net2::NetPolicyConfig config;
+    config.pi = std::make_shared<utility::Rigid>(1.0);
+    config.trunk_reserve = trunk_reserve;
+    const auto policy = net2::make_net_policy(kind, topology, config);
+    return net2::run_network(trace, *policy, pi, engine);
+  };
+
+  const auto best_effort = replay(net2::NetPolicyKind::kBestEffort, 0.0);
+  const auto reserved = replay(net2::NetPolicyKind::kDirectReservation, 0.0);
+  const auto dar = replay(net2::NetPolicyKind::kDar, 2.0);
+  ctx.set_items(3 * static_cast<std::uint64_t>(trace.requests.size()));
+
+  bench::print_columns({"calls", "be_util", "res_util", "res_block",
+                        "dar_block", "alt_routed"});
+  bench::print_row({static_cast<double>(trace.requests.size()),
+                    best_effort.mean_utility, reserved.mean_utility,
+                    reserved.blocking_probability, dar.blocking_probability,
+                    static_cast<double>(dar.alternate_routed)});
+
+  // Comparison contracts on the replay just timed.
+  if (best_effort.blocked != 0) {
+    ctx.fail("best effort must never block");
+  }
+  for (const auto* report : {&best_effort, &reserved, &dar}) {
+    if (report->admitted + report->blocked != report->offered) {
+      ctx.fail("offered must split exactly into admitted + blocked");
+    }
+  }
+  // Unit-rate circuits on 10-circuit links: no link may ever hold more
+  // flows than its capacity under either reserving policy.
+  if (reserved.peak_link_count > 10 || dar.peak_link_count > 10) {
+    ctx.fail("a reserving policy oversubscribed a link");
+  }
+  if (dar.alternate_routed == 0) {
+    ctx.fail("overload replay must exercise the DAR overflow path");
+  }
+  // Same trace, same policy, same engine ⇒ bit-identical report.
+  const auto again = replay(net2::NetPolicyKind::kDar, 2.0);
+  if (again.admitted != dar.admitted ||
+      again.mean_utility != dar.mean_utility ||
+      again.alternate_routed != dar.alternate_routed) {
+    ctx.fail("replay is not deterministic across identical runs");
+  }
+}
+
+BEVR_BENCHMARK(net2_fixed_point,
+               "Erlang/GHK mean-field evaluator swept to 100k circuits") {
+  // Each point dimensions its load for ~1% single-link blocking, then
+  // overloads by 10% — the regime where trunk reservation matters.
+  const std::vector<std::int64_t> capacities =
+      ctx.pick(std::vector<std::int64_t>{100, 1'000, 10'000, 100'000},
+               std::vector<std::int64_t>{100, 1'000});
+
+  std::uint64_t total_iterations = 0;
+  bench::print_columns({"capacity", "pair_load", "r0_block", "r2_block",
+                        "iters"});
+  for (const std::int64_t capacity : capacities) {
+    net2::MeanFieldSpec spec;
+    spec.capacity = capacity;
+    spec.pair_load =
+        1.1 * numerics::erlang_b_offered_load(capacity, 0.01);
+    // 1e-12 sits below the log-space summation noise floor at large C;
+    // 1e-9 is converged for every figure the layer reports.
+    spec.tolerance = 1e-9;
+
+    spec.trunk_reserve = 0;
+    const auto r0 = net2::evaluate_mean_field(spec);
+    spec.trunk_reserve = 2;
+    const auto r2 = net2::evaluate_mean_field(spec);
+    total_iterations +=
+        static_cast<std::uint64_t>(r0.iterations + r2.iterations);
+
+    bench::print_row({static_cast<double>(capacity), spec.pair_load,
+                      r0.blocking, r2.blocking,
+                      static_cast<double>(r0.iterations + r2.iterations)});
+
+    if (!r0.converged || !r2.converged) {
+      ctx.fail("fixed point failed to converge");
+    }
+    if (!(r0.blocking > 0.0 && r0.blocking < 1.0) ||
+        !(r2.blocking > 0.0 && r2.blocking < 1.0)) {
+      ctx.fail("loss probability left (0, 1)");
+    }
+    if (r2.blocking >= r0.blocking) {
+      ctx.fail("trunk reservation must lower loss under overload");
+    }
+    if (r2.overflow_load >= r0.overflow_load) {
+      ctx.fail("trunk reservation must thin the overflow load");
+    }
+  }
+  // O(C) per iteration: items ≈ occupancy-distribution evaluations.
+  ctx.set_items(total_iterations);
+}

@@ -1,0 +1,151 @@
+// DAR-versus-reservation network study: the paper's single-link
+// best-effort/reservation comparison lifted onto a multi-link mesh.
+// With no arguments it sweeps the offered load on a 6-node full mesh
+// and prints the three network policies side by side — best effort
+// (bottleneck sharing), per-link reservation (k_max slots), and
+// dynamic alternative routing at trunk reservation r = 0 and r = 2 —
+// next to the Erlang fixed-point prediction for the DAR lanes.
+//
+// With `--topology FILE` the same comparison runs on a topology read
+// from FILE (one `a b capacity` link per line, '#' comments); the
+// reader is the hardened net2 parser, so a malformed file exits 2
+// with the offending line named, never a crash.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "bevr/net2/engine.h"
+#include "bevr/net2/fixed_point.h"
+#include "bevr/net2/policy.h"
+#include "bevr/net2/topology.h"
+#include "bevr/net2/trace.h"
+#include "bevr/sim/rng.h"
+#include "bevr/utility/utility.h"
+
+namespace {
+
+constexpr double kCapacity = 10.0;
+constexpr double kTrunkReserve = 2.0;
+constexpr double kHorizon = 200.0;
+constexpr double kWarmup = 20.0;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology FILE]\n"
+               "  Compare best effort, per-link reservation, and DAR\n"
+               "  (trunk reservation %.0f) on a shared arrival trace.\n"
+               "  Default: 6-node full mesh, %.0f circuits per link.\n"
+               "  FILE: one 'a b capacity' link per line, '#' comments.\n",
+               argv0, kTrunkReserve, kCapacity);
+  return 2;
+}
+
+bevr::net2::NetReport run_policy(const bevr::net2::Topology& topology,
+                                 const bevr::net2::NetTrace& trace,
+                                 bevr::net2::NetPolicyKind kind,
+                                 double trunk_reserve,
+                                 const bevr::utility::UtilityFunction& pi) {
+  bevr::net2::NetPolicyConfig config;
+  config.pi = std::make_shared<bevr::utility::Rigid>(1.0);
+  config.trunk_reserve = trunk_reserve;
+  auto policy = bevr::net2::make_net_policy(kind, topology, config);
+  bevr::net2::NetEngineConfig engine;
+  engine.warmup = kWarmup;
+  return bevr::net2::run_network(trace, *policy, pi, engine);
+}
+
+void run_study(const bevr::net2::Topology& topology, bool symmetric_mesh) {
+  using bevr::net2::NetPolicyKind;
+  const bevr::utility::Rigid pi(1.0);
+
+  std::printf("%zu nodes, %zu links; horizon %.0f, warmup %.0f\n\n",
+              topology.node_count(), topology.link_count(), kHorizon,
+              kWarmup);
+  std::printf("%9s %8s %9s %9s %9s %9s %9s %9s\n", "pair_load", "be_util",
+              "res_util", "res_blk", "dar0_blk", "darr_blk", "alt_share",
+              symmetric_mesh ? "mf_blk" : "-");
+  for (const double load : {4.0, 8.0, 11.0, 14.0}) {
+    bevr::net2::NetTraceSpec spec;
+    spec.pair_arrival_rate = load;
+    spec.horizon = kHorizon;
+    const bevr::net2::NetTrace trace =
+        bevr::net2::generate_net_trace(topology, spec, bevr::sim::Rng(42));
+
+    const auto be =
+        run_policy(topology, trace, NetPolicyKind::kBestEffort, 0.0, pi);
+    const auto reserved = run_policy(
+        topology, trace, NetPolicyKind::kDirectReservation, 0.0, pi);
+    const auto dar0 =
+        run_policy(topology, trace, NetPolicyKind::kDar, 0.0, pi);
+    const auto darr = run_policy(topology, trace, NetPolicyKind::kDar,
+                                 kTrunkReserve, pi);
+    const double alt_share =
+        darr.admitted > 0 ? static_cast<double>(darr.alternate_routed) /
+                                static_cast<double>(darr.admitted)
+                          : 0.0;
+    double mf_blocking = 0.0;
+    if (symmetric_mesh) {
+      bevr::net2::MeanFieldSpec mf;
+      mf.capacity = static_cast<std::int64_t>(kCapacity);
+      mf.pair_load = load;
+      mf.trunk_reserve = static_cast<std::int64_t>(kTrunkReserve);
+      mf_blocking = bevr::net2::evaluate_mean_field(mf).blocking;
+    }
+    std::printf("%9.1f %8.3f %9.3f %9.3f %9.3f %9.3f %9.3f ", load,
+                be.mean_utility, reserved.mean_utility,
+                reserved.blocking_probability, dar0.blocking_probability,
+                darr.blocking_probability, alt_share);
+    if (symmetric_mesh) {
+      std::printf("%9.3f\n", mf_blocking);
+    } else {
+      std::printf("%9s\n", "-");
+    }
+  }
+  std::printf(
+      "\nPast the knee (pair_load > capacity) best-effort utility\n"
+      "collapses while the reserved lanes hold theirs — the paper's\n"
+      "single-link conclusion, intact on a network. Trunk reservation\n"
+      "keeps DAR's overflow from cascading: darr_blk stays below\n"
+      "dar0_blk under overload%s.\n",
+      symmetric_mesh
+          ? ", and the Erlang fixed point (mf_blk)\ntracks the simulated "
+            "DAR blocking without simulating anything"
+          : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--topology") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --topology needs a file path\n");
+        return usage(argv[0]);
+      }
+      path = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (path.empty()) {
+      std::printf("DAR vs reservation on the default 6-node full mesh\n");
+      const bevr::net2::Topology topology = bevr::net2::build_topology(
+          {bevr::net2::TopologyKind::kFullMesh, 6, kCapacity, {}});
+      run_study(topology, /*symmetric_mesh=*/true);
+    } else {
+      std::printf("DAR vs reservation on topology file %s\n", path.c_str());
+      const bevr::net2::Topology topology = bevr::net2::load_topology(path);
+      run_study(topology, /*symmetric_mesh=*/false);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return usage(argv[0]);
+  }
+  return 0;
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build+test pass, then an ASan+UBSan
 # run of the runner subsystem's tests (the code with real concurrency),
-# then a TSan run of the runner + obs + service suites (the sharded
-# metrics registry, trace buffers, and the evaluation service's ticket
-# queue / worker pool are the raciest code in the tree).
+# then a TSan run of the runner + obs + service + admission + net2
+# suites (the sharded metrics registry, trace buffers, the evaluation
+# service's ticket queue / worker pool, the admission calendar's
+# expiry-vs-cancellation races, and the net2 ledger's concurrent
+# path-admission rollback are the raciest code in the tree).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -53,6 +55,18 @@ else
   echo "(no bench/baselines/BENCH_admission.json — skipping baseline compare)"
 fi
 
+echo "== bench smoke: net2 suites vs committed baseline =="
+# The net2 suites assert the path-admission conservation laws, the
+# network policy comparison's contracts, and mean-field convergence;
+# gate their smoke timings too.
+./build/bench/bevr_bench net2 --smoke --json-out BENCH_net2.json
+if [ -f bench/baselines/BENCH_net2.json ]; then
+  ./build/bench/bevr_bench --compare BENCH_net2.json \
+    --baseline bench/baselines/BENCH_net2.json --threshold 1.0
+else
+  echo "(no bench/baselines/BENCH_net2.json — skipping baseline compare)"
+fi
+
 echo "== bench full: obs overhead gate vs committed baseline =="
 # Full mode on purpose: the obs suite's sweep-overhead contract only
 # enforces the <= 5% fully-instrumented bound when the workload is big
@@ -65,19 +79,22 @@ else
   echo "(no bench/baselines/BENCH_obs.json — skipping baseline compare)"
 fi
 
-echo "== sanitized: ASan+UBSan runner + sim tests =="
+echo "== sanitized: ASan+UBSan runner + sim + net2 tests =="
 cmake -B build-asan -S . -DBEVR_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests
+cmake --build build-asan -j "${JOBS}" --target bevr_runner_tests bevr_sim_tests \
+  bevr_net2_tests
 ./build-asan/tests/bevr_runner_tests
 ./build-asan/tests/bevr_sim_tests
+./build-asan/tests/bevr_net2_tests
 
-echo "== sanitized: TSan runner + obs + service + admission tests =="
+echo "== sanitized: TSan runner + obs + service + admission + net2 tests =="
 cmake -B build-tsan -S . -DBEVR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target bevr_runner_tests bevr_obs_tests \
-  bevr_service_tests bevr_admission_tests
+  bevr_service_tests bevr_admission_tests bevr_net2_tests
 ./build-tsan/tests/bevr_runner_tests
 ./build-tsan/tests/bevr_obs_tests
 ./build-tsan/tests/bevr_service_tests
 ./build-tsan/tests/bevr_admission_tests
+./build-tsan/tests/bevr_net2_tests
 
 echo "== all checks passed =="

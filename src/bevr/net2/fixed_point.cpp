@@ -1,0 +1,111 @@
+#include "bevr/net2/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bevr/numerics/erlang.h"
+
+namespace bevr::net2 {
+
+void MeanFieldSpec::validate() const {
+  if (capacity < 1) {
+    throw std::invalid_argument("MeanFieldSpec: capacity must be >= 1");
+  }
+  if (!(pair_load > 0.0) || !std::isfinite(pair_load)) {
+    throw std::invalid_argument(
+        "MeanFieldSpec: pair_load must be finite and > 0");
+  }
+  if (trunk_reserve < 0 || trunk_reserve > capacity) {
+    throw std::invalid_argument(
+        "MeanFieldSpec: trunk_reserve must lie in [0, capacity]");
+  }
+  if (!(damping > 0.0) || !(damping <= 1.0)) {
+    throw std::invalid_argument("MeanFieldSpec: damping must lie in (0, 1]");
+  }
+  if (max_iterations < 1) {
+    throw std::invalid_argument("MeanFieldSpec: max_iterations must be >= 1");
+  }
+  if (!(tolerance > 0.0) || !std::isfinite(tolerance)) {
+    throw std::invalid_argument(
+        "MeanFieldSpec: tolerance must be finite and > 0");
+  }
+}
+
+namespace {
+
+struct LinkBlocking {
+  double direct = 0.0;     ///< π_C
+  double alternate = 0.0;  ///< Σ_{j >= C-r} π_j
+};
+
+/// Stationary blocking of the single-link birth-death chain with
+/// down-rate j, up-rate `a + sigma` below C − r and `a` from C − r on.
+/// Log-space weights keep C ~ 10⁶ and a ~ C finite (the plain product
+/// a^j/j! overflows past a ≈ 700).
+LinkBlocking link_blocking(std::int64_t capacity, double a, double sigma,
+                           std::int64_t trunk_reserve) {
+  const std::size_t c = static_cast<std::size_t>(capacity);
+  const std::size_t gate = static_cast<std::size_t>(capacity - trunk_reserve);
+  if (trunk_reserve == 0) {
+    // Uniform up-rate: exactly M/M/C/C at load a + σ — reuse the
+    // stable Erlang-B recursion instead of re-deriving it.
+    const double b = numerics::erlang_b(a + sigma, capacity);
+    return LinkBlocking{b, b};
+  }
+  std::vector<double> log_weight(c + 1, 0.0);
+  double max_log = 0.0;
+  for (std::size_t j = 0; j < c; ++j) {
+    const double up = j < gate ? a + sigma : a;
+    log_weight[j + 1] =
+        log_weight[j] + std::log(up) - std::log(static_cast<double>(j + 1));
+    max_log = std::max(max_log, log_weight[j + 1]);
+  }
+  double total = 0.0;
+  double tail = 0.0;  ///< Σ_{j >= gate} w_j
+  for (std::size_t j = 0; j <= c; ++j) {
+    const double w = std::exp(log_weight[j] - max_log);
+    total += w;
+    if (j >= gate) tail += w;
+  }
+  const double top = std::exp(log_weight[c] - max_log);
+  return LinkBlocking{top / total, tail / total};
+}
+
+}  // namespace
+
+MeanFieldResult evaluate_mean_field(const MeanFieldSpec& spec) {
+  spec.validate();
+  MeanFieldResult result;
+  double sigma = 0.0;
+  for (std::int64_t it = 1; it <= spec.max_iterations; ++it) {
+    const LinkBlocking b =
+        link_blocking(spec.capacity, spec.pair_load, sigma,
+                      spec.trunk_reserve);
+    // Gibbens–Hunt–Kelly self-consistency: each blocked direct call
+    // offers one circuit to each of its two alternate legs, thinned by
+    // the other leg's acceptance.
+    const double next =
+        2.0 * spec.pair_load * b.direct * (1.0 - b.alternate);
+    result.iterations = it;
+    result.residual = std::abs(next - sigma);
+    if (result.residual <= spec.tolerance) {
+      sigma = next;
+      result.converged = true;
+      break;
+    }
+    sigma = (1.0 - spec.damping) * sigma + spec.damping * next;
+  }
+  const LinkBlocking b = link_blocking(spec.capacity, spec.pair_load, sigma,
+                                       spec.trunk_reserve);
+  result.blocking_direct = b.direct;
+  result.blocking_alternate = b.alternate;
+  // Lost iff the direct link is full and the single overflow attempt
+  // fails; the alternate succeeds iff both legs accept independently.
+  const double accept = 1.0 - b.alternate;
+  result.blocking = b.direct * (1.0 - accept * accept);
+  result.overflow_load = sigma;
+  return result;
+}
+
+}  // namespace bevr::net2

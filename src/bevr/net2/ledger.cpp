@@ -1,0 +1,183 @@
+#include "bevr/net2/ledger.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace bevr::net2 {
+
+LinkLedger::LinkLedger(const Topology& topology)
+    : links_(topology.link_count()) {
+  if (links_.empty()) {
+    throw std::invalid_argument("LinkLedger: topology has no links");
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].capacity = topology.link(static_cast<LinkId>(i)).capacity;
+  }
+}
+
+LinkLedger::LinkState& LinkLedger::state(LinkId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) {
+    throw std::invalid_argument("LinkLedger: unknown link id " +
+                                std::to_string(id));
+  }
+  return links_[static_cast<std::size_t>(id)];
+}
+
+const LinkLedger::LinkState& LinkLedger::state(LinkId id) const {
+  return const_cast<LinkLedger*>(this)->state(id);
+}
+
+void LinkLedger::bump_count(LinkState& link) {
+  const std::int64_t now =
+      link.count.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::int64_t peak = link.peak.load(std::memory_order_relaxed);
+  while (peak < now && !link.peak.compare_exchange_weak(
+                           peak, now, std::memory_order_acq_rel,
+                           std::memory_order_relaxed)) {
+  }
+}
+
+bool LinkLedger::try_admit_bandwidth(std::span<const LinkId> path, double rate,
+                                     double headroom) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("LinkLedger: rate must be finite and > 0");
+  }
+  if (!(headroom >= 0.0) || !std::isfinite(headroom)) {
+    throw std::invalid_argument(
+        "LinkLedger: headroom must be finite and >= 0");
+  }
+  std::size_t grabbed = 0;
+  for (; grabbed < path.size(); ++grabbed) {
+    LinkState& link = state(path[grabbed]);
+    double expected = link.used.load(std::memory_order_relaxed);
+    bool ok = false;
+    for (;;) {
+      if (expected + rate > link.capacity - headroom) break;
+      if (link.used.compare_exchange_weak(expected, expected + rate,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+  if (grabbed < path.size()) {
+    // Rollback: the refused link was never touched; free the prefix in
+    // reverse so the ledger returns to its pre-call state exactly.
+    while (grabbed > 0) {
+      --grabbed;
+      state(path[grabbed]).used.fetch_sub(rate, std::memory_order_acq_rel);
+    }
+    return false;
+  }
+  for (const LinkId id : path) bump_count(state(id));
+  return true;
+}
+
+void LinkLedger::release_bandwidth(std::span<const LinkId> path, double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("LinkLedger: rate must be finite and > 0");
+  }
+  for (const LinkId id : path) {
+    LinkState& link = state(id);
+    link.used.fetch_sub(rate, std::memory_order_acq_rel);
+    link.count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool LinkLedger::try_admit_counted(std::span<const LinkId> path,
+                                   std::span<const std::int64_t> limits) {
+  if (limits.size() != links_.size()) {
+    throw std::invalid_argument(
+        "LinkLedger: limits must carry one entry per link");
+  }
+  std::size_t grabbed = 0;
+  for (; grabbed < path.size(); ++grabbed) {
+    LinkState& link = state(path[grabbed]);
+    const std::int64_t limit = limits[static_cast<std::size_t>(path[grabbed])];
+    std::int64_t expected = link.count.load(std::memory_order_relaxed);
+    bool ok = false;
+    for (;;) {
+      if (expected >= limit) break;
+      if (link.count.compare_exchange_weak(expected, expected + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) break;
+  }
+  if (grabbed < path.size()) {
+    while (grabbed > 0) {
+      --grabbed;
+      state(path[grabbed]).count.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return false;
+  }
+  // Counted admission already holds the slots; fold the peaks in now.
+  for (const LinkId id : path) {
+    LinkState& link = state(id);
+    const std::int64_t now = link.count.load(std::memory_order_acquire);
+    std::int64_t peak = link.peak.load(std::memory_order_relaxed);
+    while (peak < now && !link.peak.compare_exchange_weak(
+                             peak, now, std::memory_order_acq_rel,
+                             std::memory_order_relaxed)) {
+    }
+  }
+  return true;
+}
+
+void LinkLedger::release_counted(std::span<const LinkId> path) {
+  for (const LinkId id : path) {
+    state(id).count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void LinkLedger::join(std::span<const LinkId> path) {
+  for (const LinkId id : path) bump_count(state(id));
+}
+
+void LinkLedger::leave(std::span<const LinkId> path) {
+  for (const LinkId id : path) {
+    state(id).count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+double LinkLedger::used(LinkId id) const {
+  return state(id).used.load(std::memory_order_acquire);
+}
+
+std::int64_t LinkLedger::count(LinkId id) const {
+  return state(id).count.load(std::memory_order_acquire);
+}
+
+std::int64_t LinkLedger::peak_count(LinkId id) const {
+  return state(id).peak.load(std::memory_order_acquire);
+}
+
+double LinkLedger::capacity(LinkId id) const { return state(id).capacity; }
+
+void LinkLedger::audit() const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkState& link = links_[i];
+    const double used = link.used.load(std::memory_order_acquire);
+    // Bandwidth bookkeeping is add/subtract of identical quantities,
+    // so the tolerance only needs to absorb accumulation ulps.
+    const double slack = 1e-9 * (1.0 + link.capacity);
+    if (used > link.capacity + slack || used < -slack) {
+      throw std::logic_error("LinkLedger: link " + std::to_string(i) +
+                             " committed " + std::to_string(used) +
+                             " outside [0, " + std::to_string(link.capacity) +
+                             "]");
+    }
+    if (link.count.load(std::memory_order_acquire) < 0) {
+      throw std::logic_error("LinkLedger: link " + std::to_string(i) +
+                             " has a negative flow count");
+    }
+  }
+}
+
+}  // namespace bevr::net2

@@ -1,0 +1,99 @@
+// Per-link capacity ledger with atomic path admission.
+//
+// A path is admitted iff *every* link on it admits; partial grabs must
+// never be observable as admitted state. The ledger implements this
+// with per-link lock-free bookkeeping and explicit rollback: links are
+// grabbed one by one (CAS on the link's committed bandwidth), and the
+// first link that refuses rolls the already-grabbed prefix back before
+// the call returns false. Under concurrency a competing path may see
+// the transient prefix and be refused spuriously — that is the
+// conservative direction (capacity is never oversubscribed, which the
+// TSan storm tests pin); the discrete-event engine itself is
+// single-threaded, where admit-check-then-commit is exact.
+//
+// Two admission currencies, matching the network policies:
+//  * bandwidth  — DAR-style circuits: grab `rate` under the link
+//                 capacity, with an optional `headroom` the grab must
+//                 leave free (trunk reservation: an alternate-routed
+//                 call is admitted only if every alternate link keeps
+//                 more than r circuits free);
+//  * counted    — reservation architecture: grab one of k_max_l slots
+//                 per link (integer counts dodge the C/k·k floating-
+//                 point round-trip that bandwidth bookkeeping would
+//                 make of the same rule).
+// Best-effort `join`/`leave` is counted admission with no limit: it
+// can never fail, it only records sharing degree per link.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bevr/net2/topology.h"
+
+namespace bevr::net2 {
+
+class LinkLedger {
+ public:
+  explicit LinkLedger(const Topology& topology);
+
+  // Ledgers pin per-link atomics; they are not movable.
+  LinkLedger(const LinkLedger&) = delete;
+  LinkLedger& operator=(const LinkLedger&) = delete;
+
+  /// Grab `rate` bandwidth on every link of `path`, leaving at least
+  /// `headroom` free on each; all-or-nothing. Increments each link's
+  /// flow count on success. Throws std::invalid_argument for unknown
+  /// link ids, rate <= 0, or headroom < 0.
+  [[nodiscard]] bool try_admit_bandwidth(std::span<const LinkId> path,
+                                         double rate, double headroom = 0.0);
+
+  /// Release a bandwidth grab (exact inverse of try_admit_bandwidth).
+  void release_bandwidth(std::span<const LinkId> path, double rate);
+
+  /// Grab one slot on every link of `path`, where link l admits iff
+  /// its flow count is below `limits[l]` (indexed by link id, one
+  /// entry per link); all-or-nothing.
+  [[nodiscard]] bool try_admit_counted(std::span<const LinkId> path,
+                                       std::span<const std::int64_t> limits);
+
+  /// Release a counted grab.
+  void release_counted(std::span<const LinkId> path);
+
+  /// Unconditional count increment along `path` (best-effort sharing).
+  void join(std::span<const LinkId> path);
+  /// Inverse of join.
+  void leave(std::span<const LinkId> path);
+
+  /// Bandwidth currently committed on the link.
+  [[nodiscard]] double used(LinkId id) const;
+  /// Flows currently holding the link (any admission currency).
+  [[nodiscard]] std::int64_t count(LinkId id) const;
+  /// Largest concurrent flow count the link ever saw.
+  [[nodiscard]] std::int64_t peak_count(LinkId id) const;
+  [[nodiscard]] double capacity(LinkId id) const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Invariant audit: every link's committed bandwidth lies in
+  /// [0, capacity] (to a 1-ulp-scaled tolerance) and no flow count is
+  /// negative. Throws std::logic_error naming the violating link —
+  /// the engine's auditing hook calls this after every event.
+  void audit() const;
+
+ private:
+  struct LinkState {
+    double capacity = 0.0;
+    std::atomic<double> used{0.0};
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> peak{0};
+  };
+
+  LinkState& state(LinkId id);
+  const LinkState& state(LinkId id) const;
+  void bump_count(LinkState& link);
+
+  std::vector<LinkState> links_;
+};
+
+}  // namespace bevr::net2

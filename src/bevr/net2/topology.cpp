@@ -1,0 +1,237 @@
+#include "bevr/net2/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bevr::net2 {
+
+void Topology::add_link(NodeId a, NodeId b, double capacity) {
+  if (a < 0 || b < 0) {
+    throw std::invalid_argument("Topology: node ids must be >= 0");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Topology: self-loop on node " +
+                                std::to_string(a));
+  }
+  if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+    throw std::invalid_argument(
+        "Topology: link capacity must be finite and > 0");
+  }
+  if (a > b) std::swap(a, b);
+  if (find_link(a, b)) {
+    throw std::invalid_argument("Topology: duplicate link " +
+                                std::to_string(a) + "-" + std::to_string(b));
+  }
+  links_.push_back(Link{a, b, capacity});
+  max_node_ = std::max(max_node_, b);
+}
+
+const Link& Topology::link(LinkId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) {
+    throw std::out_of_range("Topology: unknown link id " + std::to_string(id));
+  }
+  return links_[static_cast<std::size_t>(id)];
+}
+
+std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].a == a && links_[i].b == b) {
+      return static_cast<LinkId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId node) const {
+  std::vector<NodeId> out;
+  for (const Link& link : links_) {
+    if (link.a == node) out.push_back(link.b);
+    if (link.b == node) out.push_back(link.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Topology::two_hop_intermediates(NodeId a, NodeId b) const {
+  std::vector<NodeId> out;
+  const NodeId nodes = static_cast<NodeId>(node_count());
+  for (NodeId w = 0; w < nodes; ++w) {
+    if (w == a || w == b) continue;
+    if (find_link(a, w) && find_link(w, b)) out.push_back(w);
+  }
+  return out;
+}
+
+std::optional<std::vector<LinkId>> Topology::shortest_path(NodeId a,
+                                                           NodeId b) const {
+  const NodeId nodes = static_cast<NodeId>(node_count());
+  if (a < 0 || b < 0 || a >= nodes || b >= nodes) {
+    throw std::invalid_argument("Topology: shortest_path on unknown node");
+  }
+  if (a == b) return std::vector<LinkId>{};
+  // BFS scanning nodes in ascending order each ring: the parent of any
+  // reached node is the lowest-numbered node at the previous depth, so
+  // the returned path is deterministic.
+  std::vector<LinkId> via(static_cast<std::size_t>(nodes), -1);
+  std::vector<NodeId> parent(static_cast<std::size_t>(nodes), -1);
+  std::vector<NodeId> frontier{a};
+  parent[static_cast<std::size_t>(a)] = a;
+  while (!frontier.empty() && parent[static_cast<std::size_t>(b)] < 0) {
+    std::vector<NodeId> next;
+    for (const NodeId node : frontier) {
+      for (const NodeId adj : neighbors(node)) {
+        auto& p = parent[static_cast<std::size_t>(adj)];
+        if (p >= 0) continue;
+        p = node;
+        via[static_cast<std::size_t>(adj)] = *find_link(node, adj);
+        next.push_back(adj);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (parent[static_cast<std::size_t>(b)] < 0) return std::nullopt;
+  std::vector<LinkId> path;
+  for (NodeId node = b; node != a;
+       node = parent[static_cast<std::size_t>(node)]) {
+    path.push_back(via[static_cast<std::size_t>(node)]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kTwoNode: return "two_node";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kFullMesh: return "full_mesh";
+    case TopologyKind::kFile: return "file";
+  }
+  throw std::invalid_argument("to_string: unknown TopologyKind");
+}
+
+void TopologySpec::validate() const {
+  if (kind == TopologyKind::kFile) {
+    if (path.empty()) {
+      throw std::invalid_argument("TopologySpec: file topologies need a path");
+    }
+    return;  // remaining knobs are synthetic-only
+  }
+  if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+    throw std::invalid_argument(
+        "TopologySpec: capacity must be finite and > 0");
+  }
+  const int min_nodes = kind == TopologyKind::kTwoNode ? 2 : 3;
+  if (kind != TopologyKind::kTwoNode &&
+      (nodes < min_nodes || nodes > kMaxNodeId)) {
+    throw std::invalid_argument("TopologySpec: " + to_string(kind) +
+                                " needs between 3 and " +
+                                std::to_string(kMaxNodeId) + " nodes");
+  }
+}
+
+Topology build_topology(const TopologySpec& spec) {
+  spec.validate();
+  Topology topology;
+  switch (spec.kind) {
+    case TopologyKind::kTwoNode:
+      topology.add_link(0, 1, spec.capacity);
+      break;
+    case TopologyKind::kRing:
+      for (int i = 0; i < spec.nodes; ++i) {
+        topology.add_link(i, (i + 1) % spec.nodes, spec.capacity);
+      }
+      break;
+    case TopologyKind::kStar:
+      for (int leaf = 1; leaf < spec.nodes; ++leaf) {
+        topology.add_link(0, leaf, spec.capacity);
+      }
+      break;
+    case TopologyKind::kFullMesh:
+      for (int a = 0; a < spec.nodes; ++a) {
+        for (int b = a + 1; b < spec.nodes; ++b) {
+          topology.add_link(a, b, spec.capacity);
+        }
+      }
+      break;
+    case TopologyKind::kFile:
+      return load_topology(spec.path);
+  }
+  return topology;
+}
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t line_number, const std::string& what) {
+  std::ostringstream msg;
+  msg << "parse_topology: line " << line_number << ": " << what;
+  throw std::invalid_argument(msg.str());
+}
+
+NodeId parse_node(std::istringstream& fields, std::size_t line_number,
+                  const char* name) {
+  // Read as double first so "1.5" and "1e3" are rejected as non-
+  // integers rather than silently truncated, and "-1" gets the range
+  // error instead of wrapping.
+  double value = 0.0;
+  if (!(fields >> value)) {
+    bad_line(line_number, std::string("missing or non-numeric ") + name);
+  }
+  if (!std::isfinite(value) || value < 0.0 ||
+      value > static_cast<double>(kMaxNodeId) ||
+      value != std::floor(value)) {
+    bad_line(line_number, std::string(name) + " must be an integer in [0, " +
+                              std::to_string(kMaxNodeId) + "]");
+  }
+  return static_cast<NodeId>(value);
+}
+
+}  // namespace
+
+Topology parse_topology(std::istream& in) {
+  Topology topology;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    const NodeId a = parse_node(fields, line_number, "first node id");
+    const NodeId b = parse_node(fields, line_number, "second node id");
+    double capacity = 0.0;
+    if (!(fields >> capacity)) {
+      bad_line(line_number, "missing or non-numeric capacity");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      bad_line(line_number, "trailing field '" + extra + "'");
+    }
+    try {
+      topology.add_link(a, b, capacity);
+    } catch (const std::invalid_argument& error) {
+      bad_line(line_number, error.what());
+    }
+  }
+  return topology;
+}
+
+Topology load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("load_topology: cannot open '" + path + "'");
+  }
+  Topology topology = parse_topology(in);
+  if (topology.link_count() == 0) {
+    throw std::invalid_argument("load_topology: '" + path +
+                                "' contains no links");
+  }
+  return topology;
+}
+
+}  // namespace bevr::net2

@@ -1,0 +1,119 @@
+// Multi-link network topologies for the network-axis comparison.
+//
+// The paper's single shared link becomes a graph: undirected links
+// with capacities, nodes identified by dense indices, and paths as
+// ordered link sequences. Calls between a node pair occupy bandwidth
+// on every link of their path, so blocking on one link cascades into
+// rerouting load on the others — exactly the effect the single-link
+// analysis cannot see.
+//
+// Topologies come from declarative specs (two-node, ring, star,
+// fully-connected mesh) or from files, and the file reader is a
+// hostile-input surface hardened like the admission trace reader
+// (tests/net2/test_topology_hostile.cpp): truncated lines, duplicate
+// links, self-loops, zero/negative/non-finite capacities, node-count
+// blow-ups and garbage bytes all raise std::invalid_argument naming
+// the offending line, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bevr::net2 {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+/// One undirected link. Endpoints are normalised a < b at insertion.
+struct Link {
+  NodeId a = -1;
+  NodeId b = -1;
+  double capacity = 0.0;
+};
+
+/// An immutable undirected multigraph-free graph with link capacities.
+class Topology {
+ public:
+  /// Throws std::invalid_argument for self-loops, duplicate links,
+  /// negative node ids, or capacities that are not finite and > 0.
+  void add_link(NodeId a, NodeId b, double capacity);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return static_cast<std::size_t>(max_node_ + 1);
+  }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// The link joining `a` and `b` (order-insensitive), if any.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  /// Nodes adjacent to `node`, in ascending order.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// Two-hop alternate intermediates for the pair (a, b): every node w
+  /// distinct from both endpoints with links a–w and w–b, ascending.
+  /// The DAR policy overflows blocked direct calls onto one of these.
+  [[nodiscard]] std::vector<NodeId> two_hop_intermediates(NodeId a,
+                                                          NodeId b) const;
+
+  /// Deterministic min-hop path from `a` to `b` as an ordered link-id
+  /// sequence (BFS with ties broken toward the lowest-numbered
+  /// predecessor, so the answer is a pure function of the topology);
+  /// nullopt when unreachable, empty when a == b.
+  [[nodiscard]] std::optional<std::vector<LinkId>> shortest_path(
+      NodeId a, NodeId b) const;
+
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+ private:
+  std::vector<Link> links_;
+  NodeId max_node_ = -1;
+};
+
+enum class TopologyKind {
+  kTwoNode,  ///< one link — the paper's single-link setting
+  kRing,     ///< N nodes in a cycle
+  kStar,     ///< hub node 0, leaves 1..N-1
+  kFullMesh, ///< every pair directly linked (the symmetric DAR setting)
+  kFile,     ///< loaded from `path`
+};
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+
+/// Declarative recipe for a topology. Synthetic kinds share one
+/// capacity across all links (the symmetric setting the mean-field
+/// fixed point analyses).
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kFullMesh;
+  int nodes = 6;            ///< ignored by kTwoNode (always 2) and kFile
+  double capacity = 10.0;   ///< per-link bandwidth (synthetic kinds)
+  std::string path;         ///< required iff kind == kFile
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Materialise the spec. Deterministic: the i-th link of a synthetic
+/// topology is a pure function of (kind, nodes, capacity).
+[[nodiscard]] Topology build_topology(const TopologySpec& spec);
+
+/// Parse a topology from a stream: one link per line as three
+/// whitespace-separated fields `a b capacity` (node ids are
+/// nonnegative integers). Blank lines and lines starting with '#' are
+/// skipped. Any malformed line raises std::invalid_argument with its
+/// line number; so do duplicate links, self-loops, non-positive or
+/// non-finite capacities, and node ids past kMaxNodeId.
+[[nodiscard]] Topology parse_topology(std::istream& in);
+
+/// parse_topology over the named file; throws std::invalid_argument
+/// when the file cannot be opened or parses to zero links.
+[[nodiscard]] Topology load_topology(const std::string& path);
+
+/// Hostile-input guard: the largest node id a topology file may name
+/// (caps the dense node table a hostile file could otherwise blow up).
+inline constexpr NodeId kMaxNodeId = 1 << 20;
+
+}  // namespace bevr::net2

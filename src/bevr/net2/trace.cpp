@@ -1,0 +1,102 @@
+#include "bevr/net2/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bevr::net2 {
+
+void NetTraceSpec::validate() const {
+  if (!(pair_arrival_rate > 0.0) || !std::isfinite(pair_arrival_rate)) {
+    throw std::invalid_argument(
+        "NetTraceSpec: pair_arrival_rate must be finite and > 0");
+  }
+  if (!(mean_duration > 0.0) || !std::isfinite(mean_duration)) {
+    throw std::invalid_argument(
+        "NetTraceSpec: mean_duration must be finite and > 0");
+  }
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("NetTraceSpec: rate must be finite and > 0");
+  }
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("NetTraceSpec: horizon must be finite and > 0");
+  }
+}
+
+NetTrace generate_net_trace(const Topology& topology, const NetTraceSpec& spec,
+                            const sim::Rng& root) {
+  spec.validate();
+  if (topology.link_count() == 0) {
+    throw std::invalid_argument("generate_net_trace: topology has no links");
+  }
+  NetTrace trace;
+  trace.horizon = spec.horizon;
+  const double mean_gap = 1.0 / spec.pair_arrival_rate;
+  const NodeId nodes = static_cast<NodeId>(topology.node_count());
+  for (NodeId src = 0; src < nodes; ++src) {
+    for (NodeId dst = src + 1; dst < nodes; ++dst) {
+      if (!topology.shortest_path(src, dst)) continue;  // disconnected pair
+      // The pair's stream id is the Szudzik pairing of (src, dst) —
+      // independent of the node count, so growing the topology never
+      // perturbs the arrival times of the pairs that remain. Field
+      // sub-streams per pair: 0 interarrivals, 1 durations, 2 route
+      // draws; a later field gets stream 3 without perturbing these.
+      const std::uint64_t pair_stream =
+          static_cast<std::uint64_t>(dst) * static_cast<std::uint64_t>(dst) +
+          static_cast<std::uint64_t>(src);
+      const sim::Rng pair_root = root.split(pair_stream);
+      sim::Rng interarrivals = pair_root.split(0);
+      sim::Rng durations = pair_root.split(1);
+      sim::Rng route_draws = pair_root.split(2);
+      double at = 0.0;
+      for (;;) {
+        at += interarrivals.exponential(mean_gap);
+        if (at > spec.horizon) break;
+        NetFlowRequest req;
+        req.src = src;
+        req.dst = dst;
+        req.submit = at;
+        req.duration = durations.exponential(spec.mean_duration);
+        req.rate = spec.rate;
+        req.route_draw = route_draws.engine()();
+        trace.requests.push_back(req);
+      }
+    }
+  }
+  // Pair-major generation, submit-ordered replay. Stable sort keeps
+  // simultaneous submits in pair order, which the goldens pin.
+  std::stable_sort(trace.requests.begin(), trace.requests.end(),
+                   [](const NetFlowRequest& a, const NetFlowRequest& b) {
+                     return a.submit < b.submit;
+                   });
+  return trace;
+}
+
+NetTrace from_single_link(const admission::ArrivalTrace& trace, NodeId src,
+                          NodeId dst) {
+  NetTrace out;
+  out.horizon = trace.horizon;
+  out.requests.reserve(trace.requests.size());
+  for (const admission::FlowRequest& req : trace.requests) {
+    if (req.start != req.submit) {
+      throw std::invalid_argument(
+          "from_single_link: network calls have no book-ahead "
+          "(start must equal submit)");
+    }
+    if (req.cancel < std::numeric_limits<double>::infinity()) {
+      throw std::invalid_argument(
+          "from_single_link: network calls have no pre-start cancellation");
+    }
+    NetFlowRequest net;
+    net.src = src;
+    net.dst = dst;
+    net.submit = req.submit;
+    net.duration = req.duration;
+    net.rate = req.rate;
+    out.requests.push_back(net);
+  }
+  return out;
+}
+
+}  // namespace bevr::net2

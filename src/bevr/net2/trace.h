@@ -1,0 +1,80 @@
+// Network arrival traces: one shared call sequence per experiment.
+//
+// Exactly like the single-link admission layer, every network policy
+// comparison replays one bit-identical trace: differences must come
+// from routing and admission, never from the draw. A NetTrace is the
+// admission trace generalised with an origin-destination pair per call
+// and a pre-drawn `route_draw` — the 64-bit random value a policy may
+// consume to make its routing choice (which two-hop alternate a
+// blocked DAR call tries). Pre-drawing it into the trace keeps the
+// choice identical across policies and thread counts: the draw is
+// part of the arrival data, not of the replay.
+//
+// Generation uses per-pair, per-field Rng::split sub-streams: the
+// pair (a, b) with a < b draws from root.split(b*b + a).split(field),
+// the Szudzik pairing making the stream id a pure function of the
+// endpoints. Growing the topology never perturbs the arrival times of
+// the pairs that remain, and changing one field's distribution never
+// perturbs the others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bevr/admission/trace.h"
+#include "bevr/net2/topology.h"
+#include "bevr/sim/rng.h"
+
+namespace bevr::net2 {
+
+/// One call as the network layer sees it: a bandwidth request between
+/// two nodes, arriving at `submit` and holding for `duration`.
+struct NetFlowRequest {
+  NodeId src = 0;
+  NodeId dst = 1;
+  double submit = 0.0;
+  double duration = 1.0;
+  double rate = 1.0;
+  std::uint64_t route_draw = 0;  ///< policy-consumable routing entropy
+};
+
+/// A materialised call sequence, sorted by submit time (stable within
+/// ties, in pair-major generation order).
+struct NetTrace {
+  std::vector<NetFlowRequest> requests;
+  double horizon = 0.0;
+};
+
+/// Recipe for a symmetric network trace: every connected node pair
+/// offers independent Poisson calls at `pair_arrival_rate` with
+/// exponential holding times.
+struct NetTraceSpec {
+  double pair_arrival_rate = 1.0;  ///< calls per time unit per pair
+  double mean_duration = 1.0;      ///< exponential holding-time mean
+  double rate = 1.0;               ///< bandwidth each call requests
+  double horizon = 200.0;          ///< stop generating arrivals past this
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+};
+
+/// Generate a trace over every connected unordered node pair of the
+/// topology (so star and ring topologies offer calls on genuine
+/// multi-link paths, not just adjacent ones). Deterministic in
+/// (topology, spec, root.seed()); bit-identical per pair under
+/// pair-set growth.
+[[nodiscard]] NetTrace generate_net_trace(const Topology& topology,
+                                          const NetTraceSpec& spec,
+                                          const sim::Rng& root);
+
+/// Lift a single-link admission trace onto the pair (src, dst):
+/// identical submit/duration/rate sequence, submit==start semantics
+/// (book-ahead and cancellation do not exist on the network layer).
+/// The single-link equivalence tests replay one admission trace
+/// through both engines and require bit-identical outcomes. Throws
+/// std::invalid_argument for requests with book-ahead (start > submit)
+/// or pre-start cancellations.
+[[nodiscard]] NetTrace from_single_link(const admission::ArrivalTrace& trace,
+                                        NodeId src, NodeId dst);
+
+}  // namespace bevr::net2

@@ -18,6 +18,11 @@
 #include "bevr/dist/algebraic.h"
 #include "bevr/kernels/sweep_evaluator.h"
 #include "bevr/kernels/warm_kmax.h"
+#include "bevr/net2/engine.h"
+#include "bevr/net2/fixed_point.h"
+#include "bevr/net2/policy.h"
+#include "bevr/net2/topology.h"
+#include "bevr/net2/trace.h"
 #include "bevr/obs/metrics.h"
 #include "bevr/obs/trace.h"
 #include "bevr/runner/memoized_model.h"
@@ -298,6 +303,126 @@ Plan plan_admission(const ScenarioSpec& spec, const std::vector<double>& grid,
   }};
 }
 
+Plan plan_net2(const ScenarioSpec& spec, const std::vector<double>& grid,
+               std::vector<ResultRow>& rows, std::uint64_t base_seed,
+               bool use_kernels) {
+  auto pi = make_utility(spec);
+  const Net2Spec net = spec.net2;
+  return Plan{[&rows, &grid, pi, net, base_seed, use_kernels](std::int64_t i) {
+    const double x = grid[static_cast<std::size_t>(i)];
+    auto& values = rows[static_cast<std::size_t>(i)].values;
+
+    net2::MeanFieldSpec mf;
+    mf.capacity = static_cast<std::int64_t>(net.capacity + 0.5);
+    mf.trunk_reserve = static_cast<std::int64_t>(net.trunk_reserve + 0.5);
+    mf.damping = net.mf_damping;
+    mf.tolerance = net.mf_tolerance;
+
+    if (net.sweep == Net2Sweep::kMeanFieldScale) {
+      // The grid is per-link capacity; place the per-pair load at the
+      // capacity's erlang_b_offered_load operating point so every
+      // point sits at the same relative congestion.
+      mf.capacity = static_cast<std::int64_t>(x + 0.5);
+      mf.pair_load = numerics::erlang_b_offered_load(mf.capacity,
+                                                     net.mf_target_blocking);
+      const auto result = net2::evaluate_mean_field(mf);
+      values = {static_cast<double>(mf.capacity),
+                mf.pair_load,
+                result.blocking_direct,
+                result.blocking_alternate,
+                result.blocking,
+                result.overflow_load,
+                static_cast<double>(result.iterations)};
+      return;
+    }
+
+    // Simulation sweeps: per-task trace from an index-keyed sub-stream
+    // — bit-identical at any thread count, and identical for every
+    // policy replaying it.
+    net2::TopologySpec tspec;
+    tspec.kind = net.topology;
+    tspec.nodes = net.sweep == Net2Sweep::kNodes
+                      ? static_cast<int>(x + 0.5)
+                      : net.nodes;
+    tspec.capacity = net.capacity;
+    const net2::Topology topology = net2::build_topology(tspec);
+
+    net2::NetTraceSpec trace_spec = net.trace;
+    if (net.sweep != Net2Sweep::kNodes) {
+      // The grid is offered erlangs per pair a = λ·τ; with τ fixed
+      // this is λ.
+      trace_spec.pair_arrival_rate = x / trace_spec.mean_duration;
+    }
+    const sim::Rng root(base_seed);
+    const auto trace = net2::generate_net_trace(
+        topology, trace_spec, root.split(static_cast<std::uint64_t>(i)));
+    net2::NetEngineConfig engine_config;
+    engine_config.warmup = net.warmup;
+
+    net2::NetPolicyConfig pc;
+    pc.pi = pi;
+    pc.use_warm_kmax = use_kernels;
+    const auto run_policy = [&](net2::NetPolicyKind kind,
+                                double trunk_reserve) {
+      pc.trunk_reserve = trunk_reserve;
+      const auto policy = net2::make_net_policy(kind, topology, pc);
+      return net2::run_network(trace, *policy, *pi, engine_config);
+    };
+
+    if (net.sweep == Net2Sweep::kPairLoad) {
+      const auto best_effort =
+          run_policy(net2::NetPolicyKind::kBestEffort, 0.0);
+      const auto reserved =
+          run_policy(net2::NetPolicyKind::kDirectReservation, 0.0);
+      const auto dar0 = run_policy(net2::NetPolicyKind::kDar, 0.0);
+      const auto dar_r =
+          run_policy(net2::NetPolicyKind::kDar, net.trunk_reserve);
+      const double alt_share =
+          dar_r.offered > 0 ? static_cast<double>(dar_r.alternate_routed) /
+                                  static_cast<double>(dar_r.offered)
+                            : 0.0;
+      values = {x,
+                best_effort.mean_utility,
+                reserved.mean_utility,
+                dar0.mean_utility,
+                dar_r.mean_utility,
+                reserved.blocking_probability,
+                dar0.blocking_probability,
+                dar_r.blocking_probability,
+                alt_share};
+      return;
+    }
+
+    // kMeanFieldCheck / kNodes: DAR at r against the fixed point.
+    const auto dar = run_policy(net2::NetPolicyKind::kDar, net.trunk_reserve);
+    mf.pair_load = trace_spec.pair_arrival_rate * trace_spec.mean_duration;
+    const auto model = net2::evaluate_mean_field(mf);
+    const double abs_error =
+        std::abs(dar.blocking_probability - model.blocking);
+    if (net.sweep == Net2Sweep::kNodes) {
+      values = {static_cast<double>(tspec.nodes), dar.blocking_probability,
+                model.blocking, abs_error};
+      return;
+    }
+    // 3σ binomial half-width at the model's blocking probability over
+    // the effective number of independent observations: scored
+    // holding-time epochs per pair times the pair count (arrivals
+    // within one holding time see nearly the same occupancy, so
+    // per-arrival indicators are strongly correlated).
+    const std::size_t nodes = topology.node_count();
+    const double pairs = static_cast<double>(nodes * (nodes - 1) / 2);
+    const double epochs = pairs * (trace_spec.horizon - net.warmup) /
+                          trace_spec.mean_duration;
+    const double ci3 =
+        epochs > 0.0
+            ? 3.0 * std::sqrt(model.blocking * (1.0 - model.blocking) /
+                              epochs)
+            : std::numeric_limits<double>::infinity();
+    values = {mf.pair_load, dar.blocking_probability, model.blocking,
+              abs_error, ci3};
+  }};
+}
+
 }  // namespace
 
 std::shared_ptr<MemoizedVariableLoad> make_memoized_model(
@@ -351,6 +476,24 @@ std::vector<std::string> scenario_columns(const ScenarioSpec& spec) {
                   "advance_cancelled"};
       }
       throw std::invalid_argument("scenario_columns: unknown admission sweep");
+    case ModelKind::kNet2:
+      switch (spec.net2.sweep) {
+        case Net2Sweep::kPairLoad:
+          return {"pair_load",        "best_effort_util", "reserved_util",
+                  "dar_util_r0",      "dar_util_r",       "reserved_blocking",
+                  "dar_blocking_r0",  "dar_blocking_r",   "dar_alt_share_r"};
+        case Net2Sweep::kMeanFieldCheck:
+          return {"pair_load", "sim_blocking", "meanfield_blocking",
+                  "abs_error", "ci3"};
+        case Net2Sweep::kNodes:
+          return {"nodes", "sim_blocking", "meanfield_blocking", "abs_error"};
+        case Net2Sweep::kMeanFieldScale:
+          return {"capacity",           "pair_load",
+                  "blocking_direct",    "blocking_alternate",
+                  "meanfield_blocking", "overflow_load",
+                  "iterations"};
+      }
+      throw std::invalid_argument("scenario_columns: unknown net2 sweep");
   }
   throw std::invalid_argument("scenario_columns: unknown model kind");
 }
@@ -458,6 +601,9 @@ RunSummary run_scenario(const ScenarioSpec& spec, const RunOptions& options,
         case ModelKind::kAdmission:
           return plan_admission(spec, grid, rows, options.base_seed,
                                 options.use_kernels);
+        case ModelKind::kNet2:
+          return plan_net2(spec, grid, rows, options.base_seed,
+                           options.use_kernels);
       }
       throw std::invalid_argument("run_scenario: unknown model kind");
     }();

@@ -39,6 +39,17 @@ std::string to_string(ModelKind kind) {
     case ModelKind::kWelfare: return "welfare";
     case ModelKind::kSimulation: return "simulation";
     case ModelKind::kAdmission: return "admission";
+    case ModelKind::kNet2: return "net2";
+  }
+  return "?";
+}
+
+std::string to_string(Net2Sweep sweep) {
+  switch (sweep) {
+    case Net2Sweep::kPairLoad: return "pair_load";
+    case Net2Sweep::kMeanFieldCheck: return "meanfield_check";
+    case Net2Sweep::kNodes: return "nodes";
+    case Net2Sweep::kMeanFieldScale: return "meanfield_scale";
   }
   return "?";
 }
@@ -117,6 +128,72 @@ void ScenarioSpec::validate() const {
       throw std::invalid_argument(
           "ScenarioSpec '" + name +
           "': admission warmup must lie in [0, trace horizon)");
+    }
+  }
+  if (model == ModelKind::kNet2) {
+    net2.trace.validate();  // swept field is overridden per point
+    if (util == UtilityFamily::kElastic) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': net2 scenarios need an inelastic utility (the per-link "
+          "reservation policy has no k_max for elastic apps)");
+    }
+    if (!(net2.capacity > 0.0) || !std::isfinite(net2.capacity)) {
+      throw std::invalid_argument("ScenarioSpec '" + name +
+                                  "': net2 capacity must be finite and > 0");
+    }
+    if (!(net2.trunk_reserve >= 0.0) || !(net2.trunk_reserve < net2.capacity)) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': net2 trunk_reserve must lie in [0, capacity)");
+    }
+    if (net2.sweep != Net2Sweep::kMeanFieldScale &&
+        (!(net2.warmup >= 0.0) || !(net2.warmup < net2.trace.horizon))) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': net2 warmup must lie in [0, trace horizon)");
+    }
+    if (net2.sweep != Net2Sweep::kMeanFieldScale &&
+        net2.sweep != Net2Sweep::kNodes) {
+      net2::TopologySpec tspec;
+      tspec.kind = net2.topology;
+      tspec.nodes = net2.nodes;
+      tspec.capacity = net2.capacity;
+      tspec.validate();
+    }
+    const bool mean_field = net2.sweep != Net2Sweep::kPairLoad;
+    if (mean_field) {
+      if (net2.topology != net2::TopologyKind::kFullMesh) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + name +
+            "': mean-field net2 sweeps require the full-mesh topology");
+      }
+      if (net2.capacity != std::floor(net2.capacity) ||
+          net2.trunk_reserve != std::floor(net2.trunk_reserve)) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + name +
+            "': mean-field net2 sweeps need integral capacity and "
+            "trunk_reserve (unit circuits)");
+      }
+      if (net2.trace.rate != 1.0) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + name +
+            "': mean-field net2 sweeps model unit-rate circuits");
+      }
+      if (!(net2.mf_damping > 0.0) || !(net2.mf_damping <= 1.0) ||
+          !(net2.mf_tolerance > 0.0)) {
+        throw std::invalid_argument(
+            "ScenarioSpec '" + name +
+            "': net2 mean-field damping must lie in (0, 1] and tolerance "
+            "must be > 0");
+      }
+    }
+    if (net2.sweep == Net2Sweep::kMeanFieldScale &&
+        (!(net2.mf_target_blocking > 0.0) ||
+         !(net2.mf_target_blocking < 1.0))) {
+      throw std::invalid_argument(
+          "ScenarioSpec '" + name +
+          "': net2 mf_target_blocking must lie in (0, 1)");
     }
   }
 }
@@ -404,6 +481,64 @@ ScenarioRegistry build_paper_suite() {
     spec.admission.trace.cancel_p = 0.0;
     spec.admission.trace.horizon = 400.0;
     spec.admission.warmup = 50.0;
+    registry.add(spec);
+  }
+
+  // Network (net2) scenarios: multi-link policies replayed on
+  // bit-identical traces per grid point, validated against the Erlang
+  // fixed point, plus a pure mean-field sweep that reaches operating
+  // points the simulator cannot.
+  {
+    ScenarioSpec spec;
+    spec.name = "net2_policy_load";
+    spec.description =
+        "Net2: best effort vs per-link reservation vs DAR (r=0 and r=2) "
+        "across per-pair load, full mesh N=6 (shared traces)";
+    spec.model = ModelKind::kNet2;
+    spec.util = UtilityFamily::kRigid;
+    spec.util_param = 1.0;
+    spec.grid = GridSpec{2.0, 14.0, 7, false};
+    spec.net2.sweep = Net2Sweep::kPairLoad;
+    spec.net2.topology = net2::TopologyKind::kFullMesh;
+    spec.net2.nodes = 6;
+    spec.net2.capacity = 10.0;
+    spec.net2.trunk_reserve = 2.0;
+    spec.net2.trace.mean_duration = 1.0;
+    spec.net2.trace.rate = 1.0;
+    spec.net2.trace.horizon = 200.0;
+    spec.net2.warmup = 20.0;
+    registry.add(spec);
+
+    spec.name = "net2_fixed_point_check";
+    spec.description =
+        "Net2: DAR (r=2) simulation blocking vs Erlang fixed point across "
+        "per-pair load, full mesh N=8";
+    spec.grid = GridSpec{4.0, 10.0, 4, false};
+    spec.net2.sweep = Net2Sweep::kMeanFieldCheck;
+    spec.net2.nodes = 8;
+    spec.net2.trace.horizon = 400.0;
+    spec.net2.warmup = 40.0;
+    registry.add(spec);
+
+    spec.name = "net2_blocking_vs_n";
+    spec.description =
+        "Net2: DAR (r=2) blocking vs node count against the N-independent "
+        "mean-field limit (Fayolle et al. asymptotics)";
+    spec.grid = GridSpec{4.0, 10.0, 4, false};
+    spec.net2.sweep = Net2Sweep::kNodes;
+    spec.net2.trace.pair_arrival_rate = 7.0;
+    spec.net2.trace.horizon = 300.0;
+    spec.net2.warmup = 30.0;
+    registry.add(spec);
+
+    spec.name = "net2_meanfield_scale";
+    spec.description =
+        "Net2: pure Erlang fixed point across link capacity with per-pair "
+        "load placed at 1% Erlang-B blocking (the millions-of-flows path)";
+    spec.grid = GridSpec{10.0, 10000.0, 7, true};
+    spec.net2.sweep = Net2Sweep::kMeanFieldScale;
+    spec.net2.trunk_reserve = 2.0;
+    spec.net2.mf_target_blocking = 0.01;
     registry.add(spec);
   }
 

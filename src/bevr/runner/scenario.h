@@ -19,6 +19,7 @@
 #include "bevr/core/continuum.h"
 #include "bevr/core/variable_load.h"
 #include "bevr/dist/discrete.h"
+#include "bevr/net2/trace.h"
 #include "bevr/utility/utility.h"
 
 namespace bevr::runner {
@@ -38,6 +39,7 @@ enum class ModelKind {
   kWelfare,        ///< C(p), W(p), γ(p) per price (§4)
   kSimulation,     ///< flow-level sim vs model per capacity
   kAdmission,      ///< admission policies on shared arrival traces
+  kNet2,           ///< multi-link network policies / mean-field evaluator
 };
 
 /// Which knob an admission scenario sweeps over its grid.
@@ -63,6 +65,46 @@ struct AdmissionSpec {
   double min_rate_fraction = 0.5;
   double max_start_shift = 2.0;
   double shift_step = 0.5;
+};
+
+/// Which knob a network (net2) scenario sweeps over its grid.
+enum class Net2Sweep {
+  /// Per-pair offered load (erlangs); compares best effort, per-link
+  /// reservation, and DAR at r = 0 and r = trunk_reserve on one
+  /// bit-identical trace per point — the network fig2 analogue.
+  kPairLoad,
+  /// Per-pair offered load; DAR simulation blocking vs the Erlang
+  /// fixed point at the same (C, a, r), with a 3σ half-width column.
+  kMeanFieldCheck,
+  /// Node count N (rounded to the nearest integer); simulation
+  /// blocking against the N-independent mean-field limit — the
+  /// Fayolle et al. large-network asymptotics check.
+  kNodes,
+  /// Per-link capacity C (rounded); pure fixed-point sweep with the
+  /// per-pair load placed at `mf_target_blocking` Erlang-B blocking
+  /// via erlang_b_offered_load — the analytic path to operating
+  /// points far beyond what the simulator can replay.
+  kMeanFieldScale,
+};
+
+[[nodiscard]] std::string to_string(Net2Sweep sweep);
+
+/// Network-scenario knobs (ModelKind::kNet2). The grid value overrides
+/// the swept field per point; everything else is shared, so each grid
+/// point replays its policies on one bit-identical trace.
+struct Net2Spec {
+  net2::TopologyKind topology = net2::TopologyKind::kFullMesh;
+  int nodes = 6;           ///< synthetic-topology node count
+  double capacity = 10.0;  ///< per-link circuits (integral for mean field)
+  net2::NetTraceSpec trace;
+  Net2Sweep sweep = Net2Sweep::kPairLoad;
+  double warmup = 20.0;       ///< calls submitting earlier are unscored
+  double trunk_reserve = 2.0; ///< DAR r (integral circuits)
+  /// Mean-field iteration knobs (kMeanFieldCheck/kNodes/kMeanFieldScale).
+  double mf_damping = 0.5;
+  double mf_tolerance = 1e-12;
+  /// kMeanFieldScale: Erlang-B blocking the per-pair load is placed at.
+  double mf_target_blocking = 0.01;
 };
 
 [[nodiscard]] std::string to_string(LoadFamily family);
@@ -111,6 +153,9 @@ struct ScenarioSpec {
 
   /// Admission-only knobs (ModelKind::kAdmission).
   AdmissionSpec admission;
+
+  /// Network-only knobs (ModelKind::kNet2).
+  Net2Spec net2;
 
   /// Throws std::invalid_argument with a precise message when the spec
   /// is not executable (bad grid, unsupported model/family combo, ...).

@@ -19,6 +19,9 @@
 #ifndef BEVR_BENCH_BINARY
 #error "BEVR_BENCH_BINARY must be defined to the bevr_bench path"
 #endif
+#ifndef BEVR_DAR_STUDY_BINARY
+#error "BEVR_DAR_STUDY_BINARY must be defined to the dar_network_study path"
+#endif
 
 namespace {
 
@@ -132,6 +135,57 @@ TEST(BevrBenchHostile, HostileBaselineArtifact) {
       " --json-out /tmp/bevr_cli_hostile_artifact.json");
   EXPECT_EQ(result.exit_code, 2) << result.output;
   EXPECT_NE(result.output.find("json parse error"), std::string::npos)
+      << result.output;
+}
+
+TEST(DarStudyHostile, UnknownFlagsAndMissingValues) {
+  expect_usage_exit(BEVR_DAR_STUDY_BINARY, "--frobnicate",
+                    "unknown argument");
+  expect_usage_exit(BEVR_DAR_STUDY_BINARY, "extra_positional",
+                    "unknown argument");
+  expect_usage_exit(BEVR_DAR_STUDY_BINARY, "--topology",
+                    "--topology needs a file path");
+}
+
+TEST(DarStudyHostile, MissingTopologyFile) {
+  expect_usage_exit(BEVR_DAR_STUDY_BINARY,
+                    "--topology /nonexistent/bevr/topo.txt", "error:");
+}
+
+TEST(DarStudyHostile, MalformedTopologyFilesExitTwoNamingTheLine) {
+  const std::string dir = ::testing::TempDir();
+  const auto write_and_expect = [&](const char* name, const char* contents,
+                                    const char* needle) {
+    const std::string path = dir + name;
+    FILE* out = std::fopen(path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    std::fputs(contents, out);
+    std::fclose(out);
+    expect_usage_exit(BEVR_DAR_STUDY_BINARY, "--topology " + path, needle);
+    std::remove(path.c_str());
+  };
+  write_and_expect("bevr_cli_topo_truncated.txt", "0 1 10\n2 3\n", "line 2");
+  write_and_expect("bevr_cli_topo_dup.txt", "0 1 10\n1 0 4\n", "line 2");
+  write_and_expect("bevr_cli_topo_selfloop.txt", "2 2 10\n", "line 1");
+  write_and_expect("bevr_cli_topo_zero_cap.txt", "0 1 0\n", "line 1");
+  write_and_expect("bevr_cli_topo_garbage.txt", "\x01\xff garbage\n",
+                   "line 1");
+  write_and_expect("bevr_cli_topo_empty.txt", "# only comments\n",
+                   "no links");
+}
+
+TEST(DarStudyHostile, WellFormedTopologyFileRuns) {
+  const std::string path = ::testing::TempDir() + "bevr_cli_topo_ok.txt";
+  FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  // A 4-node ring: multi-hop routes, no alternates for adjacent pairs.
+  std::fputs("0 1 10\n1 2 10\n2 3 10\n0 3 10\n", out);
+  std::fclose(out);
+  const CommandResult result = run_command(
+      std::string(BEVR_DAR_STUDY_BINARY) + " --topology " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("4 nodes, 4 links"), std::string::npos)
       << result.output;
 }
 

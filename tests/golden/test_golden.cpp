@@ -96,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(
 // The registry must stay covered: a scenario added without a golden
 // fails here, not silently.
 TEST(GoldenSuite, RegistryFullyCovered) {
-  EXPECT_EQ(ScenarioRegistry::builtin().all().size(), 22u);
+  EXPECT_EQ(ScenarioRegistry::builtin().all().size(), 26u);
   for (const ScenarioSpec& spec : ScenarioRegistry::builtin().all()) {
     EXPECT_FALSE(read_golden(spec.name).empty()) << spec.name;
   }

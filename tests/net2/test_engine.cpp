@@ -1,0 +1,168 @@
+// Network engine choreography: scoring, warmup, counters, the
+// invariant-auditing sink, and input validation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "bevr/net2/engine.h"
+#include "bevr/net2/policy.h"
+#include "bevr/net2/topology.h"
+#include "bevr/net2/trace.h"
+#include "bevr/sim/rng.h"
+#include "bevr/utility/utility.h"
+
+namespace bevr::net2 {
+namespace {
+
+using utility::Rigid;
+
+NetPolicyConfig rigid_config(double trunk_reserve = 0.0) {
+  NetPolicyConfig config;
+  config.pi = std::make_shared<Rigid>(1.0);
+  config.trunk_reserve = trunk_reserve;
+  return config;
+}
+
+NetFlowRequest call(NodeId src, NodeId dst, double submit, double duration) {
+  NetFlowRequest req;
+  req.src = src;
+  req.dst = dst;
+  req.submit = submit;
+  req.duration = duration;
+  return req;
+}
+
+TEST(RunNetwork, ScoresAdmittedAndBlockedCalls) {
+  const Topology t = build_topology({TopologyKind::kTwoNode, 2, 2.0, {}});
+  auto policy = make_net_policy(NetPolicyKind::kDar, t, rigid_config());
+  NetTrace trace;
+  trace.horizon = 10.0;
+  // Two overlapping calls fill the link; the third is blocked; the
+  // fourth arrives after a departure and is admitted again.
+  trace.requests = {call(0, 1, 0.0, 5.0), call(0, 1, 1.0, 1.0),
+                    call(0, 1, 1.5, 1.0), call(0, 1, 3.0, 1.0)};
+  const Rigid pi(1.0);
+  const NetReport report = run_network(trace, *policy, pi);
+  EXPECT_EQ(report.offered, 4u);
+  EXPECT_EQ(report.admitted, 3u);
+  EXPECT_EQ(report.blocked, 1u);
+  EXPECT_EQ(report.alternate_routed, 0u);
+  EXPECT_DOUBLE_EQ(report.blocking_probability, 0.25);
+  // Rigid π scores 1 for each served call, 0 for the blocked one.
+  EXPECT_DOUBLE_EQ(report.mean_utility, 0.75);
+  EXPECT_DOUBLE_EQ(report.mean_allocated_rate, 1.0);
+  EXPECT_EQ(report.peak_active, 2u);
+  EXPECT_EQ(report.peak_link_count, 2);
+}
+
+TEST(RunNetwork, WarmupCallsShapeLoadButAreNotScored) {
+  const Topology t = build_topology({TopologyKind::kTwoNode, 2, 1.0, {}});
+  auto policy = make_net_policy(NetPolicyKind::kDar, t, rigid_config());
+  NetTrace trace;
+  trace.horizon = 10.0;
+  // The warmup call occupies the link when the scored call arrives.
+  trace.requests = {call(0, 1, 0.5, 5.0), call(0, 1, 2.0, 1.0)};
+  const Rigid pi(1.0);
+  NetEngineConfig config;
+  config.warmup = 1.0;
+  const NetReport report = run_network(trace, *policy, pi, config);
+  EXPECT_EQ(report.offered, 1u);
+  EXPECT_EQ(report.blocked, 1u);  // blocked by the unscored warmup call
+  EXPECT_DOUBLE_EQ(report.blocking_probability, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_utility, 0.0);
+  EXPECT_EQ(report.peak_link_count, 1);  // warmup still counts here
+}
+
+TEST(RunNetwork, CountsAlternateRoutedCalls) {
+  const Topology t = build_topology({TopologyKind::kFullMesh, 3, 1.0, {}});
+  auto policy = make_net_policy(NetPolicyKind::kDar, t, rigid_config());
+  NetTrace trace;
+  trace.horizon = 10.0;
+  trace.requests = {call(0, 1, 0.0, 4.0),   // direct
+                    call(0, 1, 1.0, 1.0),   // overflows via node 2
+                    call(0, 1, 1.5, 1.0)};  // alternates full: lost
+  const Rigid pi(1.0);
+  const NetReport report = run_network(trace, *policy, pi);
+  EXPECT_EQ(report.admitted, 2u);
+  EXPECT_EQ(report.alternate_routed, 1u);
+  EXPECT_EQ(report.blocked, 1u);
+}
+
+TEST(RunNetwork, AuditSinkAcceptsEveryEventOnAHotMesh) {
+  // A saturated mesh drives thousands of admit/overflow/release events
+  // through each policy; the per-event audit must never fire.
+  const Topology t = build_topology({TopologyKind::kFullMesh, 4, 5.0, {}});
+  NetTraceSpec spec;
+  spec.pair_arrival_rate = 8.0;  // well past per-link capacity
+  spec.horizon = 60.0;
+  const NetTrace trace = generate_net_trace(t, spec, sim::Rng(21));
+  const Rigid pi(1.0);
+  NetEngineConfig config;
+  config.audit = true;
+  for (const NetPolicyKind kind :
+       {NetPolicyKind::kBestEffort, NetPolicyKind::kDirectReservation,
+        NetPolicyKind::kDar}) {
+    auto policy = make_net_policy(kind, t, rigid_config(1.0));
+    const NetReport report = run_network(trace, *policy, pi, config);
+    EXPECT_GT(report.offered, 0u) << to_string(kind);
+    if (kind != NetPolicyKind::kBestEffort) {
+      // Capacity 5 per link: the audit plus the peak witness agree.
+      EXPECT_LE(policy->ledger().peak_count(0), 5) << to_string(kind);
+    }
+  }
+}
+
+TEST(RunNetwork, DeterministicAcrossRepeatedRuns) {
+  const Topology t = build_topology({TopologyKind::kFullMesh, 4, 10.0, {}});
+  NetTraceSpec spec;
+  spec.pair_arrival_rate = 6.0;
+  spec.horizon = 80.0;
+  const NetTrace trace = generate_net_trace(t, spec, sim::Rng(33));
+  const Rigid pi(1.0);
+  NetEngineConfig config;
+  config.warmup = 10.0;
+  auto a = make_net_policy(NetPolicyKind::kDar, t, rigid_config(2.0));
+  auto b = make_net_policy(NetPolicyKind::kDar, t, rigid_config(2.0));
+  const NetReport ra = run_network(trace, *a, pi, config);
+  const NetReport rb = run_network(trace, *b, pi, config);
+  EXPECT_EQ(ra.offered, rb.offered);
+  EXPECT_EQ(ra.admitted, rb.admitted);
+  EXPECT_EQ(ra.alternate_routed, rb.alternate_routed);
+  EXPECT_EQ(ra.mean_utility, rb.mean_utility);
+  EXPECT_EQ(ra.blocking_probability, rb.blocking_probability);
+  EXPECT_EQ(ra.peak_link_count, rb.peak_link_count);
+}
+
+TEST(RunNetwork, RejectsMalformedInputs) {
+  const Topology t = build_topology({TopologyKind::kTwoNode, 2, 2.0, {}});
+  auto policy = make_net_policy(NetPolicyKind::kDar, t, rigid_config());
+  const Rigid pi(1.0);
+  NetTrace trace;
+  trace.horizon = 10.0;
+  trace.requests = {call(0, 1, -1.0, 1.0)};  // negative submit
+  EXPECT_THROW((void)run_network(trace, *policy, pi), std::invalid_argument);
+  trace.requests = {call(0, 1, 0.0, 0.0)};  // zero duration
+  EXPECT_THROW((void)run_network(trace, *policy, pi), std::invalid_argument);
+  trace.requests = {call(0, 1, 0.0, 1.0)};
+  trace.requests[0].rate = 0.0;
+  EXPECT_THROW((void)run_network(trace, *policy, pi), std::invalid_argument);
+  NetEngineConfig config;
+  config.warmup = -1.0;
+  trace.requests[0].rate = 1.0;
+  EXPECT_THROW((void)run_network(trace, *policy, pi, config),
+               std::invalid_argument);
+}
+
+TEST(RunNetwork, EmptyTraceYieldsAnEmptyReport) {
+  const Topology t = build_topology({TopologyKind::kTwoNode, 2, 2.0, {}});
+  auto policy = make_net_policy(NetPolicyKind::kBestEffort, t, rigid_config());
+  const Rigid pi(1.0);
+  const NetReport report = run_network(NetTrace{}, *policy, pi);
+  EXPECT_EQ(report.offered, 0u);
+  EXPECT_DOUBLE_EQ(report.blocking_probability, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_utility, 0.0);
+}
+
+}  // namespace
+}  // namespace bevr::net2

@@ -1,0 +1,197 @@
+// LinkLedger: exact admit/release bookkeeping, all-or-nothing path
+// rollback, headroom (trunk reservation), counted slots, best-effort
+// join/leave, the invariant audit — and a concurrent storm pinning
+// that path admission never oversubscribes a link (the TSan leg).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bevr/net2/ledger.h"
+#include "bevr/net2/topology.h"
+
+namespace bevr::net2 {
+namespace {
+
+Topology triangle(double capacity) {
+  Topology t;
+  t.add_link(0, 1, capacity);  // link 0
+  t.add_link(1, 2, capacity);  // link 1
+  t.add_link(0, 2, capacity);  // link 2
+  return t;
+}
+
+TEST(LinkLedger, BandwidthAdmitAndReleaseAreExactInverses) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  const std::vector<LinkId> path{0, 1};
+  ASSERT_TRUE(ledger.try_admit_bandwidth(path, 3.0));
+  EXPECT_DOUBLE_EQ(ledger.used(0), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.used(1), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.used(2), 0.0);
+  EXPECT_EQ(ledger.count(0), 1);
+  EXPECT_EQ(ledger.count(2), 0);
+  ledger.release_bandwidth(path, 3.0);
+  EXPECT_DOUBLE_EQ(ledger.used(0), 0.0);
+  EXPECT_EQ(ledger.count(0), 0);
+  EXPECT_EQ(ledger.peak_count(0), 1);  // peak is sticky
+  EXPECT_NO_THROW(ledger.audit());
+}
+
+TEST(LinkLedger, RefusalRollsBackTheGrabbedPrefix) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  // Saturate link 1 so a {0, 1} path must roll link 0 back.
+  ASSERT_TRUE(ledger.try_admit_bandwidth(std::vector<LinkId>{1}, 10.0));
+  EXPECT_FALSE(ledger.try_admit_bandwidth(std::vector<LinkId>{0, 1}, 1.0));
+  EXPECT_DOUBLE_EQ(ledger.used(0), 0.0);  // prefix rolled back
+  EXPECT_EQ(ledger.count(0), 0);
+  EXPECT_EQ(ledger.peak_count(0), 0);  // never counted as admitted
+  EXPECT_DOUBLE_EQ(ledger.used(1), 10.0);
+}
+
+TEST(LinkLedger, HeadroomImplementsTrunkReservation) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  const std::vector<LinkId> path{0};
+  ASSERT_TRUE(ledger.try_admit_bandwidth(path, 7.0));
+  // 3 circuits free: a grab that must leave > 2 free can take 1 more...
+  EXPECT_TRUE(ledger.try_admit_bandwidth(path, 1.0, 2.0));
+  // ...but not another (2 free == not more than the reservation).
+  EXPECT_FALSE(ledger.try_admit_bandwidth(path, 1.0, 2.0));
+  // Headroom 0 still admits up to capacity exactly.
+  EXPECT_TRUE(ledger.try_admit_bandwidth(path, 2.0, 0.0));
+  EXPECT_DOUBLE_EQ(ledger.used(0), 10.0);
+  EXPECT_FALSE(ledger.try_admit_bandwidth(path, 1e-9));
+}
+
+TEST(LinkLedger, BandwidthArgumentValidation) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  const std::vector<LinkId> bad{99};
+  const std::vector<LinkId> ok{0};
+  EXPECT_THROW((void)ledger.try_admit_bandwidth(bad, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ledger.try_admit_bandwidth(ok, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ledger.try_admit_bandwidth(ok, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(LinkLedger, CountedAdmissionHonoursPerLinkLimits) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  const std::vector<std::int64_t> limits{2, 1, 2};  // indexed by link id
+  const std::vector<LinkId> path{0, 1};
+  ASSERT_TRUE(ledger.try_admit_counted(path, limits));
+  // Link 1 is at its limit of 1: the next path grab must fail and roll
+  // link 0 back.
+  EXPECT_FALSE(ledger.try_admit_counted(path, limits));
+  EXPECT_EQ(ledger.count(0), 1);
+  EXPECT_EQ(ledger.count(1), 1);
+  // A path avoiding link 1 still fits.
+  EXPECT_TRUE(ledger.try_admit_counted(std::vector<LinkId>{0}, limits));
+  EXPECT_EQ(ledger.count(0), 2);
+  ledger.release_counted(path);
+  EXPECT_EQ(ledger.count(0), 1);
+  EXPECT_EQ(ledger.count(1), 0);
+  EXPECT_NO_THROW(ledger.audit());
+}
+
+TEST(LinkLedger, JoinAndLeaveNeverRefuse) {
+  const Topology t = triangle(1.0);  // tiny capacity is irrelevant to BE
+  LinkLedger ledger(t);
+  const std::vector<LinkId> path{0, 1, 2};
+  for (int i = 0; i < 5; ++i) ledger.join(path);
+  EXPECT_EQ(ledger.count(0), 5);
+  EXPECT_EQ(ledger.peak_count(2), 5);
+  EXPECT_DOUBLE_EQ(ledger.used(0), 0.0);  // join moves no bandwidth
+  for (int i = 0; i < 5; ++i) ledger.leave(path);
+  EXPECT_EQ(ledger.count(0), 0);
+  EXPECT_NO_THROW(ledger.audit());
+}
+
+TEST(LinkLedger, AuditCatchesCorruptedState) {
+  const Topology t = triangle(10.0);
+  LinkLedger ledger(t);
+  const std::vector<LinkId> path{0};
+  ASSERT_TRUE(ledger.try_admit_bandwidth(path, 10.0));
+  // Double-release drives used below zero: the audit must name it.
+  ledger.release_bandwidth(path, 10.0);
+  ledger.release_bandwidth(path, 10.0);
+  EXPECT_THROW(ledger.audit(), std::logic_error);
+
+  LinkLedger counts(t);
+  counts.leave(path);  // count -1
+  EXPECT_THROW(counts.audit(), std::logic_error);
+}
+
+TEST(LinkLedger, CapacityAndLinkCountMirrorTheTopology) {
+  const Topology t = triangle(4.5);
+  LinkLedger ledger(t);
+  EXPECT_EQ(ledger.link_count(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.capacity(1), 4.5);
+}
+
+// The TSan storm: many threads slam overlapping two-link paths through
+// one ledger. Whatever interleaving happens, (a) no link may ever
+// exceed capacity, and (b) after every admit is released the ledger
+// must read exactly empty — admits and rollbacks are all-or-nothing.
+TEST(LinkLedgerStorm, ConcurrentPathAdmissionNeverOversubscribes) {
+  const double kCapacity = 16.0;
+  const Topology t = triangle(kCapacity);
+  LinkLedger ledger(t);
+
+  constexpr int kThreads = 8;
+  constexpr int kAttemptsPerThread = 2000;
+  std::atomic<std::int64_t> admitted{0};
+  std::atomic<std::int64_t> refused{0};
+
+  const std::vector<std::int64_t> limits{12, 12, 12};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      // Each thread cycles through the three two-link paths of the
+      // triangle so every pair of threads contends on a shared link,
+      // alternating between the two admission currencies.
+      const std::vector<std::vector<LinkId>> paths{
+          {0, 1}, {1, 2}, {0, 2}};
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        const auto& path =
+            paths[static_cast<std::size_t>(w + i) % paths.size()];
+        bool ok = false;
+        if (i % 2 == 0) {
+          const double headroom = (i % 4 == 0) ? 2.0 : 0.0;
+          ok = ledger.try_admit_bandwidth(path, 1.0, headroom);
+          if (ok) {
+            // Hold briefly so grabs overlap, then release.
+            if (i % 8 == 0) std::this_thread::yield();
+            ledger.release_bandwidth(path, 1.0);
+          }
+        } else {
+          ok = ledger.try_admit_counted(path, limits);
+          if (ok) ledger.release_counted(path);
+        }
+        (ok ? admitted : refused).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_GT(admitted.load(), 0);
+  for (LinkId id = 0; id < 3; ++id) {
+    EXPECT_DOUBLE_EQ(ledger.used(id), 0.0) << "link " << id;
+    EXPECT_EQ(ledger.count(id), 0) << "link " << id;
+    // At most one in-flight grab per thread at any instant.
+    EXPECT_LE(ledger.peak_count(id), kThreads);
+  }
+  EXPECT_NO_THROW(ledger.audit());
+}
+
+}  // namespace
+}  // namespace bevr::net2

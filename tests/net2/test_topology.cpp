@@ -1,0 +1,137 @@
+// Topology construction, lookups, alternates, and deterministic
+// min-hop routing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "bevr/net2/topology.h"
+
+namespace bevr::net2 {
+namespace {
+
+TEST(Topology, AddLinkNormalisesEndpointsAndCounts) {
+  Topology t;
+  t.add_link(3, 1, 5.0);
+  t.add_link(0, 2, 1.5);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.node_count(), 4u);  // dense ids 0..3
+  EXPECT_EQ(t.link(0).a, 1);
+  EXPECT_EQ(t.link(0).b, 3);
+  EXPECT_DOUBLE_EQ(t.link(0).capacity, 5.0);
+}
+
+TEST(Topology, AddLinkRejectsBadInputs) {
+  Topology t;
+  EXPECT_THROW(t.add_link(-1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(2, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(0, 1, -3.0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(0, 1, 1.0 / 0.0), std::invalid_argument);
+  t.add_link(0, 1, 1.0);
+  EXPECT_THROW(t.add_link(1, 0, 2.0), std::invalid_argument);  // duplicate
+  EXPECT_EQ(t.link_count(), 1u);
+}
+
+TEST(Topology, FindLinkIsOrderInsensitive) {
+  Topology t;
+  t.add_link(2, 5, 1.0);
+  ASSERT_TRUE(t.find_link(5, 2).has_value());
+  EXPECT_EQ(*t.find_link(5, 2), *t.find_link(2, 5));
+  EXPECT_FALSE(t.find_link(0, 1).has_value());
+  EXPECT_THROW((void)t.link(99), std::out_of_range);
+}
+
+TEST(Topology, NeighborsAreSortedAscending) {
+  Topology t;
+  t.add_link(1, 4, 1.0);
+  t.add_link(1, 0, 1.0);
+  t.add_link(1, 2, 1.0);
+  EXPECT_EQ(t.neighbors(1), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(t.neighbors(3).empty());
+}
+
+TEST(Topology, TwoHopIntermediatesOnFullMesh) {
+  const Topology t = build_topology(
+      TopologySpec{TopologyKind::kFullMesh, 5, 1.0, {}});
+  EXPECT_EQ(t.two_hop_intermediates(0, 1), (std::vector<NodeId>{2, 3, 4}));
+  // A two-node topology has none.
+  const Topology two =
+      build_topology(TopologySpec{TopologyKind::kTwoNode, 2, 1.0, {}});
+  EXPECT_TRUE(two.two_hop_intermediates(0, 1).empty());
+}
+
+TEST(Topology, ShortestPathTwoNode) {
+  const Topology t =
+      build_topology(TopologySpec{TopologyKind::kTwoNode, 2, 4.0, {}});
+  const auto path = t.shortest_path(0, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<LinkId>{0}));
+  EXPECT_TRUE(t.shortest_path(1, 1)->empty());
+}
+
+TEST(Topology, ShortestPathOnRingTakesTheShortArc) {
+  // 6-ring: 0-1-2-3-4-5-0; from 0 to 2 the short arc is 0-1-2.
+  const Topology t =
+      build_topology(TopologySpec{TopologyKind::kRing, 6, 1.0, {}});
+  const auto path = t.shortest_path(0, 2);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ(*t.find_link(0, 1), (*path)[0]);
+  EXPECT_EQ(*t.find_link(1, 2), (*path)[1]);
+  // Antipodal pair: both arcs are 3 hops; the answer must still be
+  // deterministic (pure function of the topology).
+  EXPECT_EQ(*t.shortest_path(0, 3), *t.shortest_path(0, 3));
+}
+
+TEST(Topology, ShortestPathOnStarGoesThroughTheHub) {
+  const Topology t =
+      build_topology(TopologySpec{TopologyKind::kStar, 5, 1.0, {}});
+  const auto path = t.shortest_path(1, 4);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<LinkId>{*t.find_link(1, 0),
+                                        *t.find_link(0, 4)}));
+}
+
+TEST(Topology, ShortestPathUnreachableAndUnknownNodes) {
+  Topology t;
+  t.add_link(0, 1, 1.0);
+  t.add_link(2, 3, 1.0);  // second component
+  EXPECT_FALSE(t.shortest_path(0, 3).has_value());
+  EXPECT_THROW((void)t.shortest_path(0, 9), std::invalid_argument);
+  EXPECT_THROW((void)t.shortest_path(-1, 0), std::invalid_argument);
+}
+
+TEST(BuildTopology, SyntheticKindsHaveTheRightShape) {
+  EXPECT_EQ(build_topology({TopologyKind::kRing, 7, 1.0, {}}).link_count(),
+            7u);
+  EXPECT_EQ(build_topology({TopologyKind::kStar, 7, 1.0, {}}).link_count(),
+            6u);
+  EXPECT_EQ(
+      build_topology({TopologyKind::kFullMesh, 7, 1.0, {}}).link_count(),
+      21u);  // 7·6/2
+  const Topology mesh = build_topology({TopologyKind::kFullMesh, 4, 2.5, {}});
+  for (const Link& link : mesh.links()) {
+    EXPECT_DOUBLE_EQ(link.capacity, 2.5);
+  }
+}
+
+TEST(BuildTopology, SpecValidationRejectsBadFields) {
+  EXPECT_THROW(build_topology({TopologyKind::kRing, 2, 1.0, {}}),
+               std::invalid_argument);  // ring needs >= 3 nodes
+  EXPECT_THROW(build_topology({TopologyKind::kFullMesh, 5, 0.0, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(build_topology({TopologyKind::kFile, 5, 1.0, {}}),
+               std::invalid_argument);  // file kind needs a path
+}
+
+TEST(BuildTopology, ToStringCoversEveryKind) {
+  EXPECT_EQ(to_string(TopologyKind::kTwoNode), "two_node");
+  EXPECT_EQ(to_string(TopologyKind::kRing), "ring");
+  EXPECT_EQ(to_string(TopologyKind::kStar), "star");
+  EXPECT_EQ(to_string(TopologyKind::kFullMesh), "full_mesh");
+  EXPECT_EQ(to_string(TopologyKind::kFile), "file");
+}
+
+}  // namespace
+}  // namespace bevr::net2

@@ -1,0 +1,126 @@
+// Hostile-input coverage for the topology file reader, mirroring the
+// admission trace fuzz layer: every malformed line must raise
+// std::invalid_argument naming the offending line — never undefined
+// behaviour, never a silently skipped record, never an unbounded
+// allocation from a hostile node id.
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bevr/net2/topology.h"
+
+namespace bevr::net2 {
+namespace {
+
+Topology parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology(in);
+}
+
+/// The reader must throw std::invalid_argument whose message mentions
+/// "line <n>".
+void expect_rejects(const std::string& text, std::size_t line) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected std::invalid_argument for: " << text;
+  } catch (const std::invalid_argument& error) {
+    const std::string needle = "line " + std::to_string(line);
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "message '" << error.what() << "' does not name " << needle;
+  }
+}
+
+TEST(ParseTopology, WellFormedRoundTrip) {
+  const Topology t = parse(
+      "# a b capacity\n"
+      "\n"
+      "0 1 10.0\n"
+      "  1   2 2.5  \n"
+      "\t0 2 4\n");
+  ASSERT_EQ(t.link_count(), 3u);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.link(1).capacity, 2.5);
+  EXPECT_TRUE(t.find_link(2, 0).has_value());
+}
+
+TEST(ParseTopology, EmptyAndCommentOnlyInputsYieldEmptyTopologies) {
+  EXPECT_EQ(parse("").link_count(), 0u);
+  EXPECT_EQ(parse("# nothing\n\n   \n\t\n# more\n").link_count(), 0u);
+}
+
+TEST(ParseTopology, TruncatedLines) {
+  expect_rejects("0 1 1\n0\n", 2);
+  expect_rejects("0 1\n", 1);  // two fields
+  expect_rejects("7\n", 1);    // one field
+}
+
+TEST(ParseTopology, TrailingFields) {
+  expect_rejects("0 1 1 9\n", 1);
+  expect_rejects("0 1 1\n1 2 1 bogus\n", 2);
+}
+
+TEST(ParseTopology, NonNumericTokens) {
+  expect_rejects("zero 1 1\n", 1);
+  expect_rejects("0 x 1\n", 1);
+  expect_rejects("0 1 fast\n", 1);
+}
+
+TEST(ParseTopology, NonIntegerNodeIds) {
+  expect_rejects("0.5 1 1\n", 1);
+  expect_rejects("0 1.5 1\n", 1);
+  expect_rejects("1e-3 1 1\n", 1);
+}
+
+TEST(ParseTopology, NegativeAndOverflowingNodeIds) {
+  expect_rejects("-1 0 1\n", 1);
+  expect_rejects("0 -2 1\n", 1);
+  // A hostile id past kMaxNodeId must be refused, not used to size a
+  // dense node table.
+  expect_rejects("0 99999999999 1\n", 1);
+  expect_rejects("0 1e18 1\n", 1);
+}
+
+TEST(ParseTopology, BadCapacities) {
+  expect_rejects("0 1 0\n", 1);
+  expect_rejects("0 1 -4\n", 1);
+  expect_rejects("0 1 nan\n", 1);
+  expect_rejects("0 1 inf\n", 1);
+}
+
+TEST(ParseTopology, SelfLoopsAndDuplicates) {
+  expect_rejects("3 3 1\n", 1);
+  expect_rejects("0 1 1\n1 0 2\n", 2);  // duplicate, order-insensitive
+}
+
+TEST(ParseTopology, GarbageBytes) {
+  expect_rejects("\x01\x02\x7f\n", 1);
+  expect_rejects("0 1 1\n\xff\xfe garbage\n", 2);
+  expect_rejects(std::string("0 \0 1\n", 6), 1);  // embedded NUL
+}
+
+TEST(LoadTopology, MissingAndEmptyFiles) {
+  EXPECT_THROW((void)load_topology("/nonexistent/bevr/topology.txt"),
+               std::invalid_argument);
+  const std::string path = ::testing::TempDir() + "bevr_net2_empty_topo.txt";
+  { std::ofstream(path) << "# only a comment\n"; }
+  // Parses, but a usable topology needs at least one link.
+  EXPECT_THROW((void)load_topology(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(LoadTopology, RoundTripThroughAFile) {
+  const std::string path = ::testing::TempDir() + "bevr_net2_topo.txt";
+  { std::ofstream(path) << "0 1 10\n1 2 10\n2 0 10\n"; }
+  const Topology t = load_topology(path);
+  EXPECT_EQ(t.link_count(), 3u);
+  EXPECT_EQ(t.node_count(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bevr::net2
